@@ -1,0 +1,355 @@
+package pbspgemm
+
+// One testing.B benchmark per table/figure of the paper's evaluation, at
+// laptop-scale defaults. Custom metrics mirror the paper's units: GFLOPS for
+// performance figures and GB/s for bandwidth figures. cmd/experiments runs
+// the full-scale sweeps with the same code paths.
+
+import (
+	"fmt"
+	"testing"
+
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/numa"
+	"pbspgemm/internal/roofline"
+	"pbspgemm/internal/stream"
+)
+
+// benchMultiply runs one algorithm on fixed inputs, reporting GFLOPS.
+func benchMultiply(b *testing.B, a, m *CSR, opt Options) {
+	b.Helper()
+	var flops int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Multiply(a, m, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flops = res.Flops
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(flops)/sec/1e9, "GFLOPS")
+}
+
+// --- Table V: STREAM --------------------------------------------------------
+
+func BenchmarkTable5Stream(b *testing.B) {
+	for _, k := range []stream.Kernel{stream.Copy, stream.Scale, stream.Add, stream.Triad} {
+		b.Run(k.String(), func(b *testing.B) {
+			var best float64
+			for i := 0; i < b.N; i++ {
+				res := stream.Run(stream.Options{N: 1 << 21, Reps: 1})
+				best = res[int(k)].BestGBs
+			}
+			b.ReportMetric(best, "GB/s")
+		})
+	}
+}
+
+// --- Fig. 3: Roofline model --------------------------------------------------
+
+func BenchmarkFig3Roofline(b *testing.B) {
+	cfs := []float64{1, 2, 3, 4, 6, 8, 16}
+	for i := 0; i < b.N; i++ {
+		pts := roofline.FigureThree(50, 16, cfs)
+		if len(pts) != len(cfs) {
+			b.Fatal("model failure")
+		}
+	}
+}
+
+// --- Fig. 6a: local bin width sweep -----------------------------------------
+
+func BenchmarkFig6aLocalBinWidth(b *testing.B) {
+	a := gen.ERMatrix(14, 4, 1).ToCSC()
+	m := gen.ERMatrix(14, 4, 2)
+	for _, width := range []int{64, 256, 512, 2048} {
+		b.Run(fmt.Sprintf("bytes%d", width), func(b *testing.B) {
+			var st *core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = core.Multiply(a, m, core.Options{LocalBinBytes: width})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.ExpandGBs(), "expandGB/s")
+		})
+	}
+}
+
+// --- Fig. 6b: number of bins sweep ------------------------------------------
+
+func BenchmarkFig6bNumBins(b *testing.B) {
+	a := gen.ERMatrix(14, 4, 1).ToCSC()
+	m := gen.ERMatrix(14, 4, 2)
+	for _, nbins := range []int{1, 64, 1024, 4096} {
+		b.Run(fmt.Sprintf("nbins%d", nbins), func(b *testing.B) {
+			var st *core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = core.Multiply(a, m, core.Options{NBins: nbins})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.SortGBs(), "sortGB/s")
+			b.ReportMetric(st.ExpandGBs(), "expandGB/s")
+		})
+	}
+}
+
+// --- Fig. 7: ER performance (7a) and bandwidth (7b) -------------------------
+
+func BenchmarkFig7ER(b *testing.B) {
+	for _, ef := range []int{4, 8, 16} {
+		a := gen.ERMatrix(13, ef, 1)
+		m := gen.ERMatrix(13, ef, 2)
+		for _, alg := range Algorithms() {
+			b.Run(fmt.Sprintf("ef%d/%s", ef, alg), func(b *testing.B) {
+				benchMultiply(b, a, m, Options{Algorithm: alg})
+			})
+		}
+	}
+}
+
+func BenchmarkFig7bBandwidth(b *testing.B) {
+	a := gen.ERMatrix(14, 8, 1).ToCSC()
+	m := gen.ERMatrix(14, 8, 2)
+	var st *core.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = core.Multiply(a, m, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.ExpandGBs(), "expandGB/s")
+	b.ReportMetric(st.SortGBs(), "sortGB/s")
+	b.ReportMetric(st.CompressGBs(), "compressGB/s")
+}
+
+// --- Fig. 8: ER on the POWER9 profile (model rescaling; see DESIGN.md §4) ---
+
+func BenchmarkFig8Power9Model(b *testing.B) {
+	a := gen.ERMatrix(13, 8, 1)
+	m := gen.ERMatrix(13, 8, 2)
+	res, err := Multiply(a, m, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p := PredictGFLOPS(125, a.NNZ(), m.NNZ(), res.Flops, res.C.NNZ())
+		if p <= 0 {
+			b.Fatal("model failure")
+		}
+	}
+	benchMultiply(b, a, m, Options{})
+}
+
+// --- Fig. 9: RMAT performance and bandwidth ----------------------------------
+
+func BenchmarkFig9RMAT(b *testing.B) {
+	for _, ef := range []int{4, 8, 16} {
+		a := gen.RMAT(12, ef, gen.Graph500Params, 1)
+		m := gen.RMAT(12, ef, gen.Graph500Params, 2)
+		for _, alg := range Algorithms() {
+			b.Run(fmt.Sprintf("ef%d/%s", ef, alg), func(b *testing.B) {
+				benchMultiply(b, a, m, Options{Algorithm: alg})
+			})
+		}
+	}
+}
+
+func BenchmarkFig9bBandwidth(b *testing.B) {
+	a := gen.RMAT(13, 8, gen.Graph500Params, 1).ToCSC()
+	m := gen.RMAT(13, 8, gen.Graph500Params, 2)
+	var st *core.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = core.Multiply(a, m, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.ExpandGBs(), "expandGB/s")
+	b.ReportMetric(st.SortGBs(), "sortGB/s")
+}
+
+// --- Fig. 10: RMAT on POWER9 profile -----------------------------------------
+
+func BenchmarkFig10Power9Model(b *testing.B) {
+	a := gen.RMAT(12, 8, gen.Graph500Params, 1)
+	m := gen.RMAT(12, 8, gen.Graph500Params, 2)
+	benchMultiply(b, a, m, Options{})
+}
+
+// --- Fig. 11: squaring real-matrix surrogates, ascending cf ------------------
+
+func BenchmarkFig11Real(b *testing.B) {
+	for _, name := range []string{"mc2depi", "web-Google", "2cubes_sphere", "cant"} {
+		var s gen.Surrogate
+		for _, c := range gen.Catalog() {
+			if c.Name == name {
+				s = c
+			}
+		}
+		m := s.Generate(32, 42)
+		for _, alg := range []Algorithm{PB, Hash} {
+			b.Run(fmt.Sprintf("%s/%s", name, alg), func(b *testing.B) {
+				benchMultiply(b, m, m, Options{Algorithm: alg})
+			})
+		}
+	}
+}
+
+// --- Table VI: matrix statistics ---------------------------------------------
+
+func BenchmarkTable6Stats(b *testing.B) {
+	m := gen.Catalog()[0].Generate(32, 42)
+	for i := 0; i < b.N; i++ {
+		st := gen.MeasureStats(m)
+		if st.CF < 1 {
+			b.Fatal("bad stats")
+		}
+	}
+}
+
+// --- Fig. 12: strong scaling --------------------------------------------------
+
+func BenchmarkFig12Scaling(b *testing.B) {
+	er := gen.ERMatrix(12, 16, 1)
+	rmat := gen.RMAT(12, 16, gen.Graph500Params, 1)
+	for _, in := range []struct {
+		name string
+		m    *CSR
+	}{{"ER", er}, {"RMAT", rmat}} {
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/t%d", in.name, threads), func(b *testing.B) {
+				benchMultiply(b, in.m, in.m, Options{Threads: threads})
+			})
+		}
+	}
+}
+
+// --- Fig. 13: phase breakdown --------------------------------------------------
+
+func BenchmarkFig13Phases(b *testing.B) {
+	a := gen.ERMatrix(13, 16, 1).ToCSC()
+	m := gen.ERMatrix(13, 16, 2)
+	var st *core.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = core.Multiply(a, m, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.Expand.Seconds()*1e3, "expand-ms")
+	b.ReportMetric(st.Sort.Seconds()*1e3, "sort-ms")
+	b.ReportMetric(st.Compress.Seconds()*1e3, "compress-ms")
+	b.ReportMetric(st.Symbolic.Seconds()*1e3, "symbolic-ms")
+}
+
+// --- Fig. 14 / Table VII: NUMA model ------------------------------------------
+
+func BenchmarkFig14DualSocketModel(b *testing.B) {
+	a := gen.ERMatrix(13, 16, 1)
+	m := gen.ERMatrix(13, 16, 2)
+	res, err := Multiply(a, m, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := res.PB
+	topo := numa.PaperSkylake
+	fr := numa.DefaultRemoteFractions()
+	phases := []numa.PhaseTraffic{
+		{Name: "expand", Bytes: st.ExpandBytes, SingleTime: st.Expand, RemoteFrac: fr["expand"]},
+		{Name: "sort", Bytes: st.SortBytes, SingleTime: st.Sort, RemoteFrac: fr["sort"]},
+		{Name: "compress", Bytes: st.CompressBytes, SingleTime: st.Compress, RemoteFrac: fr["compress"]},
+	}
+	for i := 0; i < b.N; i++ {
+		if topo.PredictDual(phases) <= 0 {
+			b.Fatal("model failure")
+		}
+	}
+}
+
+func BenchmarkTable7Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ns := numa.MeasureLatencyNs(4<<20, 1)
+		b.ReportMetric(ns, "ns/access")
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ------------------------
+
+// BenchmarkAblationNoBlocking compares PB with its propagation blocking
+// disabled (a single global bin = plain outer-product ESC) against the tuned
+// default — the core design choice of the paper.
+func BenchmarkAblationNoBlocking(b *testing.B) {
+	a := gen.ERMatrix(14, 8, 1).ToCSC()
+	m := gen.ERMatrix(14, 8, 2)
+	for _, tc := range []struct {
+		name  string
+		nbins int
+	}{{"blocked_auto", 0}, {"single_bin", 1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Multiply(a, m, core.Options{NBins: tc.nbins}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoLocalBins compares the default 512-byte local bins with
+// one-tuple local bins (every tuple goes straight to its global bin through
+// an atomic reservation — the cache-line-wasting behaviour Fig. 5 fixes).
+func BenchmarkAblationNoLocalBins(b *testing.B) {
+	a := gen.ERMatrix(14, 8, 1).ToCSC()
+	m := gen.ERMatrix(14, 8, 2)
+	for _, tc := range []struct {
+		name  string
+		bytes int
+	}{{"local512B", 512}, {"local1tuple", 16}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var st *core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = core.Multiply(a, m, core.Options{LocalBinBytes: tc.bytes})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.ExpandGBs(), "expandGB/s")
+		})
+	}
+}
+
+// BenchmarkAblationPartitioned measures the Section V-D partitioned variant:
+// the extra (parts-1)·nnz(B) reads it trades for NUMA locality.
+func BenchmarkAblationPartitioned(b *testing.B) {
+	a := gen.ERMatrix(13, 8, 1)
+	m := gen.ERMatrix(13, 8, 2)
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parts%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MultiplyPartitioned(a, m, parts, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSPA adds the SPA accumulator to the baseline lineup (the
+// paper's Table I cites it but does not benchmark it).
+func BenchmarkAblationSPA(b *testing.B) {
+	a := gen.ERMatrix(13, 8, 1)
+	m := gen.ERMatrix(13, 8, 2)
+	benchMultiply(b, a, m, Options{Algorithm: SPA})
+}

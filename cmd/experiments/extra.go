@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pbspgemm"
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/metrics"
+)
+
+// runTallSkinny is the experiment the paper defers for space ("multiplying a
+// square matrix by a tall-and-skinny matrix as needed in betweenness
+// centrality algorithms", Section IV-C): A (n×n, ER) times F (n×k dense-ish
+// frontier matrix with f nonzeros per column), sweeping the skinny width k.
+// The interesting shape: PB's bins follow rows of A, so a narrow B shrinks
+// flop and bins while the A-streaming advantage persists.
+func runTallSkinny(cfg *config) {
+	scale := 14
+	if cfg.full {
+		scale = 18
+	}
+	n := int32(1) << scale
+	a := gen.ER(n, 8, cfg.seed)
+	fmt.Printf("A: ER scale %d, ef 8 (%s nnz); F: n×k with 32 nnz per column\n\n",
+		scale, metrics.HumanCount(a.NNZ()))
+
+	tb := metrics.NewTable("Extra — tall-skinny multiply A(n×n)·F(n×k), GFLOPS",
+		"k", "cf", "PB", "Heap", "Hash", "HashVec")
+	for _, k := range []int32{4, 16, 64, 256, 1024} {
+		f := tallSkinny(n, k, 32, cfg.seed+uint64(k))
+		row := []any{int(k)}
+		var cf float64
+		var gflops []float64
+		for _, alg := range kernelAlgos() {
+			res := bestRun(cfg, a, f, pbspgemm.Options{Algorithm: alg})
+			if alg == pbspgemm.PB {
+				cf = res.CF
+			}
+			gflops = append(gflops, res.GFLOPS())
+		}
+		row = append(row, cf)
+		for _, g := range gflops {
+			row = append(row, g)
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("\nthe paper defers this workload; it is the betweenness-centrality shape [1].")
+}
+
+// tallSkinny generates an n×k matrix with f nonzeros per column (a BFS
+// frontier batch).
+func tallSkinny(n, k int32, f int, seed uint64) *pbspgemm.CSR {
+	r := gen.NewRNG(seed)
+	coo := &matrix.COO{NumRows: n, NumCols: k}
+	seen := map[int32]struct{}{}
+	for j := int32(0); j < k; j++ {
+		clear(seen)
+		for len(seen) < f {
+			i := r.Intn(n)
+			if _, dup := seen[i]; dup {
+				continue
+			}
+			seen[i] = struct{}{}
+			coo.Row = append(coo.Row, i)
+			coo.Col = append(coo.Col, j)
+			coo.Val = append(coo.Val, 1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// runAblations quantifies the design choices DESIGN.md calls out:
+// propagation blocking itself (nbins=1 == unblocked outer ESC), local bins
+// (1-tuple bins == direct global writes), the partitioned variant's extra
+// B reads, and the column-ESC baseline that shares output formation but not
+// input streaming.
+func runAblations(cfg *config) {
+	scale := 14
+	if cfg.full {
+		scale = 18
+	}
+	a := gen.ERMatrix(scale, 8, cfg.seed)
+	b := gen.ERMatrix(scale, 8, cfg.seed+1)
+	fmt.Printf("workload: ER scale %d, ef 8\n\n", scale)
+
+	tb := metrics.NewTable("Ablations (best of reps)", "variant", "time (ms)", "GFLOPS", "expand GB/s", "sort GB/s")
+	addPB := func(name string, opt pbspgemm.Options) {
+		res := bestRun(cfg, a, b, opt)
+		st := res.PB
+		tb.AddRow(name, ms(res.Elapsed), res.GFLOPS(), st.ExpandGBs(), st.SortGBs())
+	}
+	addPB("PB (paper defaults)", pbspgemm.Options{})
+	addPB("no blocking (nbins=1)", pbspgemm.Options{NBins: 1})
+	addPB("no local bins (1-tuple)", pbspgemm.Options{LocalBinBytes: 16})
+	addPB("tiny cache budget (64 KiB)", pbspgemm.Options{L2CacheBytes: 64 << 10})
+
+	partRes, err := pbspgemm.MultiplyPartitioned(a, b, 2, pbspgemm.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tb.AddRow("partitioned (2 bands)", ms(partRes.Elapsed), partRes.GFLOPS(),
+		partRes.PB.ExpandGBs(), partRes.PB.SortGBs())
+
+	escRes := bestRun(cfg, a, b, pbspgemm.Options{Algorithm: pbspgemm.ColumnESC})
+	tb.AddRow("column ESC (no outer product)", ms(escRes.Elapsed), escRes.GFLOPS(), "-", "-")
+	tb.Render(os.Stdout)
+}

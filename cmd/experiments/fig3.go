@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pbspgemm/internal/metrics"
+	"pbspgemm/internal/roofline"
+)
+
+// runFig3 prints the Roofline chart data of Fig. 3: the three AI bounds and
+// the attainable GFLOPS at beta, for ER-like multiplications (the paper draws
+// the chart at cf=1 and sweeps AI; we tabulate the bounds over cf, which is
+// the quantity that moves AI for SpGEMM).
+func runFig3(cfg *config) {
+	beta := betaGBs(cfg)
+	fmt.Printf("beta (STREAM) = %.1f GB/s; b = %d bytes/tuple\n", beta, 16)
+	fmt.Printf("paper reference machine: beta = 50 GB/s => upper 3.13, outer 0.63 GFLOPS at cf=1\n\n")
+
+	cfs := []float64{1, 1.5, 2, 3, 4, 6, 8, 16}
+	pts := roofline.FigureThree(beta, roofline.DefaultBytesPerNonzero, cfs)
+	tb := metrics.NewTable("Fig. 3 — Roofline bounds (host beta)",
+		"cf", "AI_upper", "AI_col", "AI_outer", "GFLOPS_upper", "GFLOPS_col", "GFLOPS_outer")
+	for _, p := range pts {
+		tb.AddRow(p.CF, fmt.Sprintf("1/%d", int(1/p.AIUpper+0.5)),
+			fmt.Sprintf("%.5f", p.AICol), fmt.Sprintf("%.5f", p.AIOuter),
+			p.PerfUpper, p.PerfCol, p.PerfOuter)
+	}
+	tb.Render(os.Stdout)
+
+	fmt.Printf("\nmodeled PB/hash crossover at etaCol=0.55: cf = %.2f (paper: ~4)\n",
+		roofline.CrossoverCF(0.55, 1.0))
+}
+
+// runTables123 prints the qualitative classification tables.
+func runTables123(cfg *config) {
+	t1 := metrics.NewTable("Table I — SpGEMM algorithm classes", "algorithm", "input access", "output formation")
+	for _, c := range roofline.TableI() {
+		t1.AddRow(c.Name, c.InputAccess, c.OutputMethod)
+	}
+	t1.Render(os.Stdout)
+	fmt.Println()
+
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	t2 := metrics.NewTable("Table II — data access patterns (ER, d nnz/col)",
+		"algorithm", "reads A", "reads B", "reads Chat", "reads C", "A streamed", "A full lines")
+	for _, r := range roofline.TableII() {
+		t2.AddRow(r.Algorithm, r.ReadsA, r.ReadsB, r.ReadsChat, r.ReadsC,
+			yn(r.StreamedA), yn(r.FullLinesA))
+	}
+	t2.Render(os.Stdout)
+	fmt.Println()
+
+	t3 := metrics.NewTable("Table III — PB-SpGEMM phase costs",
+		"phase", "complexity", "memory traffic", "parallelism")
+	for _, r := range roofline.TableIII() {
+		t3.AddRow(r.Phase, r.Complexity, r.Bandwidth, r.Parallelism)
+	}
+	t3.Render(os.Stdout)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/metrics"
+)
+
+// fig6Input generates the parameter-selection workload: ER scale 20, edge
+// factor 4 in the paper; scale 16 at laptop scale.
+func fig6Input(cfg *config) (*matrix.CSC, *matrix.CSR) {
+	scale := 16
+	if cfg.full {
+		scale = 20
+	}
+	a := gen.ERMatrix(scale, 4, cfg.seed)
+	b := gen.ERMatrix(scale, 4, cfg.seed+1)
+	fmt.Printf("workload: ER scale %d, edge factor 4 (%s nnz each)\n\n",
+		scale, metrics.HumanCount(a.NNZ()))
+	return a.ToCSC(), b
+}
+
+// pbBest runs core.Multiply reps times, returning the stats of the fastest
+// total run.
+func pbBest(cfg *config, a *matrix.CSC, b *matrix.CSR, opt core.Options) *core.Stats {
+	opt.Threads = pickThreads(cfg, opt.Threads)
+	var best *core.Stats
+	for r := 0; r < cfg.reps; r++ {
+		_, st, err := core.Multiply(a, b, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multiply failed: %v\n", err)
+			os.Exit(1)
+		}
+		if best == nil || st.Total < best.Total {
+			best = st
+		}
+	}
+	return best
+}
+
+// runFig6a sweeps the local-bin width and reports expand-phase time and
+// sustained bandwidth (Fig. 6a: small bins under-utilize cache lines).
+func runFig6a(cfg *config) {
+	a, b := fig6Input(cfg)
+	tb := metrics.NewTable("Fig. 6a — expand bandwidth vs local bin width",
+		"local bin (bytes)", "tuples/bin", "expand (ms)", "expand GB/s", "total (ms)")
+	for _, width := range []int{16, 64, 128, 256, 512, 1024, 2048, 4096} {
+		st := pbBest(cfg, a, b, core.Options{LocalBinBytes: width})
+		tb.AddRow(width, width/16, ms(st.Expand), st.ExpandGBs(), ms(st.Total))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("\npaper: bandwidth saturates around 512 B/bin; that is the default.")
+}
+
+// runFig6b sweeps the number of global bins and reports expand and sort
+// bandwidth (Fig. 6b: more bins => in-cache sorting, but smaller flushes).
+// The sort column reports both the memory-traffic model (b·flop) and the
+// in-cache shuffle accounting (4·b·flop) the paper quotes when it reports
+// sorting bandwidth "as high as 200 GB/s".
+func runFig6b(cfg *config) {
+	a, b := fig6Input(cfg)
+	tb := metrics.NewTable("Fig. 6b — bandwidth vs number of bins",
+		"nbins", "expand GB/s", "sort GB/s (mem)", "sort GB/s (shuffle)", "total (ms)")
+	for _, nbins := range []int{1, 16, 64, 256, 1024, 2048, 4096, 16384} {
+		st := pbBest(cfg, a, b, core.Options{NBins: nbins})
+		shuffle := 4 * float64(st.SortBytes)
+		sortShuffleGBs := 0.0
+		if st.Sort > 0 {
+			sortShuffleGBs = shuffle / st.Sort.Seconds() / 1e9
+		}
+		tb.AddRow(st.NBins, st.ExpandGBs(), st.SortGBs(), sortShuffleGBs, ms(st.Total))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("\npaper: 1K-2K bins balance expand flush size against in-cache sorting.")
+}

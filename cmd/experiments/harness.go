@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pbspgemm"
+	"pbspgemm/internal/stream"
+)
+
+// betaGBs returns the bandwidth for model outputs: the -beta override or a
+// STREAM measurement (cached per process).
+var measuredBeta float64
+
+func betaGBs(cfg *config) float64 {
+	if cfg.beta > 0 {
+		return cfg.beta
+	}
+	if measuredBeta == 0 {
+		n := 1 << 22 // quick: 32 MiB arrays
+		if cfg.full {
+			n = 1 << 25
+		}
+		measuredBeta = pbspgemm.MeasureBandwidth(n, cfg.threads)
+	}
+	return measuredBeta
+}
+
+// bestRun multiplies a*b with alg cfg.reps times and returns the fastest
+// result (standard discipline for bandwidth-bound kernels).
+func bestRun(cfg *config, a, b *pbspgemm.CSR, opt pbspgemm.Options) *pbspgemm.Result {
+	opt.Threads = pickThreads(cfg, opt.Threads)
+	var best *pbspgemm.Result
+	for r := 0; r < cfg.reps; r++ {
+		res, err := pbspgemm.Multiply(a, b, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multiply failed: %v\n", err)
+			os.Exit(1)
+		}
+		if best == nil || res.Elapsed < best.Elapsed {
+			best = res
+		}
+	}
+	return best
+}
+
+func pickThreads(cfg *config, override int) int {
+	if override > 0 {
+		return override
+	}
+	return cfg.threads
+}
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+
+// kernelAlgos is the four-algorithm lineup of the paper's figures.
+func kernelAlgos() []pbspgemm.Algorithm { return pbspgemm.Algorithms() }
+
+// machineProfile describes an evaluation machine for prediction re-scaling
+// (Fig. 8 / Fig. 10 run on POWER9; we rescale Roofline predictions to its
+// published STREAM bandwidth alongside host measurements — see DESIGN.md §4).
+type machineProfile struct {
+	name    string
+	betaGBs float64
+}
+
+var (
+	skylakeProfile = machineProfile{"Intel Skylake 8160 (1 socket, paper)", 50}
+	power9Profile  = machineProfile{"IBM POWER9 (1 socket, paper)", 125} // half of 250 GB/s dual
+)
+
+// streamTable runs STREAM at the given thread count and returns best GB/s per
+// kernel in canonical order.
+func streamTable(n, threads, reps int) []stream.Result {
+	return stream.Run(stream.Options{N: n, Threads: threads, Reps: reps})
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+
+	"pbspgemm"
+	"pbspgemm/internal/gen"
+)
+
+func TestFigLabel(t *testing.T) {
+	if figLabel(kindER) != "7" || figLabel(kindRMAT) != "9" {
+		t.Fatal("figure labels wrong")
+	}
+	if kindER.name() != "ER" || kindRMAT.name() != "RMAT" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestPickThreads(t *testing.T) {
+	cfg := &config{threads: 4}
+	if pickThreads(cfg, 0) != 4 {
+		t.Fatal("config threads not used")
+	}
+	if pickThreads(cfg, 2) != 2 {
+		t.Fatal("override not honoured")
+	}
+}
+
+func TestMatrixKindGenerate(t *testing.T) {
+	er := kindER.generate(8, 4, 1)
+	if er.NumRows != 256 || er.NNZ() != 256*4 {
+		t.Fatalf("ER generate wrong: %dx%d nnz=%d", er.NumRows, er.NumCols, er.NNZ())
+	}
+	rm := kindRMAT.generate(8, 4, 1)
+	if rm.NumRows != 256 {
+		t.Fatalf("RMAT generate wrong shape %d", rm.NumRows)
+	}
+}
+
+func TestBestRunReturnsValidResult(t *testing.T) {
+	cfg := &config{reps: 2}
+	a := gen.ERMatrix(7, 4, 1)
+	res := bestRun(cfg, a, a, pbspgemm.Options{})
+	if res == nil || res.C == nil || res.Flops <= 0 {
+		t.Fatal("bestRun returned invalid result")
+	}
+}
+
+func TestBetaOverride(t *testing.T) {
+	cfg := &config{beta: 42}
+	if betaGBs(cfg) != 42 {
+		t.Fatal("beta override ignored")
+	}
+}
+
+func TestThreadSteps(t *testing.T) {
+	steps := threadSteps()
+	if len(steps) == 0 || steps[0] != 1 {
+		t.Fatalf("threadSteps = %v", steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Fatalf("threadSteps not increasing: %v", steps)
+		}
+	}
+}
+
+func TestExperimentsListComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range experimentsList() {
+		if e.run == nil || e.desc == "" {
+			t.Fatalf("experiment %q incomplete", e.name)
+		}
+		ids[e.name] = true
+	}
+	for _, want := range []string{"fig3", "fig6a", "fig6b", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "table6", "table7", "tables123"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"pbspgemm"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]pbspgemm.Algorithm{
+		"pb":        pbspgemm.PB,
+		"PB":        pbspgemm.PB,
+		"heap":      pbspgemm.Heap,
+		"hash":      pbspgemm.Hash,
+		"HashVec":   pbspgemm.HashVec,
+		"spa":       pbspgemm.SPA,
+		"outerheap": pbspgemm.OuterHeapNaive,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil {
+			t.Fatalf("parseAlgo(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("parseAlgo(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := parseAlgo("gustavson"); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"er", "rmat", "banded"} {
+		m, err := generate(kind, 8, 4, 200, 3, "", 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.NNZ() == 0 {
+			t.Fatalf("%s: empty matrix", kind)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	m, err := generate("surrogate", 0, 0, 0, 0, "scircuit", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatal("surrogate: empty matrix")
+	}
+	if _, err := generate("surrogate", 0, 0, 0, 0, "nope", 1, 1); err == nil {
+		t.Fatal("expected unknown-surrogate error")
+	}
+	if _, err := generate("bogus", 0, 0, 0, 0, "", 1, 1); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}

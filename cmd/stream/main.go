@@ -1,0 +1,34 @@
+// Command stream runs the STREAM sustainable-bandwidth benchmark (Table V of
+// the paper) and prints per-kernel GB/s. The Triad number is the beta the
+// Roofline model uses.
+//
+//	stream -n 33554432 -reps 5 -threads 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbspgemm/internal/metrics"
+	"pbspgemm/internal/stream"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<25, "elements per array (3 arrays of 8 bytes each)")
+		reps    = flag.Int("reps", 5, "timed repetitions, best reported")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	fmt.Printf("STREAM: 3 arrays x %d elements (%.1f MiB each), %d reps\n",
+		*n, float64(*n)*8/(1<<20), *reps)
+	res := stream.Run(stream.Options{N: *n, Reps: *reps, Threads: *threads})
+	tb := metrics.NewTable("STREAM results", "kernel", "best GB/s", "avg GB/s", "bytes/rep")
+	for _, r := range res {
+		tb.AddRow(r.Kernel.String(), r.BestGBs, r.AvgGBs, metrics.HumanCount(r.BytesPer))
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("\nbeta (Roofline) = %.2f GB/s\n", stream.Beta(res))
+}

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"pbspgemm/internal/matrix"
+)
+
+// OuterHeap computes C = A*B with the naive outer-product algorithm the
+// paper attributes to Buluç and Gilbert [23] and dismisses in Section II-B:
+// each rank-1 outer product A(:,i)·B(i,:) is merged into the running result
+// immediately, requiring k merge passes. It exists here as the ablation
+// point that motivates PB-SpGEMM's expand-sort-compress structure — run it
+// on anything but small matrices and the cost of n merges is obvious.
+//
+// The merge is a sequential sorted two-way merge over row-major COO streams.
+func OuterHeap(a *matrix.CSC, b *matrix.CSR) (*matrix.CSR, *Stats, error) {
+	if a.NumCols != b.NumRows {
+		return nil, nil, fmt.Errorf("baseline: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	st := &Stats{}
+	start := time.Now()
+	st.Flops = matrix.Flops(a, b)
+
+	// Accumulated result as row-major sorted triples.
+	var accRow, accCol []int32
+	var accVal []float64
+
+	// Scratch for the current rank-1 matrix, also row-major sorted: the
+	// outer product of a sorted column and a sorted row is naturally sorted.
+	var r1Row, r1Col []int32
+	var r1Val []float64
+
+	for i := int32(0); i < a.NumCols; i++ {
+		aLo, aHi := a.ColPtr[i], a.ColPtr[i+1]
+		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+		if aLo == aHi || bLo == bHi {
+			continue
+		}
+		r1Row = r1Row[:0]
+		r1Col = r1Col[:0]
+		r1Val = r1Val[:0]
+		for p := aLo; p < aHi; p++ {
+			r := a.RowIdx[p]
+			av := a.Val[p]
+			for q := bLo; q < bHi; q++ {
+				r1Row = append(r1Row, r)
+				r1Col = append(r1Col, b.ColIdx[q])
+				r1Val = append(r1Val, av*b.Val[q])
+			}
+		}
+		accRow, accCol, accVal = mergeTriples(accRow, accCol, accVal, r1Row, r1Col, r1Val)
+	}
+
+	c := (&matrix.COO{
+		NumRows: a.NumRows, NumCols: b.NumCols,
+		Row: accRow, Col: accCol, Val: accVal,
+	}).ToCSR()
+	st.Numeric = time.Since(start)
+	st.Total = st.Numeric
+	st.NNZC = c.NNZ()
+	if st.NNZC > 0 {
+		st.CF = float64(st.Flops) / float64(st.NNZC)
+	}
+	return c, st, nil
+}
+
+// mergeTriples merges two row-major sorted triple lists, summing duplicates.
+func mergeTriples(aR, aC []int32, aV []float64, bR, bC []int32, bV []float64) ([]int32, []int32, []float64) {
+	outR := make([]int32, 0, len(aR)+len(bR))
+	outC := make([]int32, 0, len(aR)+len(bR))
+	outV := make([]float64, 0, len(aR)+len(bR))
+	i, j := 0, 0
+	for i < len(aR) && j < len(bR) {
+		cmp := compareRC(aR[i], aC[i], bR[j], bC[j])
+		switch {
+		case cmp < 0:
+			outR = append(outR, aR[i])
+			outC = append(outC, aC[i])
+			outV = append(outV, aV[i])
+			i++
+		case cmp > 0:
+			outR = append(outR, bR[j])
+			outC = append(outC, bC[j])
+			outV = append(outV, bV[j])
+			j++
+		default:
+			outR = append(outR, aR[i])
+			outC = append(outC, aC[i])
+			outV = append(outV, aV[i]+bV[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(aR); i++ {
+		outR = append(outR, aR[i])
+		outC = append(outC, aC[i])
+		outV = append(outV, aV[i])
+	}
+	for ; j < len(bR); j++ {
+		outR = append(outR, bR[j])
+		outC = append(outC, bC[j])
+		outV = append(outV, bV[j])
+	}
+	return outR, outC, outV
+}
+
+func compareRC(r1, c1, r2, c2 int32) int {
+	if r1 != r2 {
+		if r1 < r2 {
+			return -1
+		}
+		return 1
+	}
+	if c1 != c2 {
+		if c1 < c2 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

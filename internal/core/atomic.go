@@ -1,0 +1,19 @@
+package core
+
+import "sync/atomic"
+
+// atomicInt64Slice provides atomic fetch-and-add over a plain []int64. The
+// expand phase uses one cursor per global bin; contention is spread across
+// nbins (≥ 1024 in practice) counters, so a flat slice suffices — the same
+// structure a C implementation would use with __atomic_fetch_add.
+type atomicInt64Slice []int64
+
+// add atomically adds delta to slot i and returns the new value.
+func (s atomicInt64Slice) add(i int, delta int64) int64 {
+	return atomic.AddInt64(&s[i], delta)
+}
+
+// load atomically reads slot i.
+func (s atomicInt64Slice) load(i int) int64 {
+	return atomic.LoadInt64(&s[i])
+}

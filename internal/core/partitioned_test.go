@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+)
+
+func TestPartitionedMatchesMultiply(t *testing.T) {
+	a := gen.ER(600, 6, 1)
+	b := gen.ER(600, 6, 2)
+	want := matrix.ReferenceMultiply(a, b)
+	acsc := a.ToCSC()
+	for _, parts := range []int{1, 2, 3, 4, 8, 600, 10000} {
+		t.Run(fmt.Sprintf("parts%d", parts), func(t *testing.T) {
+			got, st, err := MultiplyPartitioned(acsc, b, parts, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("invalid CSR: %v", err)
+			}
+			if !matrix.Equal(want, got, 1e-9) {
+				t.Fatal("partitioned result differs from reference")
+			}
+			if st.Flops != matrix.FlopsCSR(a, b) {
+				t.Errorf("flops %d, want %d", st.Flops, matrix.FlopsCSR(a, b))
+			}
+		})
+	}
+}
+
+func TestPartitionedSkewedInput(t *testing.T) {
+	a := gen.RMAT(9, 8, gen.Graph500Params, 3)
+	b := gen.RMAT(9, 8, gen.Graph500Params, 4)
+	want := matrix.ReferenceMultiply(a, b)
+	got, _, err := MultiplyPartitioned(a.ToCSC(), b, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(want, got, 1e-9) {
+		t.Fatal("partitioned result differs on skewed input")
+	}
+}
+
+func TestPartitionedTrafficModel(t *testing.T) {
+	a := gen.ER(512, 4, 5)
+	b := gen.ER(512, 4, 6)
+	acsc := a.ToCSC()
+	_, st1, err := MultiplyPartitioned(acsc, b, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st4, err := MultiplyPartitioned(acsc, b, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-way partitioning reads B three extra times.
+	extra := st4.ExpandBytes - st1.ExpandBytes
+	want := 3 * matrix.BytesPerTuple * b.NNZ()
+	if extra != want {
+		t.Fatalf("extra expand traffic = %d, want %d", extra, want)
+	}
+}
+
+func TestPartitionedShapeMismatch(t *testing.T) {
+	a := gen.ER(32, 2, 1).ToCSC()
+	b := gen.ER(64, 2, 2)
+	if _, _, err := MultiplyPartitioned(a, b, 2, Options{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestPartitionedEmptyBands(t *testing.T) {
+	// A matrix whose nonzeros all live in the last rows: leading bands are
+	// empty, exercising the pointer-gap fill.
+	n := int32(128)
+	coo := &matrix.COO{NumRows: n, NumCols: n}
+	r := gen.NewRNG(9)
+	for e := 0; e < 200; e++ {
+		coo.Row = append(coo.Row, n-1-r.Intn(8))
+		coo.Col = append(coo.Col, r.Intn(n))
+		coo.Val = append(coo.Val, r.Float64())
+	}
+	a := coo.ToCSR()
+	want := matrix.ReferenceMultiply(a, a)
+	got, _, err := MultiplyPartitioned(a.ToCSC(), a, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(want, got, 1e-9) {
+		t.Fatal("partitioned result differs with empty bands")
+	}
+}
+
+func TestExtractRowBand(t *testing.T) {
+	a := gen.ER(100, 5, 7).ToCSC()
+	band := extractRowBand(a, 20, 50)
+	if band.NumRows != 30 || band.NumCols != a.NumCols {
+		t.Fatalf("band shape %dx%d", band.NumRows, band.NumCols)
+	}
+	if err := band.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every band entry must correspond to an original entry shifted by 20.
+	full := a.ToCSR()
+	bandCSR := band.ToCSR()
+	for i := int32(0); i < 30; i++ {
+		if bandCSR.RowNNZ(i) != full.RowNNZ(i+20) {
+			t.Fatalf("band row %d nnz mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package core implements PB-SpGEMM, the paper's contribution: an
+// outer-product sparse matrix-matrix multiplication that saturates memory
+// bandwidth using propagation blocking (Algorithm 2).
+//
+// The multiplication C = A*B runs in four phases:
+//
+//  1. Symbolic (Algorithm 3): count flop = Σ_i nnz(A(:,i))·nnz(B(i,:)) by
+//     streaming only the pointer arrays of A (CSC) and B (CSR), choose the
+//     number of bins so each global bin fits the L2 cache during sorting, and
+//     allocate the expanded-tuple storage in one shot.
+//  2. Expand: each thread walks a flop-balanced contiguous range of columns
+//     of A, forms outer products A(:,i)·B(i,:), and propagation-blocks the
+//     resulting (rowid, colid, value) tuples: tuples are appended to small
+//     thread-private local bins (default 512 B, Fig. 5) that are flushed to
+//     their global bin with a bulk copy when full, so global-memory writes
+//     always move full cache lines.
+//  3. Sort: each global bin is sorted independently (bins per thread,
+//     dynamic schedule) with an in-place American-flag radix sort on packed
+//     keys localRow<<colBits|colid. Because local row ids are small, high
+//     key bytes are zero and the sorter performs the few passes a squeezed
+//     4-byte key would need (Section III-D).
+//  4. Compress: the paper's two-pointer in-place merge sums tuples with
+//     equal keys; a final parallel pass assembles canonical CSR (bins cover
+//     disjoint, ordered row ranges, so concatenating compressed bins is
+//     already CSR order).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/par"
+	"pbspgemm/internal/radix"
+)
+
+// DefaultLocalBinBytes is the paper's default local-bin width: 512 bytes =
+// 32 tuples of 16 bytes (Section V-A, Fig. 6a).
+const DefaultLocalBinBytes = 512
+
+// DefaultL2CacheBytes is the sort-phase cache budget per bin. The paper uses
+// the L2 size of the evaluation machines (1 MiB on Skylake, 512 KiB/2 cores
+// on POWER9); 1 MiB is our default.
+const DefaultL2CacheBytes = 1 << 20
+
+// tupleBytes is the in-memory cost of one expanded tuple in the global bins:
+// an 8-byte packed key plus an 8-byte value. The paper's traffic model uses
+// b = 16 bytes per tuple, which matches exactly.
+const tupleBytes = 16
+
+// Options tunes PB-SpGEMM. The zero value selects the paper's defaults.
+type Options struct {
+	// NBins forces the number of global bins; 0 derives it from flop and
+	// L2CacheBytes as the symbolic phase does (Algorithm 3 line 6).
+	NBins int
+	// LocalBinBytes is the width of each thread-private local bin; 0 means
+	// DefaultLocalBinBytes (512).
+	LocalBinBytes int
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// L2CacheBytes is the per-bin cache budget used to auto-size NBins;
+	// 0 means DefaultL2CacheBytes.
+	L2CacheBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LocalBinBytes <= 0 {
+		o.LocalBinBytes = DefaultLocalBinBytes
+	}
+	if o.L2CacheBytes <= 0 {
+		o.L2CacheBytes = DefaultL2CacheBytes
+	}
+	o.Threads = par.DefaultThreads(o.Threads)
+	return o
+}
+
+// Stats records per-phase timings and the paper's per-phase traffic model
+// (Table III), from which sustained bandwidth per phase is derived.
+type Stats struct {
+	Symbolic, Expand, Sort, Compress, Assemble time.Duration
+	Total                                      time.Duration
+
+	Flops int64 // multiplications performed (nnz of C-hat)
+	NNZC  int64 // nonzeros in the final C
+	NBins int   // global bins used
+	CF    float64
+
+	// Traffic model (bytes), following Eq. 4 / Table III:
+	// expand reads both inputs and writes flop tuples; sort reads them back;
+	// compress writes nnz(C) tuples.
+	ExpandBytes, SortBytes, CompressBytes int64
+}
+
+// ExpandGBs returns the expand-phase sustained bandwidth in GB/s.
+func (s *Stats) ExpandGBs() float64 { return gbs(s.ExpandBytes, s.Expand) }
+
+// SortGBs returns the sort-phase sustained bandwidth in GB/s.
+func (s *Stats) SortGBs() float64 { return gbs(s.SortBytes, s.Sort) }
+
+// CompressGBs returns the compress-phase sustained bandwidth in GB/s.
+func (s *Stats) CompressGBs() float64 { return gbs(s.CompressBytes, s.Compress) }
+
+// OverallGBs returns total modeled traffic divided by total time.
+func (s *Stats) OverallGBs() float64 {
+	return gbs(s.ExpandBytes+s.SortBytes+s.CompressBytes, s.Total)
+}
+
+// GFLOPS returns the end-to-end performance in the paper's metric.
+func (s *Stats) GFLOPS() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	return float64(s.Flops) / s.Total.Seconds() / 1e9
+}
+
+func gbs(bytes int64, d time.Duration) float64 {
+	sec := d.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(bytes) / sec / 1e9
+}
+
+// plan is the output of the symbolic phase: bin geometry and per-bin extents.
+type plan struct {
+	flops      int64
+	nbins      int
+	rowsPerBin int32
+	colBits    uint
+	binStart   []int64 // exclusive prefix sum of per-bin flop counts, len nbins+1
+	colBounds  []int   // thread boundaries over columns, balanced by colFlops
+}
+
+// Multiply computes C = A*B with PB-SpGEMM. A must be CSC and B CSR, the
+// layouts the outer product streams naturally (Algorithm 2 takes exactly
+// these). The returned stats are always non-nil.
+func Multiply(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
+	opt = opt.withDefaults()
+	if a.NumCols != b.NumRows {
+		return nil, nil, fmt.Errorf("core: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	st := &Stats{}
+	totalStart := time.Now()
+
+	// --- Phase 1: symbolic -------------------------------------------------
+	t0 := time.Now()
+	pl := symbolic(a, b, opt)
+	tuples := make([]radix.Pair, pl.flops)
+	st.Symbolic = time.Since(t0)
+	st.Flops = pl.flops
+	st.NBins = pl.nbins
+
+	if pl.flops == 0 {
+		c := matrix.NewCSR(a.NumRows, b.NumCols, 0)
+		st.Total = time.Since(totalStart)
+		return c, st, nil
+	}
+
+	// --- Phase 2: expand ---------------------------------------------------
+	t0 = time.Now()
+	expand(a, b, pl, tuples, opt)
+	st.Expand = time.Since(t0)
+	st.ExpandBytes = matrix.BytesPerTuple * (a.NNZ() + b.NNZ() + pl.flops)
+
+	// --- Phase 3: sort -----------------------------------------------------
+	t0 = time.Now()
+	par.ForEachDynamic(pl.nbins, opt.Threads, func(_, bin int) {
+		lo, hi := pl.binStart[bin], pl.binStart[bin+1]
+		radix.SortPairsInPlace(tuples[lo:hi])
+	})
+	st.Sort = time.Since(t0)
+	st.SortBytes = matrix.BytesPerTuple * pl.flops
+
+	// --- Phase 4: compress + CSR assembly ----------------------------------
+	t0 = time.Now()
+	binOut := make([]int64, pl.nbins)
+	rowCounts := make([]int64, a.NumRows+1)
+	par.ForEachDynamic(pl.nbins, opt.Threads, func(_, bin int) {
+		lo, hi := pl.binStart[bin], pl.binStart[bin+1]
+		binOut[bin] = compressBin(tuples[lo:hi],
+			int32(bin)*pl.rowsPerBin, pl.colBits, rowCounts)
+	})
+	st.Compress = time.Since(t0)
+
+	t0 = time.Now()
+	c := assemble(a.NumRows, b.NumCols, pl, tuples, binOut, rowCounts, opt)
+	st.Assemble = time.Since(t0)
+	st.NNZC = c.NNZ()
+	st.CompressBytes = matrix.BytesPerTuple * st.NNZC
+	if st.NNZC > 0 {
+		st.CF = float64(st.Flops) / float64(st.NNZC)
+	}
+	st.Total = time.Since(totalStart)
+	return c, st, nil
+}
+
+// symbolic implements Algorithm 3 plus bin planning: it computes flop from
+// the pointer arrays only, derives nbins so one bin's tuples fit the L2
+// budget, and computes exact per-bin capacities with one pass over A's
+// nonzeros (bins are contiguous row ranges, Fig. 4).
+func symbolic(a *matrix.CSC, b *matrix.CSR, opt Options) *plan {
+	k := int(a.NumCols)
+	colFlops := make([]int64, k)
+	par.ForRanges(k, opt.Threads, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			colFlops[i] = a.ColNNZ(int32(i)) * b.RowNNZ(int32(i))
+		}
+	})
+	var flops int64
+	for _, f := range colFlops {
+		flops += f
+	}
+
+	pl := &plan{flops: flops}
+	pl.colBits = uint(bits.Len32(uint32(b.NumCols)))
+	if pl.colBits == 0 {
+		pl.colBits = 1
+	}
+
+	// nbins = flop*tupleBytes / L2 (Algorithm 3 line 6), clamped to [1, rows].
+	// The auto value is additionally capped at 2048: the paper uses 1K-2K
+	// bins in practice (Section V-A) because each thread also keeps one
+	// local bin per global bin, and nbins*LocalBinBytes must stay within the
+	// cache for the expand phase to stream (Fig. 5). Callers can override
+	// with an explicit NBins.
+	const maxAutoBins = 2048
+	nbins := opt.NBins
+	if nbins <= 0 {
+		nbins = int((flops*tupleBytes + int64(opt.L2CacheBytes) - 1) / int64(opt.L2CacheBytes))
+		if nbins > maxAutoBins {
+			nbins = maxAutoBins
+		}
+	}
+	if nbins < 1 {
+		nbins = 1
+	}
+	if int64(nbins) > int64(a.NumRows) && a.NumRows > 0 {
+		nbins = int(a.NumRows)
+	}
+	rowsPerBin := (a.NumRows + int32(nbins) - 1) / int32(nbins)
+	if rowsPerBin < 1 {
+		rowsPerBin = 1
+	}
+	// Recompute nbins from rowsPerBin so bins exactly tile [0, rows).
+	if a.NumRows > 0 {
+		nbins = int((a.NumRows + rowsPerBin - 1) / rowsPerBin)
+	}
+	pl.nbins = nbins
+	pl.rowsPerBin = rowsPerBin
+
+	// Per-bin flop counts: one pass over A's nonzeros, accumulated into
+	// per-thread arrays (nbins is small) and reduced.
+	threads := opt.Threads
+	perThread := make([][]int64, threads)
+	pl.colBounds = par.BalancedBoundaries(colFlops, threads)
+	par.ParallelRun(threads, func(t int) {
+		local := make([]int64, nbins)
+		lo, hi := pl.colBounds[t], pl.colBounds[t+1]
+		for i := lo; i < hi; i++ {
+			bRow := b.RowNNZ(int32(i))
+			if bRow == 0 {
+				continue
+			}
+			for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+				local[a.RowIdx[p]/rowsPerBin] += bRow
+			}
+		}
+		perThread[t] = local
+	})
+	binFlops := make([]int64, nbins)
+	for _, local := range perThread {
+		for bin, c := range local {
+			binFlops[bin] += c
+		}
+	}
+	pl.binStart = make([]int64, nbins+1)
+	par.PrefixSum(binFlops, pl.binStart)
+	return pl
+}
+
+// localBins is one thread's set of propagation-blocking buffers: a flat
+// backing array of capacity tuples per bin (Fig. 5).
+type localBins struct {
+	buf  []radix.Pair
+	lens []int32
+	cap  int32
+}
+
+func newLocalBins(nbins, binBytes int) *localBins {
+	capTuples := int32(binBytes / tupleBytes)
+	if capTuples < 1 {
+		capTuples = 1
+	}
+	return &localBins{
+		buf:  make([]radix.Pair, int32(nbins)*capTuples),
+		lens: make([]int32, nbins),
+		cap:  capTuples,
+	}
+}
+
+// expand runs the outer-product expansion with propagation blocking
+// (Algorithm 2 lines 5–18). Global-bin space was exactly pre-sized by the
+// symbolic phase; each flush reserves a range with a per-bin cursor and
+// copies the local bin in one go (the paper's MemCopy).
+func expand(a *matrix.CSC, b *matrix.CSR, pl *plan, tuples []radix.Pair, opt Options) {
+	// Per-bin write cursors. Each bin's range is written by many threads, so
+	// reservation must be atomic; int64 via sync/atomic on a padded slice
+	// would be ideal, but plain atomic adds on a []int64 keep it simple.
+	cursors := make([]int64, pl.nbins)
+	copy(cursors, pl.binStart[:pl.nbins])
+	var cursorSlots atomicInt64Slice = cursors
+
+	par.ParallelRun(opt.Threads, func(t int) {
+		lb := newLocalBins(pl.nbins, opt.LocalBinBytes)
+		flush := func(bin int32) {
+			n := lb.lens[bin]
+			if n == 0 {
+				return
+			}
+			off := cursorSlots.add(int(bin), int64(n)) - int64(n)
+			base := bin * lb.cap
+			copy(tuples[off:off+int64(n)], lb.buf[base:base+n])
+			lb.lens[bin] = 0
+		}
+		lo, hi := pl.colBounds[t], pl.colBounds[t+1]
+		for i := lo; i < hi; i++ {
+			bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+			if bLo == bHi {
+				continue
+			}
+			for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+				r := a.RowIdx[p]
+				av := a.Val[p]
+				bin := r / pl.rowsPerBin
+				localRow := uint64(r-bin*pl.rowsPerBin) << pl.colBits
+				base := bin * lb.cap
+				ln := lb.lens[bin]
+				for q := bLo; q < bHi; q++ {
+					if ln == lb.cap {
+						lb.lens[bin] = ln
+						flush(bin)
+						ln = 0
+					}
+					lb.buf[base+ln] = radix.Pair{Key: localRow | uint64(b.ColIdx[q]), Val: av * b.Val[q]}
+					ln++
+				}
+				lb.lens[bin] = ln
+			}
+		}
+		// Drain partially-filled local bins (Algorithm 2 lines 15–18).
+		for bin := int32(0); bin < int32(pl.nbins); bin++ {
+			flush(bin)
+		}
+	})
+}
+
+// compressBin is the paper's two-pointer in-place merge (Section III-E): p1
+// walks the sorted tuples, p2 tracks the write position; equal keys fold
+// their values into the tuple at p2. It also tallies per-row output counts
+// (rows of a bin are touched by no other bin, so the shared slice is safe).
+func compressBin(tuples []radix.Pair, firstRow int32, colBits uint, rowCounts []int64) int64 {
+	if len(tuples) == 0 {
+		return 0
+	}
+	p2 := 0
+	for p1 := 1; p1 < len(tuples); p1++ {
+		if tuples[p1].Key == tuples[p2].Key {
+			tuples[p2].Val += tuples[p1].Val
+			continue
+		}
+		p2++
+		tuples[p2] = tuples[p1]
+	}
+	out := int64(p2 + 1)
+	for i := int64(0); i < out; i++ {
+		row := firstRow + int32(tuples[i].Key>>colBits)
+		rowCounts[row+1]++
+	}
+	return out
+}
+
+// assemble builds canonical CSR from the compressed bins. Bins hold disjoint
+// ascending row ranges and each bin is sorted, so compressed tuples are
+// already in global CSR order; assembly is two prefix sums plus one parallel
+// unpacking copy.
+func assemble(rows, cols int32, pl *plan, tuples []radix.Pair,
+	binOut, rowCounts []int64, opt Options) *matrix.CSR {
+
+	var nnzc int64
+	binOutStart := make([]int64, pl.nbins+1)
+	nnzc = par.PrefixSum(binOut, binOutStart)
+
+	c := matrix.NewCSR(rows, cols, nnzc)
+	for i := int32(0); i < rows; i++ {
+		c.RowPtr[i+1] = c.RowPtr[i] + rowCounts[i+1]
+	}
+	colMask := uint64(1)<<pl.colBits - 1
+	par.ForEachDynamic(pl.nbins, opt.Threads, func(_, bin int) {
+		src := pl.binStart[bin]
+		dst := binOutStart[bin]
+		for j := int64(0); j < binOut[bin]; j++ {
+			c.ColIdx[dst+j] = int32(tuples[src+j].Key & colMask)
+			c.Val[dst+j] = tuples[src+j].Val
+		}
+	})
+	return c
+}

@@ -1,0 +1,27 @@
+package gen
+
+import "testing"
+
+func BenchmarkERScale16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ERMatrix(16, 8, uint64(i))
+	}
+}
+
+func BenchmarkRMATScale16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RMAT(16, 8, Graph500Params, uint64(i))
+	}
+}
+
+func BenchmarkSurrogateScircuit(b *testing.B) {
+	var s Surrogate
+	for _, c := range Catalog() {
+		if c.Name == "scircuit" {
+			s = c
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		_ = s.Generate(8, uint64(i))
+	}
+}

@@ -1,0 +1,18 @@
+package gen
+
+// RNG is the exported face of the package's deterministic SplitMix64
+// generator, for callers (e.g. the NUMA latency microbenchmark, shufflers in
+// tests) that need reproducible randomness outside matrix generation.
+type RNG struct{ r *rng }
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{r: newRNG(seed)} }
+
+// Uint64 returns the next raw 64-bit output.
+func (g *RNG) Uint64() uint64 { return g.r.next() }
+
+// Intn returns a uniform int32 in [0, n). n must be positive.
+func (g *RNG) Intn(n int32) int32 { return g.r.intn(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.float64v() }

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"pbspgemm/internal/matrix"
+)
+
+// Surrogate describes a synthetic stand-in for one of the 12 SuiteSparse
+// matrices in Table VI of the paper. The module is offline, so the real
+// matrices cannot be downloaded; each surrogate reproduces the published
+// dimension, nonzero count, average degree and — approximately — the flops
+// and compression factor of squaring, which are the properties the paper's
+// Fig. 11 experiment depends on. See DESIGN.md §4 for the substitution note.
+//
+// The generator places Degree entries per column uniformly at random within a
+// window of half-width Window rows around the diagonal. Window controls the
+// compression factor: a narrow window makes outer products collide (high cf,
+// like the mesh matrices cant/hood), a wide window behaves like ER (cf near
+// 1, like m133_b3). SkewAlpha > 0 switches the per-column degree to a
+// truncated power law, raising flops above n*d^2 the way scale-free matrices
+// (web-Google, patents_main) do.
+type Surrogate struct {
+	Name      string
+	N         int32   // rows = cols
+	Degree    float64 // average nonzeros per column
+	Window    int32   // half-width of the diagonal placement window; 0 = whole matrix
+	SkewAlpha float64 // 0 = uniform degrees; else power-law exponent
+	MaxDeg    int     // power-law truncation
+
+	// Published Table VI statistics for side-by-side reporting.
+	PubNNZ   int64
+	PubFlops int64
+	PubNNZC  int64
+	PubCF    float64
+}
+
+// Catalog returns the 12 Table VI surrogates in the paper's row order.
+// Published values are from Table VI. (Note: the paper's offshore row lists
+// nnz(C)=69.8M, inconsistent with its cf=3.05 and flops=71.3M; we trust
+// flops and cf, implying nnz(C) ≈ 23.4M.)
+func Catalog() []Surrogate {
+	return []Surrogate{
+		{Name: "2cubes_sphere", N: 101492, Degree: 16.23, Window: 46,
+			PubNNZ: 1600000, PubFlops: 27500000, PubNNZC: 9000000, PubCF: 3.06},
+		{Name: "amazon0505", N: 410236, Degree: 8.18, Window: 25, SkewAlpha: 2.5, MaxDeg: 60,
+			PubNNZ: 3400000, PubFlops: 31900000, PubNNZC: 16100000, PubCF: 1.98},
+		{Name: "cage12", N: 130228, Degree: 15.61, Window: 67,
+			PubNNZ: 2000000, PubFlops: 34600000, PubNNZC: 15200000, PubCF: 2.14},
+		{Name: "cant", N: 62451, Degree: 64.17, Window: 139,
+			PubNNZ: 4000000, PubFlops: 269500000, PubNNZC: 17400000, PubCF: 15.45},
+		{Name: "hood", N: 220542, Degree: 44.87, Window: 77,
+			PubNNZ: 9900000, PubFlops: 562000000, PubNNZC: 34200000, PubCF: 16.41},
+		{Name: "m133_b3", N: 200200, Degree: 4.00, Window: 0,
+			PubNNZ: 800800, PubFlops: 3200000, PubNNZC: 3200000, PubCF: 1.01},
+		{Name: "majorbasis", N: 160000, Degree: 10.94, Window: 29,
+			PubNNZ: 1800000, PubFlops: 19200000, PubNNZC: 8200000, PubCF: 2.33},
+		{Name: "mc2depi", N: 525825, Degree: 3.99, Window: 8,
+			PubNNZ: 2100000, PubFlops: 8400000, PubNNZC: 5200000, PubCF: 1.6},
+		{Name: "offshore", N: 259789, Degree: 16.33, Window: 47,
+			PubNNZ: 4200000, PubFlops: 71300000, PubNNZC: 23400000, PubCF: 3.05},
+		{Name: "patents_main", N: 240547, Degree: 2.33, Window: 20, SkewAlpha: 2.0, MaxDeg: 30,
+			PubNNZ: 560900, PubFlops: 2600000, PubNNZC: 2300000, PubCF: 1.14},
+		{Name: "scircuit", N: 170998, Degree: 5.61, Window: 22, SkewAlpha: 2.0, MaxDeg: 60,
+			PubNNZ: 958900, PubFlops: 8700000, PubNNZC: 5200000, PubCF: 1.66},
+		{Name: "web-Google", N: 916428, Degree: 5.57, Window: 20, SkewAlpha: 2.05, MaxDeg: 200,
+			PubNNZ: 5100000, PubFlops: 60700000, PubNNZC: 29700000, PubCF: 2.04},
+	}
+}
+
+// Generate materializes the surrogate matrix. scaleDiv > 1 shrinks the
+// dimension by that factor (keeping degree and window) for quick tests; pass
+// 1 for the full Table VI size.
+func (s Surrogate) Generate(scaleDiv int32, seed uint64) *matrix.CSR {
+	n := s.N
+	if scaleDiv > 1 {
+		n = s.N / scaleDiv
+		if n < 64 {
+			n = 64
+		}
+	}
+	degrees := s.columnDegrees(n, seed)
+	return windowed(n, degrees, s.Window, seed+1)
+}
+
+func (s Surrogate) columnDegrees(n int32, seed uint64) []int {
+	if s.SkewAlpha > 0 {
+		return PowerLawDegrees(n, s.Degree, s.SkewAlpha, s.MaxDeg, seed)
+	}
+	// Uniform: alternate floor/ceil so the average lands on Degree.
+	lo := int(s.Degree)
+	frac := s.Degree - float64(lo)
+	degs := make([]int, n)
+	r := newRNG(seed)
+	for i := range degs {
+		d := lo
+		if r.float64v() < frac {
+			d++
+		}
+		if d < 1 {
+			d = 1
+		}
+		degs[i] = d
+	}
+	return degs
+}
+
+// windowed places degrees[j] distinct entries in column j, uniformly within
+// rows [j-window, j+window] (clipped); window <= 0 means the whole row range.
+func windowed(n int32, degrees []int, window int32, seed uint64) *matrix.CSR {
+	r := newRNG(seed)
+	coo := &matrix.COO{NumRows: n, NumCols: n}
+	seen := make(map[int32]struct{})
+	for j := int32(0); j < n; j++ {
+		lo, hi := int32(0), n-1
+		if window > 0 {
+			lo = j - window
+			if lo < 0 {
+				lo = 0
+			}
+			hi = j + window
+			if hi >= n {
+				hi = n - 1
+			}
+		}
+		span := hi - lo + 1
+		d := degrees[j]
+		if int32(d) > span {
+			d = int(span)
+		}
+		clear(seen)
+		for len(seen) < d {
+			i := lo + r.intn(span)
+			if _, dup := seen[i]; dup {
+				continue
+			}
+			seen[i] = struct{}{}
+			coo.Row = append(coo.Row, i)
+			coo.Col = append(coo.Col, j)
+			coo.Val = append(coo.Val, r.float64v())
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Stats holds the Table VI columns for a generated matrix.
+type Stats struct {
+	N     int32
+	NNZ   int64
+	D     float64
+	Flops int64
+	NNZC  int64
+	CF    float64
+}
+
+// MeasureStats computes the Table VI statistics (flops, nnz(C), cf of
+// squaring) for any matrix.
+func MeasureStats(a *matrix.CSR) Stats {
+	flops := matrix.FlopsCSR(a, a)
+	nnzC := matrix.ProductNNZ(a, a)
+	cf := 0.0
+	if nnzC > 0 {
+		cf = float64(flops) / float64(nnzC)
+	}
+	return Stats{
+		N: a.NumRows, NNZ: a.NNZ(), D: a.AvgDegree(),
+		Flops: flops, NNZC: nnzC, CF: cf,
+	}
+}

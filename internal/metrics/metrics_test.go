@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGFLOPSAndGBs(t *testing.T) {
+	if got := GFLOPS(2e9, time.Second); got != 2 {
+		t.Fatalf("GFLOPS = %v, want 2", got)
+	}
+	if got := GBs(5e9, 2*time.Second); got != 2.5 {
+		t.Fatalf("GBs = %v, want 2.5", got)
+	}
+	if GFLOPS(1, 0) != 0 || GBs(1, 0) != 0 {
+		t.Fatal("zero duration must yield 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 4, 1, 5})
+	if s.Min != 1 || s.Max != 5 || s.N != 5 {
+		t.Fatalf("min/max/n wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-2.8) > 1e-12 {
+		t.Fatalf("mean = %v, want 2.8", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Fatalf("median = %v, want 3", s.Median)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", even.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary must have N=0")
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	calls := 0
+	d := BestOf(3, func() { calls++ })
+	if calls != 3 {
+		t.Fatalf("ran %d times, want 3", calls)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "gflops")
+	tb.AddRow("pb", 1.234)
+	tb.AddRow("hash", 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "gflops") {
+		t.Fatal("missing headers")
+	}
+	if !strings.Contains(out, "1.23") || !strings.Contains(out, "0.5000") {
+		t.Fatalf("missing formatted values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1234.56: "1234.6",
+		12.345:  "12.35",
+		0.0625:  "0.0625",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int64]string{
+		999:           "999",
+		1600:          "1.6K",
+		1_600_000:     "1.6M",
+		2_100_000_000: "2.1B",
+	}
+	for in, want := range cases {
+		if got := HumanCount(in); got != want {
+			t.Errorf("HumanCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

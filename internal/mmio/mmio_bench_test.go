@@ -1,0 +1,38 @@
+package mmio
+
+import (
+	"bytes"
+	"testing"
+
+	"pbspgemm/internal/gen"
+)
+
+func BenchmarkWriteReadMatrixMarket(b *testing.B) {
+	m := gen.ER(1<<12, 8, 1)
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadMatrixMarket(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkWriteReadBinary(b *testing.B) {
+	m := gen.ER(1<<14, 8, 1)
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteBinary(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}

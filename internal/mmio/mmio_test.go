@@ -1,0 +1,181 @@
+package mmio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+)
+
+func TestReadGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1.0
+2 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows != 3 || m.NumCols != 4 || m.NNZ() != 3 {
+		t.Fatalf("got %dx%d nnz=%d", m.NumRows, m.NumCols, m.NNZ())
+	}
+	if m.Val[m.RowPtr[0]] != 2.5 {
+		t.Fatalf("(0,0) = %v, want 2.5", m.Val[0])
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1.0
+2 1 2.0
+3 2 3.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal stays single, off-diagonals double: 1 + 2*2 = 5.
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5 (expanded)", m.NNZ())
+	}
+	tr := m.Transpose()
+	if !matrix.Equal(m, tr, 0) {
+		t.Fatal("expanded symmetric matrix is not symmetric")
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 4.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+	var found float64
+	for p := m.RowPtr[0]; p < m.RowPtr[1]; p++ {
+		if m.ColIdx[p] == 1 {
+			found = m.Val[p]
+		}
+	}
+	if found != -4.0 {
+		t.Fatalf("(0,1) = %v, want -4", found)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.Val[0] != 1.0 {
+		t.Fatalf("pattern values wrong: nnz=%d val0=%v", m.NNZ(), m.Val[0])
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad_header":      "%%NotMatrixMarket\n1 1 1\n1 1 1\n",
+		"array_format":    "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex_field":   "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad_symmetry":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"out_of_range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"zero_index":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+		"missing_entries": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n",
+		"missing_value":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"garbage_value":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"garbage_row":     "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := gen.ER(100, 5, 1)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m, back, 0) {
+		t.Fatal("Matrix Market round trip changed the matrix")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := gen.RMAT(8, 6, gen.Graph500Params, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m, back, 0) {
+		t.Fatal("binary round trip changed the matrix")
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	m := gen.ER(16, 2, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	m := gen.ER(32, 3, 9)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixMarket(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m, back, 0) {
+		t.Fatal("file round trip changed the matrix")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,147 @@
+package numa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTableVIIStructure(t *testing.T) {
+	tv := PaperSkylake.TableVII()
+	// Diagonal = local, off-diagonal = remote, symmetric.
+	if tv[0][0].GBs != PaperSkylake.LocalGBs || tv[1][1].GBs != PaperSkylake.LocalGBs {
+		t.Fatal("diagonal must be local bandwidth")
+	}
+	if tv[0][1].GBs != PaperSkylake.RemoteGBs || tv[1][0].GBs != PaperSkylake.RemoteGBs {
+		t.Fatal("off-diagonal must be remote bandwidth")
+	}
+	if tv[0][1].Ns <= tv[0][0].Ns {
+		t.Fatal("remote latency must exceed local latency")
+	}
+}
+
+func TestEffectiveGBsBounds(t *testing.T) {
+	topo := PaperSkylake
+	if got := topo.EffectiveGBs(0); math.Abs(got-topo.LocalGBs) > 1e-9 {
+		t.Fatalf("remoteFrac=0 => local bandwidth, got %v", got)
+	}
+	if got := topo.EffectiveGBs(1); math.Abs(got-topo.RemoteGBs) > 1e-9 {
+		t.Fatalf("remoteFrac=1 => remote bandwidth, got %v", got)
+	}
+	// Clamping.
+	if topo.EffectiveGBs(-1) != topo.EffectiveGBs(0) || topo.EffectiveGBs(2) != topo.EffectiveGBs(1) {
+		t.Fatal("remoteFrac must clamp to [0,1]")
+	}
+	f := func(fracRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		e := topo.EffectiveGBs(frac)
+		return e >= topo.RemoteGBs-1e-9 && e <= topo.LocalGBs+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveGBsMonotone(t *testing.T) {
+	topo := PaperSkylake
+	prev := topo.EffectiveGBs(0)
+	for f := 0.1; f <= 1.0; f += 0.1 {
+		cur := topo.EffectiveGBs(f)
+		if cur > prev {
+			t.Fatalf("effective bandwidth increased with remote fraction at %v", f)
+		}
+		prev = cur
+	}
+}
+
+func TestPredictDual(t *testing.T) {
+	topo := PaperSkylake
+	// A phase that sustained exactly LocalGBs on one socket with no remote
+	// traffic must be predicted at 2x speed on two sockets.
+	bytes := int64(50.26e9) // 1 second at local bandwidth
+	phases := []PhaseTraffic{{Name: "expand", Bytes: bytes, SingleTime: time.Second, RemoteFrac: 0}}
+	got := topo.PredictDual(phases)
+	if math.Abs(got.Seconds()-0.5) > 0.01 {
+		t.Fatalf("perfect phase dual time = %v, want 0.5s", got)
+	}
+	// With 50% remote traffic the phase runs at 2*harmonic(50.26, 33.36) ≈
+	// 2*40.1 GB/s, i.e. slower than the clean 2x.
+	phases[0].RemoteFrac = 0.5
+	slower := topo.PredictDual(phases)
+	if slower <= got {
+		t.Fatal("remote traffic must slow the prediction")
+	}
+	if slower.Seconds() >= 1.0 {
+		t.Fatal("two sockets with remote traffic must still beat one socket here")
+	}
+}
+
+func TestPredictDualDegenerate(t *testing.T) {
+	topo := PaperSkylake
+	// Zero-byte phases keep their measured time (e.g. symbolic).
+	d := topo.PredictDual([]PhaseTraffic{{Name: "symbolic", Bytes: 0, SingleTime: time.Millisecond}})
+	if d != time.Millisecond {
+		t.Fatalf("zero-traffic phase time = %v, want 1ms", d)
+	}
+	if topo.PredictDual(nil) != 0 {
+		t.Fatal("no phases must predict zero time")
+	}
+}
+
+func TestPredictDualEfficiencyCap(t *testing.T) {
+	topo := PaperSkylake
+	// A phase that sustained only half the local bandwidth keeps its
+	// inefficiency on two sockets: predicted dual time is bytes/(2*0.5*eff).
+	bytes := int64(25.13e9) // one second at 50% efficiency
+	phases := []PhaseTraffic{{Bytes: bytes, SingleTime: time.Second, RemoteFrac: 0}}
+	got := topo.PredictDual(phases)
+	if math.Abs(got.Seconds()-0.5) > 0.01 {
+		t.Fatalf("inefficient phase dual time = %v, want 0.5s", got)
+	}
+}
+
+func TestDefaultRemoteFractions(t *testing.T) {
+	fr := DefaultRemoteFractions()
+	if fr["symbolic"] != 0 {
+		t.Fatal("symbolic phase should have no remote traffic")
+	}
+	for _, phase := range []string{"expand", "sort", "compress"} {
+		if fr[phase] <= 0 || fr[phase] > 1 {
+			t.Fatalf("%s remote fraction %v out of range", phase, fr[phase])
+		}
+	}
+}
+
+func TestColumnDualSpeedup(t *testing.T) {
+	s := PaperSkylake.ColumnDualSpeedup()
+	// Column algorithms should land close to 2x, and always below it.
+	if s <= 1.5 || s >= 2.0 {
+		t.Fatalf("column dual speedup = %v, want in (1.5, 2)", s)
+	}
+}
+
+func TestMeasureLatencyNs(t *testing.T) {
+	// Tiny footprint so the test is fast; we only assert plausibility
+	// (sub-microsecond, non-zero) since the chase may hit cache.
+	ns := MeasureLatencyNs(1<<20, 1)
+	if ns <= 0 || ns > 1000 {
+		t.Fatalf("latency %v ns implausible", ns)
+	}
+}
+
+func TestRandomCycleIsSingleCycle(t *testing.T) {
+	p := randomCycle(1024, 3)
+	seen := make([]bool, len(p))
+	idx := int32(0)
+	for i := 0; i < len(p); i++ {
+		if seen[idx] {
+			t.Fatalf("cycle shorter than n: revisited %d at step %d", idx, i)
+		}
+		seen[idx] = true
+		idx = p[idx]
+	}
+	if idx != 0 {
+		t.Fatal("chase did not return to start after n hops")
+	}
+}

@@ -1,0 +1,177 @@
+// Package par provides the parallel scheduling primitives used throughout the
+// PB-SpGEMM reproduction. The paper parallelizes with OpenMP: the expand phase
+// assigns contiguous, flop-balanced column ranges to threads (static
+// scheduling), and the sort/compress phases hand out bins dynamically
+// ("bins per thread", Table III). This package reproduces both patterns with
+// goroutines and provides weight-balanced range partitioning.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads returns the degree of parallelism to use when a caller
+// passes a non-positive thread count. It honours GOMAXPROCS, the Go
+// equivalent of OMP_NUM_THREADS.
+func DefaultThreads(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForRanges runs fn(t, lo, hi) on each of the threads half-open index ranges
+// produced by splitting [0, n) into near-equal contiguous chunks, one chunk
+// per worker. fn receives the worker id t in [0, threads). It blocks until
+// all workers finish. This is the analogue of OpenMP "schedule(static)".
+func ForRanges(n, threads int, fn func(worker, lo, hi int)) {
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			fn(t, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEachDynamic runs fn(worker, i) for every i in [0, n), handing indices to
+// workers one at a time through an atomic counter. This is the analogue of
+// OpenMP "schedule(dynamic,1)" and is how the sort and compress phases walk
+// bins: cheap bins finish quickly and their workers immediately steal the
+// next bin, which is what gives PB-SpGEMM its load balance on skewed inputs.
+func ForEachDynamic(n, threads int, fn func(worker, i int)) {
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(t, i)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ForChunksDynamic is ForEachDynamic with a chunk size: fn(worker, lo, hi)
+// receives half-open ranges of width up to chunk. Use it when per-index work
+// is tiny and the atomic counter would dominate.
+func ForChunksDynamic(n, threads, chunk int, fn func(worker, lo, hi int)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nchunks := (n + chunk - 1) / chunk
+	ForEachDynamic(nchunks, threads, func(worker, c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(worker, lo, hi)
+	})
+}
+
+// BalancedBoundaries splits the index range [0, len(weights)) into parts
+// contiguous ranges whose total weights are as equal as a greedy prefix scan
+// can make them. It returns parts+1 boundaries b with b[0]=0 and
+// b[parts]=len(weights); part p covers [b[p], b[p+1]). This is how the expand
+// phase assigns columns of A to threads so that each thread performs roughly
+// flop/threads multiplications (the paper's static schedule stays balanced
+// because ER columns are uniform; for RMAT the weights make it balanced too).
+func BalancedBoundaries(weights []int64, parts int) []int {
+	n := len(weights)
+	if parts < 1 {
+		parts = 1
+	}
+	b := make([]int, parts+1)
+	b[parts] = n
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	if n == 0 || parts == 1 {
+		return b
+	}
+	target := total / int64(parts)
+	var acc int64
+	p := 1
+	for i := 0; i < n && p < parts; i++ {
+		acc += weights[i]
+		// Close part p-1 once it reaches its proportional share.
+		for p < parts && acc >= target*int64(p) {
+			b[p] = i + 1
+			p++
+		}
+	}
+	for ; p < parts; p++ {
+		b[p] = n
+	}
+	return b
+}
+
+// PrefixSum writes the exclusive prefix sum of counts into out (which must
+// have len(counts)+1 entries) and returns the total. out[0]=0,
+// out[i]=sum(counts[:i]).
+func PrefixSum(counts []int64, out []int64) int64 {
+	var acc int64
+	out[0] = 0
+	for i, c := range counts {
+		acc += c
+		out[i+1] = acc
+	}
+	return acc
+}
+
+// ParallelRun invokes fn(worker) on exactly threads workers and waits.
+// Workers coordinate through whatever state fn closes over.
+func ParallelRun(threads int, fn func(worker int)) {
+	threads = DefaultThreads(threads)
+	if threads <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer wg.Done()
+			fn(t)
+		}(t)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+package radix
+
+// Pair is one expanded tuple: a packed (rowid, colid) key and the multiplied
+// value. Storing key and payload adjacently matches the paper's COO tuple
+// layout and halves the cache lines each sort swap touches compared to
+// parallel arrays.
+type Pair struct {
+	Key uint64
+	Val float64
+}
+
+// SortPairsInPlace sorts ps by Key ascending with the same in-place
+// American-flag byte radix as SortPairs, skipping all-zero high bytes
+// (the key-squeezing optimization).
+func SortPairsInPlace(ps []Pair) {
+	if len(ps) < 2 {
+		return
+	}
+	var or uint64
+	for i := range ps {
+		or |= ps[i].Key
+	}
+	if or == 0 {
+		return
+	}
+	sortPairsAtByte(ps, topByte(or))
+}
+
+func sortPairsAtByte(ps []Pair, byteIdx int) {
+	n := len(ps)
+	if n < 2 {
+		return
+	}
+	if n <= insertionCutoff {
+		insertionSortPairs(ps)
+		return
+	}
+	shift := uint(byteIdx * 8)
+
+	var count [256]int
+	for i := range ps {
+		count[(ps[i].Key>>shift)&0xff]++
+	}
+
+	var start, end [256]int
+	sum := 0
+	nonEmpty := 0
+	for b := 0; b < 256; b++ {
+		start[b] = sum
+		sum += count[b]
+		end[b] = sum
+		if count[b] > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 1 {
+		if byteIdx > 0 {
+			sortPairsAtByte(ps, byteIdx-1)
+		}
+		return
+	}
+
+	var cursor [256]int
+	copy(cursor[:], start[:])
+	for b := 0; b < 256; b++ {
+		for cursor[b] < end[b] {
+			p := ps[cursor[b]]
+			home := int((p.Key >> shift) & 0xff)
+			if home == b {
+				cursor[b]++
+				continue
+			}
+			j := cursor[home]
+			ps[cursor[b]], ps[j] = ps[j], p
+			cursor[home]++
+		}
+	}
+
+	if byteIdx == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if count[b] > 1 {
+			sortPairsAtByte(ps[start[b]:end[b]], byteIdx-1)
+		}
+	}
+}
+
+func insertionSortPairs(ps []Pair) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].Key > p.Key {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+// PairsSorted reports whether ps is non-decreasing by Key.
+func PairsSorted(ps []Pair) bool {
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Key > ps[i].Key {
+			return false
+		}
+	}
+	return true
+}

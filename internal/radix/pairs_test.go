@@ -1,0 +1,105 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortPairsInPlaceMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 500, 20000} {
+		for _, maxKey := range []uint64{2, 256, 1 << 20, 1 << 40, ^uint64(0)} {
+			ps := make([]Pair, n)
+			for i := range ps {
+				ps[i] = Pair{Key: r.Uint64() % maxKey, Val: r.Float64()}
+			}
+			want := append([]Pair(nil), ps...)
+			sort.SliceStable(want, func(a, b int) bool { return want[a].Key < want[b].Key })
+			SortPairsInPlace(ps)
+			if !PairsSorted(ps) {
+				t.Fatalf("n=%d maxKey=%d: not sorted", n, maxKey)
+			}
+			for i := range ps {
+				if ps[i].Key != want[i].Key {
+					t.Fatalf("n=%d maxKey=%d: key[%d] = %d, want %d", n, maxKey, i, ps[i].Key, want[i].Key)
+				}
+			}
+		}
+	}
+}
+
+func TestSortPairsInPlacePreservesPayloadMultiset(t *testing.T) {
+	f := func(keys []uint64) bool {
+		ps := make([]Pair, len(keys))
+		sum := 0.0
+		for i, k := range keys {
+			ps[i] = Pair{Key: k % 1024, Val: float64(i)}
+			sum += float64(i)
+		}
+		SortPairsInPlace(ps)
+		var got float64
+		seen := make(map[float64]bool)
+		for _, p := range ps {
+			if seen[p.Val] {
+				return false // payload duplicated
+			}
+			seen[p.Val] = true
+			got += p.Val
+		}
+		return got == sum && PairsSorted(ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortPairsInPlaceAllEqual(t *testing.T) {
+	ps := make([]Pair, 100)
+	for i := range ps {
+		ps[i] = Pair{Key: 42, Val: float64(i)}
+	}
+	SortPairsInPlace(ps)
+	if !PairsSorted(ps) {
+		t.Fatal("equal keys broke sorting")
+	}
+}
+
+func BenchmarkSortPairsInPlace64K(b *testing.B) {
+	// One L2-sized bin: 64K tuples with 30-bit (squeezed) keys, the PB sort
+	// phase's unit of work.
+	r := rand.New(rand.NewSource(1))
+	src := make([]Pair, 1<<16)
+	for i := range src {
+		src[i] = Pair{Key: r.Uint64() & (1<<30 - 1), Val: r.Float64()}
+	}
+	work := make([]Pair, len(src))
+	b.SetBytes(int64(len(src) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		SortPairsInPlace(work)
+	}
+}
+
+func BenchmarkSortPairsParallelArrays64K(b *testing.B) {
+	// The same workload through the parallel-array variant, quantifying the
+	// packed layout's advantage (ablation for the tuple-layout choice).
+	r := rand.New(rand.NewSource(1))
+	srcK := make([]uint64, 1<<16)
+	srcV := make([]float64, 1<<16)
+	for i := range srcK {
+		srcK[i] = r.Uint64() & (1<<30 - 1)
+		srcV[i] = r.Float64()
+	}
+	wk := make([]uint64, len(srcK))
+	wv := make([]float64, len(srcV))
+	b.SetBytes(int64(len(srcK) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(wk, srcK)
+		copy(wv, srcV)
+		SortPairs(wk, wv)
+	}
+}

@@ -1,0 +1,155 @@
+// Package radix implements the in-place MSD radix sort ("American flag
+// sort", McIlroy/Bostic/McIlroy 1993) the paper uses to sort each global bin
+// of expanded tuples (Section III-D). Keys are packed (rowid, colid) pairs;
+// values travel with their keys as payloads.
+//
+// The paper's key-squeezing optimization — representing the in-bin local row
+// id in ~10 bits so the combined key fits 4 bytes and needs only four passes —
+// is realized here by skipping byte positions that are zero across the whole
+// slice: PB-SpGEMM packs keys as localRow<<colBits|col, so small local row
+// ids leave the high key bytes zero and the sorter automatically performs
+// only the passes a 4-byte key would need.
+package radix
+
+// insertionCutoff is the sub-slice size below which insertion sort beats the
+// bucket machinery. 32 is the conventional choice for 16-byte elements.
+const insertionCutoff = 32
+
+// SortPairs sorts keys ascending, permuting vals identically, in place.
+func SortPairs(keys []uint64, vals []float64) {
+	if len(keys) != len(vals) {
+		panic("radix: keys and vals length mismatch")
+	}
+	if len(keys) < 2 {
+		return
+	}
+	// Find the highest byte position that is not uniformly zero. OR-ing all
+	// keys gives the occupied bit positions.
+	var or uint64
+	for _, k := range keys {
+		or |= k
+	}
+	if or == 0 {
+		return // all keys zero: already sorted
+	}
+	top := topByte(or)
+	sortAtByte(keys, vals, top)
+}
+
+// topByte returns the index (0 = least significant) of the most significant
+// non-zero byte of x.
+func topByte(x uint64) int {
+	b := 0
+	for s := 32; s >= 8; s >>= 1 {
+		if x>>(uint(s)) != 0 {
+			x >>= uint(s)
+			b += s / 8
+		}
+	}
+	return b
+}
+
+// sortAtByte performs one American-flag pass on the given byte position and
+// recurses into buckets on the next lower byte.
+func sortAtByte(keys []uint64, vals []float64, byteIdx int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if n <= insertionCutoff {
+		insertionSort(keys, vals)
+		return
+	}
+	shift := uint(byteIdx * 8)
+
+	// Count bucket sizes.
+	var count [256]int
+	for _, k := range keys {
+		count[(k>>shift)&0xff]++
+	}
+
+	// If everything landed in one bucket this byte is uninformative; recurse
+	// directly (common when keys were squeezed into fewer bytes).
+	var start [256]int
+	var end [256]int
+	sum := 0
+	nonEmpty := 0
+	for b := 0; b < 256; b++ {
+		start[b] = sum
+		sum += count[b]
+		end[b] = sum
+		if count[b] > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 1 {
+		if byteIdx > 0 {
+			sortAtByte(keys, vals, byteIdx-1)
+		}
+		return
+	}
+
+	// Permute in place: for each bucket, swap misplaced elements into their
+	// home bucket until this bucket's range is fully settled.
+	var cursor [256]int
+	copy(cursor[:], start[:])
+	for b := 0; b < 256; b++ {
+		for cursor[b] < end[b] {
+			k := keys[cursor[b]]
+			home := int((k >> shift) & 0xff)
+			if home == b {
+				cursor[b]++
+				continue
+			}
+			// Swap into the home bucket's next free slot.
+			j := cursor[home]
+			keys[cursor[b]], keys[j] = keys[j], k
+			vals[cursor[b]], vals[j] = vals[j], vals[cursor[b]]
+			cursor[home]++
+		}
+	}
+
+	if byteIdx == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if count[b] > 1 {
+			sortAtByte(keys[start[b]:end[b]], vals[start[b]:end[b]], byteIdx-1)
+		}
+	}
+}
+
+// insertionSort sorts a small slice of pairs.
+func insertionSort(keys []uint64, vals []float64) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		keys[j+1] = k
+		vals[j+1] = v
+	}
+}
+
+// IsSorted reports whether keys is non-decreasing.
+func IsSorted(keys []uint64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Passes returns the number of byte passes SortPairs will need for keys whose
+// OR is x — the quantity the paper's key-squeezing argument minimizes (8
+// passes for raw 8-byte keys, 4 for squeezed 4-byte keys).
+func Passes(x uint64) int {
+	if x == 0 {
+		return 0
+	}
+	return topByte(x) + 1
+}

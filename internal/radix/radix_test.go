@@ -1,0 +1,196 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func refSort(keys []uint64, vals []float64) ([]uint64, []float64) {
+	type pair struct {
+		k uint64
+		v float64
+	}
+	ps := make([]pair, len(keys))
+	for i := range keys {
+		ps[i] = pair{keys[i], vals[i]}
+	}
+	sort.SliceStable(ps, func(a, b int) bool { return ps[a].k < ps[b].k })
+	ok := make([]uint64, len(ps))
+	ov := make([]float64, len(ps))
+	for i, p := range ps {
+		ok[i] = p.k
+		ov[i] = p.v
+	}
+	return ok, ov
+}
+
+// checkSorted verifies keys are sorted and the multiset of (key,val) pairs is
+// preserved. Payloads of equal keys may be permuted (radix sort at the byte
+// level is not stable here), so we compare sorted value groups per key.
+func checkSorted(t *testing.T, keys, origKeys []uint64, vals, origVals []float64) {
+	t.Helper()
+	if !IsSorted(keys) {
+		t.Fatal("keys not sorted")
+	}
+	wantK, wantV := refSort(origKeys, origVals)
+	for i := range keys {
+		if keys[i] != wantK[i] {
+			t.Fatalf("key[%d] = %d, want %d", i, keys[i], wantK[i])
+		}
+	}
+	// Group-wise multiset comparison of payloads.
+	i := 0
+	for i < len(keys) {
+		j := i
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		got := append([]float64(nil), vals[i:j]...)
+		want := append([]float64(nil), wantV[i:j]...)
+		sort.Float64s(got)
+		sort.Float64s(want)
+		for x := range got {
+			if got[x] != want[x] {
+				t.Fatalf("payload multiset differs for key %d", keys[i])
+			}
+		}
+		i = j
+	}
+}
+
+func TestSortPairsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 15, 16, 31, 32, 33, 100, 1000, 10000} {
+		keys := make([]uint64, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = r.Uint64()
+			vals[i] = r.Float64()
+		}
+		ok := append([]uint64(nil), keys...)
+		ov := append([]float64(nil), vals...)
+		SortPairs(keys, vals)
+		checkSorted(t, keys, ok, vals, ov)
+	}
+}
+
+func TestSortPairsSmallKeys(t *testing.T) {
+	// Keys confined to few bytes: the squeezed-key case PB-SpGEMM produces.
+	r := rand.New(rand.NewSource(2))
+	for _, maxKey := range []uint64{1, 255, 256, 65535, 1 << 20, 1 << 32} {
+		n := 5000
+		keys := make([]uint64, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = r.Uint64() % maxKey
+			vals[i] = float64(i)
+		}
+		ok := append([]uint64(nil), keys...)
+		ov := append([]float64(nil), vals...)
+		SortPairs(keys, vals)
+		checkSorted(t, keys, ok, vals, ov)
+	}
+}
+
+func TestSortPairsEdgeCases(t *testing.T) {
+	// All equal keys.
+	keys := []uint64{7, 7, 7, 7}
+	vals := []float64{4, 3, 2, 1}
+	SortPairs(keys, vals)
+	if !IsSorted(keys) {
+		t.Fatal("equal keys not sorted")
+	}
+	// All zeros.
+	keys = make([]uint64, 100)
+	vals = make([]float64, 100)
+	SortPairs(keys, vals)
+	if !IsSorted(keys) {
+		t.Fatal("zero keys failed")
+	}
+	// Already sorted / reverse sorted, spanning byte boundaries.
+	n := 4000
+	keys = make([]uint64, n)
+	vals = make([]float64, n)
+	for i := range keys {
+		keys[i] = uint64(n - i)
+		vals[i] = float64(i)
+	}
+	ok := append([]uint64(nil), keys...)
+	ov := append([]float64(nil), vals...)
+	SortPairs(keys, vals)
+	checkSorted(t, keys, ok, vals, ov)
+}
+
+func TestSortPairsMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	SortPairs(make([]uint64, 3), make([]float64, 2))
+}
+
+func TestQuickSortPairs(t *testing.T) {
+	f := func(keys []uint64, seed int64) bool {
+		vals := make([]float64, len(keys))
+		r := rand.New(rand.NewSource(seed))
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		ok := append([]uint64(nil), keys...)
+		SortPairs(keys, vals)
+		if !IsSorted(keys) {
+			return false
+		}
+		wantK, _ := refSort(ok, vals)
+		for i := range keys {
+			if keys[i] != wantK[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPasses(t *testing.T) {
+	cases := map[uint64]int{
+		0:                0,
+		1:                1,
+		255:              1,
+		256:              2,
+		1<<16 - 1:        2,
+		1 << 16:          3,
+		1 << 24:          4,
+		1<<32 - 1:        4,
+		1 << 32:          5,
+		1 << 63:          8,
+		^uint64(0):       8,
+		0x0000_0fff_ffff: 4,
+	}
+	for x, want := range cases {
+		if got := Passes(x); got != want {
+			t.Errorf("Passes(%#x) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestKeySqueezingNeedsFourPasses(t *testing.T) {
+	// The paper's example: 1M rows, 1K bins => 10-bit local row, 20-bit col
+	// => 30-bit keys => 4 radix passes instead of 8.
+	localRowBits, colBits := uint(10), uint(20)
+	maxKey := (uint64(1)<<localRowBits - 1) << colBits
+	maxKey |= uint64(1)<<colBits - 1
+	if got := Passes(maxKey); got != 4 {
+		t.Fatalf("squeezed key passes = %d, want 4", got)
+	}
+	// Unsqueezed 64-bit (row<<32|col) with 20-bit ids needs 7 passes.
+	unsqueezed := uint64(1<<20-1)<<32 | uint64(1<<20-1)
+	if got := Passes(unsqueezed); got != 7 {
+		t.Fatalf("unsqueezed key passes = %d, want 7", got)
+	}
+}

@@ -1,0 +1,162 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPaperNumbers(t *testing.T) {
+	b := DefaultBytesPerNonzero
+	// Section II-C: ER matrices, cf = 1 => AI upper = 1/16 flops/byte.
+	if got := AIUpper(1, b); !approx(got, 1.0/16, 1e-12) {
+		t.Fatalf("AIUpper(1) = %v, want 1/16", got)
+	}
+	// Eq. 4 at cf=1: AI = 1/80.
+	if got := AIOuterLower(1, b); !approx(got, 1.0/80, 1e-12) {
+		t.Fatalf("AIOuterLower(1) = %v, want 1/80", got)
+	}
+	// Eq. 3 at cf=1: AI = 1/48.
+	if got := AIColumnLower(1, b); !approx(got, 1.0/48, 1e-12) {
+		t.Fatalf("AIColumnLower(1) = %v, want 1/48", got)
+	}
+	// Intro: 50 GB/s * 1/16 = 3.13 GFLOPS peak.
+	if got := Attainable(50, AIUpper(1, b)); !approx(got, 3.125, 1e-9) {
+		t.Fatalf("peak = %v, want 3.125", got)
+	}
+	// Section V-B: at 40 GB/s and AI=1/80, at least 0.5 GFLOPS.
+	if got := Attainable(40, AIOuterLower(1, b)); !approx(got, 0.5, 1e-9) {
+		t.Fatalf("PB lower estimate = %v, want 0.5", got)
+	}
+	// And 625 MFLOPS at 50 GB/s.
+	if got := Attainable(50, AIOuterLower(1, b)); !approx(got, 0.625, 1e-9) {
+		t.Fatalf("PB lower estimate = %v, want 0.625", got)
+	}
+}
+
+func TestBoundOrdering(t *testing.T) {
+	// For all cf >= 1: outer lower <= column lower <= upper.
+	f := func(cfRaw uint16) bool {
+		cf := 1 + float64(cfRaw)/100
+		b := DefaultBytesPerNonzero
+		lo := AIOuterLower(cf, b)
+		mid := AIColumnLower(cf, b)
+		hi := AIUpper(cf, b)
+		return lo <= mid && mid <= hi && lo > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsMonotoneInCF(t *testing.T) {
+	b := DefaultBytesPerNonzero
+	prevU, prevC, prevO := 0.0, 0.0, 0.0
+	for cf := 1.0; cf <= 64; cf *= 2 {
+		u, c, o := AIUpper(cf, b), AIColumnLower(cf, b), AIOuterLower(cf, b)
+		if u <= prevU || c <= prevC || o <= prevO {
+			t.Fatalf("bounds not strictly increasing at cf=%v", cf)
+		}
+		prevU, prevC, prevO = u, c, o
+	}
+}
+
+func TestAIExactReducesToLowerBounds(t *testing.T) {
+	// With nnz(A)=nnz(B)=nnz(C) and flop = cf*nnz(C), the exact outer model
+	// approaches the Eq. 4 bound as cf grows relative to input terms; at
+	// equality of all nnz terms it matches the full denominator exactly.
+	var nnz int64 = 1000
+	cf := 3.0
+	flop := int64(cf * float64(nnz))
+	got := AIOuterExact(nnz, nnz, flop, nnz, 16)
+	want := float64(flop) / (float64(3*nnz+2*flop) * 16)
+	if !approx(got, want, 1e-15) {
+		t.Fatalf("AIOuterExact = %v, want %v", got, want)
+	}
+	gotC := AIColumnExact(nnz, flop, nnz, 16)
+	wantC := float64(flop) / (float64(2*nnz+flop) * 16)
+	if !approx(gotC, wantC, 1e-15) {
+		t.Fatalf("AIColumnExact = %v, want %v", gotC, wantC)
+	}
+}
+
+func TestFigureThree(t *testing.T) {
+	cfs := []float64{1, 2, 4, 8}
+	pts := FigureThree(50, 16, cfs)
+	if len(pts) != len(cfs) {
+		t.Fatalf("got %d points, want %d", len(pts), len(cfs))
+	}
+	for _, p := range pts {
+		if p.PerfUpper < p.PerfCol || p.PerfCol < p.PerfOuter {
+			t.Fatalf("cf=%v: performance ordering violated", p.CF)
+		}
+		if !approx(p.PerfUpper, 50*p.AIUpper, 1e-12) {
+			t.Fatalf("cf=%v: perf != beta*AI", p.CF)
+		}
+	}
+	// The cf=1 point is the paper's headline: 3.125 / ~1.04 / 0.625 GFLOPS.
+	if !approx(pts[0].PerfUpper, 3.125, 1e-9) ||
+		!approx(pts[0].PerfOuter, 0.625, 1e-9) {
+		t.Fatalf("cf=1 point wrong: %+v", pts[0])
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if AIUpper(1, 0) != 0 || AIColumnLower(0, 16) != 0 || AIOuterLower(-1, 16) != 0 {
+		t.Fatal("degenerate inputs must yield 0")
+	}
+	if AIOuterExact(0, 0, 0, 0, 16) != 0 || AIColumnExact(0, 0, 0, 16) != 0 {
+		t.Fatal("zero traffic must yield 0")
+	}
+}
+
+func TestCrossoverCF(t *testing.T) {
+	// With equal efficiency the outer bound never catches the column bound:
+	// no positive crossover.
+	if cf := CrossoverCF(1, 1); cf != 0 {
+		t.Fatalf("equal-efficiency crossover = %v, want 0", cf)
+	}
+	// If column algorithms sustain less than half of PB's bandwidth
+	// efficiency, PB wins at every cf: no finite crossover.
+	if cf := CrossoverCF(0.35, 1.0); cf != 0 {
+		t.Fatalf("low-efficiency crossover = %v, want 0", cf)
+	}
+	// The paper's regime: hash overtakes PB around cf ≈ 4 (conclusions 5 and
+	// 6). That corresponds to column algorithms sustaining ~55% of PB's
+	// bandwidth efficiency once denser inputs fill their cache lines.
+	cf := CrossoverCF(0.55, 1.0)
+	if cf < 3 || cf > 6 {
+		t.Fatalf("modeled crossover = %v, want in [3, 6]", cf)
+	}
+	// Sanity: at the crossover the attainable performances match.
+	b := DefaultBytesPerNonzero
+	perfCol := 0.55 * AIColumnLower(cf, b)
+	perfOut := 1.0 * AIOuterLower(cf, b)
+	if !approx(perfCol, perfOut, 1e-9) {
+		t.Fatalf("bounds do not meet at crossover: %v vs %v", perfCol, perfOut)
+	}
+}
+
+func TestQualitativeTables(t *testing.T) {
+	if len(TableI()) != 4 {
+		t.Fatal("Table I must have 4 classes")
+	}
+	t2 := TableII()
+	if len(t2) != 3 {
+		t.Fatal("Table II must have 3 rows")
+	}
+	// The PB row is the only one with full streaming and full cache lines.
+	pb := t2[2]
+	if !pb.StreamedA || !pb.FullLinesA || pb.ReadsA != "1" {
+		t.Fatal("PB row of Table II wrong")
+	}
+	col := t2[0]
+	if col.StreamedA || col.FullLinesA || col.ReadsA != "d" {
+		t.Fatal("column SpGEMM row of Table II wrong")
+	}
+	if len(TableIII()) != 3 {
+		t.Fatal("Table III must have 3 phases")
+	}
+}

@@ -1,0 +1,75 @@
+package roofline
+
+// This file encodes the qualitative algorithm-classification content of the
+// paper's Tables I, II and III so the harness can print them alongside the
+// quantitative results (cmd/experiments tables123).
+
+// AlgorithmClass locates an algorithm in Table I's 2×2 grid.
+type AlgorithmClass struct {
+	Name         string
+	InputAccess  string // "column-wise" or "outer-product"
+	OutputMethod string // "accumulator" (heap/hash/SPA) or "ESC"
+}
+
+// TableI returns the paper's classification of SpGEMM algorithms.
+func TableI() []AlgorithmClass {
+	return []AlgorithmClass{
+		{"Heap/Hash/SPA column SpGEMM [12,20,21,22]", "column-wise", "accumulator"},
+		{"Outer product + heap merge [23]", "outer-product", "accumulator"},
+		{"Column ESC [15,18]", "column-wise", "ESC"},
+		{"PB-SpGEMM (this paper), OuterSPACE [24]", "outer-product", "ESC"},
+	}
+}
+
+// AccessPattern is one row of Table II: how many times each matrix is
+// transferred from memory, whether accesses stream, and whether cache lines
+// are fully used, when multiplying two ER matrices with d nonzeros/column.
+type AccessPattern struct {
+	Algorithm string
+	// Number of accesses of A, B, C-hat, C (in units of the matrix's size).
+	ReadsA, ReadsB, ReadsChat, ReadsC             string
+	StreamedA, StreamedB, StreamedChat, StreamedC bool
+	FullLinesA                                    bool // A's cache-line utilization (the differentiator)
+}
+
+// TableII returns the paper's data-access comparison.
+func TableII() []AccessPattern {
+	return []AccessPattern{
+		{
+			Algorithm: "Column SpGEMM (Heap/Hash/SPA)",
+			ReadsA:    "d", ReadsB: "1", ReadsChat: "0*", ReadsC: "1",
+			StreamedA: false, StreamedB: true, StreamedChat: true, StreamedC: true,
+			FullLinesA: false, // wasted when d < 8
+		},
+		{
+			Algorithm: "ESC (column-wise)",
+			ReadsA:    "d", ReadsB: "1", ReadsChat: "2", ReadsC: "1",
+			StreamedA: false, StreamedB: true, StreamedChat: false, StreamedC: true,
+			FullLinesA: false,
+		},
+		{
+			Algorithm: "ESC (outer product, PB-SpGEMM)",
+			ReadsA:    "1", ReadsB: "1", ReadsChat: "2", ReadsC: "1",
+			StreamedA: true, StreamedB: true, StreamedChat: true, StreamedC: true,
+			FullLinesA: true,
+		},
+	}
+}
+
+// PhaseCost is one row of Table III: complexity and traffic of a PB-SpGEMM
+// phase (b = bytes per tuple, flop = multiplications, all O(flop) compute).
+type PhaseCost struct {
+	Phase       string
+	Complexity  string
+	Bandwidth   string
+	Parallelism string
+}
+
+// TableIII returns the paper's per-phase cost model.
+func TableIII() []PhaseCost {
+	return []PhaseCost{
+		{"Expand", "O(flop)", "read b·(nnz(A)+nnz(B)), write b·flop", "cols of A / rows of B per thread"},
+		{"Sort", "O(flop)", "read b·flop (shuffle 4·b·flop in cache)", "bins per thread"},
+		{"Compress", "O(flop)", "write b·nnz(C)", "bins per thread"},
+	}
+}

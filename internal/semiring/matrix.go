@@ -1,0 +1,114 @@
+package semiring
+
+import (
+	"fmt"
+
+	"pbspgemm/internal/matrix"
+)
+
+// CSRg is a CSR matrix with values of any semiring element type.
+type CSRg[T any] struct {
+	NumRows, NumCols int32
+	RowPtr           []int64
+	ColIdx           []int32
+	Val              []T
+}
+
+// CSCg is the column-compressed counterpart of CSRg.
+type CSCg[T any] struct {
+	NumRows, NumCols int32
+	ColPtr           []int64
+	RowIdx           []int32
+	Val              []T
+}
+
+// NNZ returns the stored entry count.
+func (m *CSRg[T]) NNZ() int64 { return int64(len(m.Val)) }
+
+// NNZ returns the stored entry count.
+func (m *CSCg[T]) NNZ() int64 { return int64(len(m.Val)) }
+
+// FromCSR lifts a float64 CSR into a generic matrix, mapping each stored
+// value with f (e.g. v -> v for arithmetic, v -> true for boolean).
+func FromCSR[T any](m *matrix.CSR, f func(float64) T) *CSRg[T] {
+	out := &CSRg[T]{
+		NumRows: m.NumRows, NumCols: m.NumCols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    make([]T, len(m.Val)),
+	}
+	for i, v := range m.Val {
+		out.Val[i] = f(v)
+	}
+	return out
+}
+
+// ToCSR lowers a generic matrix back to float64 CSR with g.
+func (m *CSRg[T]) ToCSR(g func(T) float64) *matrix.CSR {
+	out := &matrix.CSR{
+		NumRows: m.NumRows, NumCols: m.NumCols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    make([]float64, len(m.Val)),
+	}
+	for i, v := range m.Val {
+		out.Val[i] = g(v)
+	}
+	return out
+}
+
+// ToCSC converts the generic CSR to generic CSC (storage transpose).
+func (m *CSRg[T]) ToCSC() *CSCg[T] {
+	nnz := m.NNZ()
+	out := &CSCg[T]{
+		NumRows: m.NumRows, NumCols: m.NumCols,
+		ColPtr: make([]int64, m.NumCols+1),
+		RowIdx: make([]int32, nnz),
+		Val:    make([]T, nnz),
+	}
+	counts := make([]int64, m.NumCols+1)
+	for _, c := range m.ColIdx {
+		counts[c+1]++
+	}
+	for j := int32(0); j < m.NumCols; j++ {
+		counts[j+1] += counts[j]
+	}
+	copy(out.ColPtr, counts)
+	cursor := make([]int64, m.NumCols)
+	copy(cursor, counts[:m.NumCols])
+	for i := int32(0); i < m.NumRows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			q := cursor[c]
+			out.RowIdx[q] = i
+			out.Val[q] = m.Val[p]
+			cursor[c] = q + 1
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants (mirrors matrix.CSR.Validate).
+func (m *CSRg[T]) Validate() error {
+	if int32(len(m.RowPtr)) != m.NumRows+1 {
+		return fmt.Errorf("semiring: RowPtr length %d != rows+1 %d", len(m.RowPtr), m.NumRows+1)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.NumRows] != int64(len(m.ColIdx)) || len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("semiring: inconsistent pointers/arrays")
+	}
+	for i := int32(0); i < m.NumRows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("semiring: RowPtr not monotone at row %d", i)
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			if c < 0 || c >= m.NumCols {
+				return fmt.Errorf("semiring: column %d out of range at row %d", c, i)
+			}
+			if p > m.RowPtr[i] && m.ColIdx[p-1] >= c {
+				return fmt.Errorf("semiring: row %d not sorted/unique", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package semiring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/par"
+)
+
+// pair is one expanded tuple over T.
+type pair[T any] struct {
+	key uint64
+	val T
+}
+
+// Multiply computes C = A ⊗ B over the semiring sr with the PB-SpGEMM
+// structure: outer-product expansion into row-range bins, per-bin in-place
+// radix sort on packed keys, two-pointer compression folding duplicates
+// with sr.Plus. It is the generic (GraphBLAS-style) counterpart of
+// internal/core.Multiply; the float64 kernel remains the tuned fast path.
+func Multiply[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], threads int) (*CSRg[T], error) {
+	if a.NumCols != b.NumRows {
+		return nil, fmt.Errorf("semiring: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	threads = par.DefaultThreads(threads)
+
+	// Symbolic: flop count and per-bin capacities (Algorithm 3).
+	k := int(a.NumCols)
+	colFlops := make([]int64, k)
+	var flops int64
+	for i := 0; i < k; i++ {
+		colFlops[i] = (a.ColPtr[i+1] - a.ColPtr[i]) * (b.RowPtr[i+1] - b.RowPtr[i])
+		flops += colFlops[i]
+	}
+	if flops == 0 {
+		return &CSRg[T]{NumRows: a.NumRows, NumCols: b.NumCols,
+			RowPtr: make([]int64, a.NumRows+1)}, nil
+	}
+	colBits := uint(bits.Len32(uint32(b.NumCols)))
+	if colBits == 0 {
+		colBits = 1
+	}
+	nbins := int(flops * 16 / (1 << 20))
+	if nbins < 1 {
+		nbins = 1
+	}
+	if nbins > 2048 {
+		nbins = 2048
+	}
+	if int64(nbins) > int64(a.NumRows) {
+		nbins = int(a.NumRows)
+	}
+	rowsPerBin := (a.NumRows + int32(nbins) - 1) / int32(nbins)
+	if rowsPerBin < 1 {
+		rowsPerBin = 1
+	}
+	nbins = int((a.NumRows + rowsPerBin - 1) / rowsPerBin)
+
+	binFlops := make([]int64, nbins)
+	for i := 0; i < k; i++ {
+		bRow := b.RowPtr[i+1] - b.RowPtr[i]
+		if bRow == 0 {
+			continue
+		}
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			binFlops[a.RowIdx[p]/rowsPerBin] += bRow
+		}
+	}
+	binStart := make([]int64, nbins+1)
+	par.PrefixSum(binFlops, binStart)
+
+	// Expand: sequential over columns (the generic path favours clarity;
+	// per-bin cursors advance without atomics).
+	tuples := make([]pair[T], flops)
+	cursor := make([]int64, nbins)
+	copy(cursor, binStart[:nbins])
+	for i := 0; i < k; i++ {
+		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+		if bLo == bHi {
+			continue
+		}
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			r := a.RowIdx[p]
+			av := a.Val[p]
+			bin := r / rowsPerBin
+			localRow := uint64(r-bin*rowsPerBin) << colBits
+			c := cursor[bin]
+			for q := bLo; q < bHi; q++ {
+				tuples[c] = pair[T]{key: localRow | uint64(b.ColIdx[q]), val: sr.Times(av, b.Val[q])}
+				c++
+			}
+			cursor[bin] = c
+		}
+	}
+
+	// Sort + compress, bins in parallel.
+	binOut := make([]int64, nbins)
+	rowCounts := make([]int64, a.NumRows+1)
+	par.ForEachDynamic(nbins, threads, func(_, bin int) {
+		seg := tuples[binStart[bin]:binStart[bin+1]]
+		sortPairsG(seg)
+		if len(seg) == 0 {
+			return
+		}
+		p2 := 0
+		for p1 := 1; p1 < len(seg); p1++ {
+			if seg[p1].key == seg[p2].key {
+				seg[p2].val = sr.Plus(seg[p2].val, seg[p1].val)
+				continue
+			}
+			p2++
+			seg[p2] = seg[p1]
+		}
+		binOut[bin] = int64(p2 + 1)
+		firstRow := int32(bin) * rowsPerBin
+		for i := int64(0); i <= int64(p2); i++ {
+			rowCounts[firstRow+int32(seg[i].key>>colBits)+1]++
+		}
+	})
+
+	// Assemble.
+	binOutStart := make([]int64, nbins+1)
+	nnzc := par.PrefixSum(binOut, binOutStart)
+	c := &CSRg[T]{
+		NumRows: a.NumRows, NumCols: b.NumCols,
+		RowPtr: make([]int64, a.NumRows+1),
+		ColIdx: make([]int32, nnzc),
+		Val:    make([]T, nnzc),
+	}
+	for i := int32(0); i < a.NumRows; i++ {
+		c.RowPtr[i+1] = c.RowPtr[i] + rowCounts[i+1]
+	}
+	colMask := uint64(1)<<colBits - 1
+	par.ForEachDynamic(nbins, threads, func(_, bin int) {
+		src := binStart[bin]
+		dst := binOutStart[bin]
+		for j := int64(0); j < binOut[bin]; j++ {
+			c.ColIdx[dst+j] = int32(tuples[src+j].key & colMask)
+			c.Val[dst+j] = tuples[src+j].val
+		}
+	})
+	return c, nil
+}
+
+// sortPairsG is the in-place American-flag radix sort over generic payload
+// tuples (same structure as internal/radix, instantiated per T).
+func sortPairsG[T any](ps []pair[T]) {
+	if len(ps) < 2 {
+		return
+	}
+	var or uint64
+	for i := range ps {
+		or |= ps[i].key
+	}
+	if or == 0 {
+		return
+	}
+	top := 0
+	x := or
+	for s := 32; s >= 8; s >>= 1 {
+		if x>>(uint(s)) != 0 {
+			x >>= uint(s)
+			top += s / 8
+		}
+	}
+	sortAtByteG(ps, top)
+}
+
+func sortAtByteG[T any](ps []pair[T], byteIdx int) {
+	n := len(ps)
+	if n < 2 {
+		return
+	}
+	if n <= 32 {
+		for i := 1; i < n; i++ {
+			p := ps[i]
+			j := i - 1
+			for j >= 0 && ps[j].key > p.key {
+				ps[j+1] = ps[j]
+				j--
+			}
+			ps[j+1] = p
+		}
+		return
+	}
+	shift := uint(byteIdx * 8)
+	var count [256]int
+	for i := range ps {
+		count[(ps[i].key>>shift)&0xff]++
+	}
+	var start, end [256]int
+	sum, nonEmpty := 0, 0
+	for b := 0; b < 256; b++ {
+		start[b] = sum
+		sum += count[b]
+		end[b] = sum
+		if count[b] > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 1 {
+		if byteIdx > 0 {
+			sortAtByteG(ps, byteIdx-1)
+		}
+		return
+	}
+	var cursor [256]int
+	copy(cursor[:], start[:])
+	for b := 0; b < 256; b++ {
+		for cursor[b] < end[b] {
+			p := ps[cursor[b]]
+			home := int((p.key >> shift) & 0xff)
+			if home == b {
+				cursor[b]++
+				continue
+			}
+			j := cursor[home]
+			ps[cursor[b]], ps[j] = ps[j], p
+			cursor[home]++
+		}
+	}
+	if byteIdx == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if count[b] > 1 {
+			sortAtByteG(ps[start[b]:end[b]], byteIdx-1)
+		}
+	}
+}

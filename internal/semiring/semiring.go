@@ -1,0 +1,84 @@
+// Package semiring generalizes PB-SpGEMM to arbitrary semirings, the
+// algebra behind the paper's application citations: multi-source BFS is
+// SpGEMM over the boolean semiring [3], shortest paths over the tropical
+// (min-plus) semiring, triangle counting over arithmetic, Markov clustering
+// over arithmetic with pruning [9]. The kernel reuses the paper's
+// expand-sort-compress structure with propagation blocking: only the Times
+// in the expand phase and the Plus in the compress phase change.
+package semiring
+
+// Semiring defines (⊕, ⊗, 0̄) over T. Plus must be associative and
+// commutative with identity Zero; Times must distribute over Plus. The
+// compress phase folds duplicates with Plus; entries equal to Zero after
+// folding are kept (structural zeros are dropped only by Prune-style
+// post-passes), matching GraphBLAS semantics.
+type Semiring[T any] struct {
+	Name  string
+	Zero  T
+	Plus  func(a, b T) T
+	Times func(a, b T) T
+}
+
+// Arithmetic is the ordinary (+, ×) semiring over float64 — plain SpGEMM.
+func Arithmetic() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "arithmetic(+,*)", Zero: 0,
+		Plus:  func(a, b float64) float64 { return a + b },
+		Times: func(a, b float64) float64 { return a * b },
+	}
+}
+
+// Boolean is the (∨, ∧) semiring — structural SpGEMM, the multi-source BFS
+// algebra.
+func Boolean() Semiring[bool] {
+	return Semiring[bool]{
+		Name: "boolean(or,and)", Zero: false,
+		Plus:  func(a, b bool) bool { return a || b },
+		Times: func(a, b bool) bool { return a && b },
+	}
+}
+
+// MinPlus is the tropical semiring (min, +) — one SpGEMM is one relaxation
+// step of all-pairs shortest paths.
+func MinPlus() Semiring[float64] {
+	const inf = 1e308
+	return Semiring[float64]{
+		Name: "tropical(min,+)", Zero: inf,
+		Plus: func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Times: func(a, b float64) float64 { return a + b },
+	}
+}
+
+// MaxTimes is the (max, ×) semiring used in probabilistic reachability
+// (most-reliable-path products).
+func MaxTimes() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "maxtimes(max,*)", Zero: 0,
+		Plus: func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Times: func(a, b float64) float64 { return a * b },
+	}
+}
+
+// PlusMax is the (+, max) semiring (e.g. bottleneck accumulation).
+func PlusMax() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "plusmax(+,max)", Zero: 0,
+		Plus: func(a, b float64) float64 { return a + b },
+		Times: func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+}

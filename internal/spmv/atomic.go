@@ -1,0 +1,11 @@
+package spmv
+
+import "sync/atomic"
+
+// atomicCursors provides atomic fetch-and-add over the per-bin write
+// cursors, mirroring internal/core's expand-phase reservation scheme.
+type atomicCursors []int64
+
+func (s atomicCursors) add(i int, delta int64) int64 {
+	return atomic.AddInt64(&s[i], delta)
+}

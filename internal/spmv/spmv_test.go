@@ -1,0 +1,213 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+)
+
+// refMV computes y = A·x naively.
+func refMV(a *matrix.CSR, x []float64) []float64 {
+	y := make([]float64, a.NumRows)
+	for i := int32(0); i < a.NumRows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			y[i] += a.Val[p] * x[a.ColIdx[p]]
+		}
+	}
+	return y
+}
+
+// refMTV computes y = Aᵀ·x naively.
+func refMTV(a *matrix.CSR, x []float64) []float64 {
+	y := make([]float64, a.NumCols)
+	for i := int32(0); i < a.NumRows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			y[a.ColIdx[p]] += a.Val[p] * x[i]
+		}
+	}
+	return y
+}
+
+func vectorsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*math.Max(1, math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func randVec(n int32, seed uint64) []float64 {
+	r := gen.NewRNG(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	return v
+}
+
+func TestRowMatchesReference(t *testing.T) {
+	a := gen.ER(500, 7, 1)
+	x := randVec(a.NumCols, 2)
+	y := make([]float64, a.NumRows)
+	if err := Row(a, x, y, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !vectorsClose(refMV(a, x), y, 1e-12) {
+		t.Fatal("Row differs from reference")
+	}
+}
+
+func TestPBMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *matrix.CSR
+	}{
+		{"ER", gen.ER(800, 5, 3)},
+		{"RMAT", gen.RMAT(10, 8, gen.Graph500Params, 4)},
+		{"banded", gen.Banded(500, 3, 5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := randVec(tc.a.NumRows, 6)
+			y := make([]float64, tc.a.NumCols)
+			if err := PB(tc.a, x, y, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if !vectorsClose(refMTV(tc.a, x), y, 1e-9) {
+				t.Fatal("PB differs from reference")
+			}
+		})
+	}
+}
+
+func TestPBOptionSweep(t *testing.T) {
+	a := gen.ER(600, 6, 7)
+	x := randVec(a.NumRows, 8)
+	want := refMTV(a, x)
+	for _, nbins := range []int{1, 2, 17, 600, 10000} {
+		for _, lbb := range []int{16, 512, 4096} {
+			for _, threads := range []int{1, 4} {
+				t.Run(fmt.Sprintf("nbins%d_lbb%d_t%d", nbins, lbb, threads), func(t *testing.T) {
+					y := make([]float64, a.NumCols)
+					err := PB(a, x, y, Options{NBins: nbins, LocalBinBytes: lbb, Threads: threads})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !vectorsClose(want, y, 1e-9) {
+						t.Fatal("PB differs from reference")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRowTMatchesReference(t *testing.T) {
+	a := gen.ER(300, 4, 9)
+	x := randVec(a.NumRows, 10)
+	y := make([]float64, a.NumCols)
+	if err := RowT(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !vectorsClose(refMTV(a, x), y, 1e-12) {
+		t.Fatal("RowT differs from reference")
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	a := gen.ER(32, 2, 1)
+	bad := make([]float64, 5)
+	good := make([]float64, 32)
+	if err := Row(a, bad, good, 0); err == nil {
+		t.Error("Row accepted bad x length")
+	}
+	if err := PB(a, bad, good, Options{}); err == nil {
+		t.Error("PB accepted bad x length")
+	}
+	if err := RowT(a, bad, good); err == nil {
+		t.Error("RowT accepted bad x length")
+	}
+}
+
+func TestPBEmptyMatrix(t *testing.T) {
+	a := matrix.NewCSR(10, 10, 0)
+	x := make([]float64, 10)
+	y := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if err := PB(a, x, y, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("empty matrix must zero y")
+		}
+	}
+}
+
+func TestQuickPBEqualsRowT(t *testing.T) {
+	f := func(seed uint64, nSel uint8, nnzSel uint16) bool {
+		n := int32(nSel%80) + 2
+		nnz := int(nnzSel % 400)
+		r := gen.NewRNG(seed)
+		coo := &matrix.COO{NumRows: n, NumCols: n}
+		for e := 0; e < nnz; e++ {
+			coo.Row = append(coo.Row, r.Intn(n))
+			coo.Col = append(coo.Col, r.Intn(n))
+			coo.Val = append(coo.Val, r.Float64())
+		}
+		a := coo.ToCSR()
+		x := randVec(n, seed+1)
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		if err := PB(a, x, y1, Options{NBins: int(seed%5) + 1}); err != nil {
+			return false
+		}
+		if err := RowT(a, x, y2); err != nil {
+			return false
+		}
+		return vectorsClose(y1, y2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpMVRow(b *testing.B) {
+	a := gen.ERMatrix(16, 8, 1)
+	x := randVec(a.NumCols, 2)
+	y := make([]float64, a.NumRows)
+	b.SetBytes(a.NNZ() * 12)
+	for i := 0; i < b.N; i++ {
+		if err := Row(a, x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpMVPBvsScatter(b *testing.B) {
+	a := gen.ERMatrix(16, 8, 1)
+	x := randVec(a.NumRows, 2)
+	y := make([]float64, a.NumCols)
+	b.Run("PB", func(b *testing.B) {
+		b.SetBytes(a.NNZ() * 12)
+		for i := 0; i < b.N; i++ {
+			if err := PB(a, x, y, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scatter", func(b *testing.B) {
+		b.SetBytes(a.NNZ() * 12)
+		for i := 0; i < b.N; i++ {
+			if err := RowT(a, x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
