@@ -353,3 +353,110 @@ func BenchmarkAblationSPA(b *testing.B) {
 	m := gen.ERMatrix(13, 8, 2)
 	benchMultiply(b, a, m, Options{Algorithm: SPA})
 }
+
+// --- Execution engine: workspace reuse and memory budget ----------------------
+
+// BenchmarkWorkspaceSteadyState measures repeated multiplication through one
+// shared Workspace — the serving scenario where the allocator and GC must
+// stay off the hot path. With Threads=1 the engine performs zero
+// steady-state allocations (the t1 rows report 0 allocs/op); parallel rows
+// add only goroutine-spawn allocations.
+func BenchmarkWorkspaceSteadyState(b *testing.B) {
+	a := gen.ERMatrix(13, 8, 1).ToCSC()
+	m := gen.ERMatrix(13, 8, 2)
+	for _, tc := range []struct {
+		name    string
+		threads int
+		budget  int64
+	}{
+		{"t1", 1, 0},
+		{"t1/budgeted", 1, 1 << 20},
+		{"all-cores", 0, 0},
+		{"all-cores/budgeted", 0, 1 << 20},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ws := core.NewWorkspace()
+			opt := core.Options{Threads: tc.threads, Workspace: ws, MemoryBudgetBytes: tc.budget}
+			// Warm-up call grows every pooled buffer to its high-water mark.
+			if _, _, err := core.Multiply(a, m, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var st *core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = core.Multiply(a, m, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sec := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(st.Flops)/sec/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkWorkspacePublicAPI contrasts the public Multiply with and without
+// a shared workspace (the no-workspace rows pay the tuple buffer, plan
+// arrays and A's CSC conversion every call).
+func BenchmarkWorkspacePublicAPI(b *testing.B) {
+	a := gen.ERMatrix(13, 8, 1)
+	m := gen.ERMatrix(13, 8, 2)
+	for _, tc := range []struct {
+		name string
+		ws   *Workspace
+	}{{"fresh-buffers", nil}, {"workspace", NewWorkspace()}} {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := Options{Workspace: tc.ws}
+			if _, err := Multiply(a, m, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Multiply(a, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemoryBudget sweeps MemoryBudgetBytes from unlimited down to 1/32
+// of the expansion, measuring what the panel merge costs relative to the
+// single-shot algorithm it makes feasible on out-of-budget inputs.
+func BenchmarkMemoryBudget(b *testing.B) {
+	a := gen.ERMatrix(13, 8, 1).ToCSC()
+	m := gen.ERMatrix(13, 8, 2)
+	_, st0, err := core.Multiply(a, m, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := st0.Flops * 16
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"unlimited", 0},
+		{"half", full / 2},
+		{"eighth", full / 8},
+		{"thirtysecond", full / 32},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ws := core.NewWorkspace()
+			opt := core.Options{Workspace: ws, MemoryBudgetBytes: tc.budget}
+			var st *core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = core.Multiply(a, m, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.NPanels), "panels")
+			b.ReportMetric(float64(ws.TupleCapBytes())/(1<<20), "tupleMiB")
+		})
+	}
+}

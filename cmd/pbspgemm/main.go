@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"pbspgemm"
@@ -32,7 +33,8 @@ func main() {
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		nbins   = flag.Int("nbins", 0, "PB global bins (0 = auto)")
 		lbin    = flag.Int("localbin", 0, "PB local bin bytes (0 = 512)")
-		reps    = flag.Int("reps", 1, "repetitions, best kept")
+		budget  = flag.String("budget", "0", "PB expanded-tuple memory budget, e.g. 512M or 2G (0 = unlimited)")
+		reps    = flag.Int("reps", 1, "repetitions, best kept (reusing one workspace)")
 		verify  = flag.Bool("verify", false, "check the result against the reference algorithm")
 		out     = flag.String("o", "", "write the product to a Matrix Market file")
 	)
@@ -67,8 +69,18 @@ func main() {
 		fatal(fmt.Errorf("unknown generator %q", *genKind))
 	}
 
+	budgetBytes, err := parseBytes(*budget)
+	if err != nil {
+		fatal(err)
+	}
 	opt := pbspgemm.Options{
 		Algorithm: alg, Threads: *threads, NBins: *nbins, LocalBinBytes: *lbin,
+		MemoryBudgetBytes: budgetBytes,
+	}
+	if alg == pbspgemm.PB {
+		// One workspace across repetitions: after the first rep warms it up,
+		// the remaining reps run with zero steady-state allocations.
+		opt.Workspace = pbspgemm.NewWorkspace()
 	}
 	var best *pbspgemm.Result
 	for r := 0; r < *reps; r++ {
@@ -77,6 +89,17 @@ func main() {
 			fatal(err)
 		}
 		if best == nil || res.Elapsed < best.Elapsed {
+			if opt.Workspace != nil && *reps > 1 {
+				// The result (CSR and stats) aliases the workspace the next
+				// rep overwrites; detach what we keep.
+				kept := *res
+				kept.C = res.C.Clone()
+				if res.PB != nil {
+					st := *res.PB
+					kept.PB = &st
+				}
+				res = &kept
+			}
 			best = res
 		}
 	}
@@ -91,7 +114,12 @@ func main() {
 		fmt.Printf("phases: symbolic %v, expand %v (%.1f GB/s), sort %v (%.1f GB/s), compress %v (%.1f GB/s), assemble %v\n",
 			st.Symbolic, st.Expand, st.ExpandGBs(), st.Sort, st.SortGBs(),
 			st.Compress, st.CompressGBs(), st.Assemble)
-		fmt.Printf("bins: %d\n", st.NBins)
+		if st.NPanels > 1 {
+			fmt.Printf("bins: %d  panels: %d (budget %s)  merge: %v\n",
+				st.NBins, st.NPanels, *budget, st.Merge)
+		} else {
+			fmt.Printf("bins: %d\n", st.NBins)
+		}
 	}
 	if st := best.Baseline; st != nil {
 		fmt.Printf("phases: symbolic %v, numeric %v\n", st.Symbolic, st.Numeric)
@@ -136,6 +164,38 @@ func parseAlgo(s string) (pbspgemm.Algorithm, error) {
 		return pbspgemm.ColumnESC, nil
 	}
 	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+// parseBytes parses a byte count with an optional K/M/G/T suffix (powers of
+// 1024), e.g. "512M", "2G", "65536".
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty byte count")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'm', 'M':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'g', 'G':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	case 't', 'T':
+		mult = 1 << 40
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative byte count %q", s)
+	}
+	return n * mult, nil
 }
 
 func fatal(err error) {

@@ -29,3 +29,30 @@ func TestParseAlgo(t *testing.T) {
 		t.Error("expected error for unknown algorithm")
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":     0,
+		"1024":  1024,
+		"4K":    4 << 10,
+		"4k":    4 << 10,
+		"512M":  512 << 20,
+		"2G":    2 << 30,
+		"1T":    1 << 40,
+		" 64k ": 64 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Fatalf("parseBytes(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("parseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "12X", "-5", "G"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q): expected error", bad)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pbspgemm/internal/metrics"
@@ -15,20 +16,40 @@ import (
 )
 
 func main() {
-	var (
-		n       = flag.Int("n", 1<<25, "elements per array (3 arrays of 8 bytes each)")
-		reps    = flag.Int("reps", 5, "timed repetitions, best reported")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stream:", err)
+		os.Exit(1)
+	}
+}
 
-	fmt.Printf("STREAM: 3 arrays x %d elements (%.1f MiB each), %d reps\n",
+// run parses argv and executes the benchmark, writing the report to w. Split
+// from main so tests can drive flag parsing and a tiny run end to end.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 1<<25, "elements per array (3 arrays of 8 bytes each)")
+		reps    = fs.Int("reps", 5, "timed repetitions, best reported")
+		threads = fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	if *reps <= 0 {
+		return fmt.Errorf("-reps must be positive, got %d", *reps)
+	}
+
+	fmt.Fprintf(w, "STREAM: 3 arrays x %d elements (%.1f MiB each), %d reps\n",
 		*n, float64(*n)*8/(1<<20), *reps)
 	res := stream.Run(stream.Options{N: *n, Reps: *reps, Threads: *threads})
 	tb := metrics.NewTable("STREAM results", "kernel", "best GB/s", "avg GB/s", "bytes/rep")
 	for _, r := range res {
 		tb.AddRow(r.Kernel.String(), r.BestGBs, r.AvgGBs, metrics.HumanCount(r.BytesPer))
 	}
-	tb.Render(os.Stdout)
-	fmt.Printf("\nbeta (Roofline) = %.2f GB/s\n", stream.Beta(res))
+	tb.Render(w)
+	fmt.Fprintf(w, "\nbeta (Roofline) = %.2f GB/s\n", stream.Beta(res))
+	return nil
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTiny drives a complete tiny benchmark through flag parsing and
+// report rendering.
+func TestRunTiny(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "4096", "-reps", "1", "-threads", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"STREAM: 3 arrays x 4096 elements",
+		"Copy", "Scale", "Add", "Triad",
+		"beta (Roofline)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDefaultsParse(t *testing.T) {
+	// No flags: parsing must succeed and apply defaults; don't execute the
+	// full-size run, just check the validators by overriding -n small.
+	var sb strings.Builder
+	if err := run([]string{"-n", "1024", "-reps", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 reps") {
+		t.Fatalf("defaulted output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "notanumber"},
+		{"-n", "0"},
+		{"-n", "-5"},
+		{"-reps", "0"},
+		{"-bogusflag"},
+	}
+	for _, argv := range cases {
+		var sb strings.Builder
+		if err := run(argv, &sb); err == nil {
+			t.Errorf("run(%v): expected error, got nil", argv)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module pbspgemm
+
+go 1.21

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"time"
+
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/par"
+)
+
+// This file is the memory-budgeted execution path: A's columns are tiled
+// into panels whose expanded tuples fit Options.MemoryBudgetBytes, each
+// panel runs the expand-sort-compress pipeline of the single-shot algorithm,
+// and the per-(panel, bin) compressed sorted runs are k-way merged bin by
+// bin into the same canonical CSR the single-shot path produces.
+//
+// The tuple buffer — the flops×16-byte allocation that makes the paper's
+// single-shot design infeasible when the expansion exceeds RAM — is bounded
+// by the largest panel. The run arena holds only compressed tuples, whose
+// total is at most Σ_p nnz(C_p) ≤ flops but is near nnz(C) whenever panels
+// capture duplicate folding, so the working set tracks the output rather
+// than the expansion.
+
+// runBudgeted executes the multi-panel pipeline. Caller guarantees
+// npanels >= 2 and flops > 0.
+func (e *engine) runBudgeted() *matrix.CSR {
+	ws := e.ws
+	growPairs(&ws.tuples, e.maxPanelFlops)
+	ws.runs = ws.runs[:0]
+	ws.runStart = ws.runStart[:0]
+	ws.runBins = ws.runBins[:0]
+	matrix.GrowInt64(&ws.binOut, e.nbins)
+
+	for p := 0; p < e.npanels; p++ {
+		lo, hi := ws.panelStart[p], ws.panelStart[p+1]
+
+		t0 := time.Now()
+		e.panelPlan(lo, hi)
+		e.st.Symbolic += time.Since(t0)
+
+		t0 = time.Now()
+		e.expandPanel(lo)
+		e.st.Expand += time.Since(t0)
+
+		t0 = time.Now()
+		e.sortBins()
+		e.st.Sort += time.Since(t0)
+
+		t0 = time.Now()
+		e.compressPanel()
+		e.appendRuns()
+		e.st.Compress += time.Since(t0)
+	}
+	ws.runStart = append(ws.runStart, int64(len(ws.runs))) // closing boundary
+
+	t0 := time.Now()
+	e.groupRuns()
+	e.mergeBins()
+	e.st.Merge = time.Since(t0)
+
+	t0 = time.Now()
+	c := e.assemble(ws.merged, ws.mergedStart)
+	e.st.Assemble = time.Since(t0)
+	return c
+}
+
+// compressPanel folds duplicate keys within each sorted bin segment of the
+// current panel. Row tallies are deferred to the merge (a row's final count
+// is only known once all panels' runs are folded).
+func (e *engine) compressPanel() {
+	bs, tuples, binOut := e.ws.binStart, e.ws.tuples, e.ws.binOut
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]], 0, e.colBits, nil)
+		}
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]], 0, e.colBits, nil)
+		})
+	}
+}
+
+// appendRuns copies the current panel's nonempty compressed bin segments
+// into the run arena, recording one sorted, duplicate-free run per
+// (panel, bin). Growth is append's amortized doubling; in steady state the
+// pooled capacity suffices and nothing allocates.
+func (e *engine) appendRuns() {
+	ws := e.ws
+	for bin := 0; bin < e.nbins; bin++ {
+		n := ws.binOut[bin]
+		if n == 0 {
+			continue
+		}
+		ws.runBins = append(ws.runBins, int32(bin))
+		ws.runStart = append(ws.runStart, int64(len(ws.runs)))
+		src := ws.binStart[bin]
+		ws.runs = append(ws.runs, ws.tuples[src:src+n]...)
+	}
+}
+
+// groupRuns counting-sorts run ids by bin (runs were appended panel-major)
+// and lays out the merged-output offsets: bin b's merge writes into
+// merged[mergedStart[b]:mergedStart[b+1]], sized by the bin's total run
+// length (the no-folding upper bound).
+func (e *engine) groupRuns() {
+	ws := e.ws
+	nruns := len(ws.runBins)
+	ris := matrix.GrowInt32(&ws.runIdxStart, e.nbins+1)
+	clear(ris)
+	for _, bin := range ws.runBins {
+		ris[bin+1]++
+	}
+	for bin := 0; bin < e.nbins; bin++ {
+		ris[bin+1] += ris[bin]
+	}
+	ri := matrix.GrowInt32(&ws.runIdx, nruns)
+	cur := matrix.GrowInt64(&ws.binFlops, e.nbins) // free scratch after panelPlan
+	for bin := 0; bin < e.nbins; bin++ {
+		cur[bin] = int64(ris[bin])
+	}
+	for r, bin := range ws.runBins {
+		ri[cur[bin]] = int32(r)
+		cur[bin]++
+	}
+
+	ms := matrix.GrowInt64(&ws.mergedStart, e.nbins+1)
+	ms[0] = 0
+	maxRuns := 0
+	for bin := 0; bin < e.nbins; bin++ {
+		var sum int64
+		group := ri[ris[bin]:ris[bin+1]]
+		for _, r := range group {
+			sum += ws.runStart[r+1] - ws.runStart[r]
+		}
+		ms[bin+1] = ms[bin] + sum
+		if len(group) > maxRuns {
+			maxRuns = len(group)
+		}
+	}
+	e.maxRunsPerBin = maxRuns
+	growPairs(&ws.merged, ms[e.nbins])
+	matrix.GrowInt64(&ws.heads, e.opt.Threads*maxRuns)
+}
+
+// mergeBins k-way merges each bin's runs into the merged buffer, folding
+// equal keys with + and tallying per-row output counts. Bins are
+// independent (disjoint row ranges), so they run under the same dynamic
+// schedule as sort and compress.
+func (e *engine) mergeBins() {
+	matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			e.mergeBin(0, bin)
+		}
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			e.mergeBin(worker, bin)
+		})
+	}
+}
+
+// mergeBin merges one bin's sorted, duplicate-free runs. Runs individually
+// have unique keys, so a duplicate can only pair tuples from different
+// panels and the output stays ascending: comparing against the last written
+// tuple is a complete folding rule. The head scan is linear in the run
+// count k (k ≤ npanels); bins are L2-sized, so the merge stays in cache.
+func (e *engine) mergeBin(worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dstBase := ws.mergedStart[bin]
+	dst := dstBase
+
+	switch k {
+	case 0:
+		ws.binOut[bin] = 0
+		return
+	case 1:
+		r := group[0]
+		n := ws.runStart[r+1] - ws.runStart[r]
+		copy(ws.merged[dst:dst+n], ws.runs[ws.runStart[r]:ws.runStart[r+1]])
+		dst += n
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		for {
+			best := -1
+			var bestKey uint64
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue // run exhausted
+				}
+				if key := ws.runs[h].Key; best < 0 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			p := ws.runs[heads[best]]
+			heads[best]++
+			if dst > dstBase && ws.merged[dst-1].Key == p.Key {
+				ws.merged[dst-1].Val += p.Val
+			} else {
+				ws.merged[dst] = p
+				dst++
+			}
+		}
+	}
+	ws.binOut[bin] = dst - dstBase
+	firstRow := int32(bin) * e.rowsPerBin
+	for i := dstBase; i < dst; i++ {
+		row := firstRow + int32(ws.merged[i].Key>>e.colBits)
+		ws.rowCounts[row+1]++
+	}
+}

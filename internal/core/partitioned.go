@@ -48,9 +48,12 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 
 	// Extract each row band of A as its own CSC and multiply. Bands run
 	// sequentially here, each internally parallel; on a real NUMA machine
-	// each band would be pinned to a socket.
+	// each band would be pinned to a socket. A shared workspace is reused by
+	// every band, so each band's result (which aliases the workspace) is
+	// cloned before the next band overwrites it, and its stats are folded in
+	// immediately.
+	agg := &Stats{}
 	bandC := make([]*matrix.CSR, parts)
-	bandStats := make([]*Stats, parts)
 	for p := 0; p < parts; p++ {
 		lo, hi := int32(bounds[p]), int32(bounds[p+1])
 		band := extractRowBand(a, lo, hi)
@@ -58,8 +61,23 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 		if err != nil {
 			return nil, nil, err
 		}
+		if opt.Workspace != nil {
+			c = c.Clone()
+		}
 		bandC[p] = c
-		bandStats[p] = st
+		agg.Symbolic += st.Symbolic
+		agg.Expand += st.Expand
+		agg.Sort += st.Sort
+		agg.Compress += st.Compress
+		agg.Merge += st.Merge
+		agg.Assemble += st.Assemble
+		agg.Flops += st.Flops
+		if st.NBins > agg.NBins {
+			agg.NBins = st.NBins
+		}
+		if st.NPanels > agg.NPanels {
+			agg.NPanels = st.NPanels
+		}
 	}
 
 	// Concatenate bands: band p holds rows [bounds[p], bounds[p+1]) of C.
@@ -86,20 +104,7 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 		}
 	}
 
-	// Aggregate stats: phase times sum over bands; traffic adds the extra
-	// (parts-1)·nnz(B) reads the partitioning costs.
-	agg := &Stats{}
-	for _, st := range bandStats {
-		agg.Symbolic += st.Symbolic
-		agg.Expand += st.Expand
-		agg.Sort += st.Sort
-		agg.Compress += st.Compress
-		agg.Assemble += st.Assemble
-		agg.Flops += st.Flops
-		if st.NBins > agg.NBins {
-			agg.NBins = st.NBins
-		}
-	}
+	// Traffic model: the partitioning adds (parts-1)·nnz(B) extra reads.
 	agg.NNZC = nnzc
 	if nnzc > 0 {
 		agg.CF = float64(agg.Flops) / float64(nnzc)

@@ -23,6 +23,18 @@
 //     equal keys; a final parallel pass assembles canonical CSR (bins cover
 //     disjoint, ordered row ranges, so concatenating compressed bins is
 //     already CSR order).
+//
+// Two execution-engine extensions go beyond the paper's single-shot design:
+//
+//   - A Workspace pools the tuple buffer, local bins and all plan arrays
+//     across calls (grow-only), so repeated multiplications run with zero
+//     steady-state heap allocations instead of re-allocating the
+//     flops×16-byte expansion every call.
+//   - Options.MemoryBudgetBytes tiles A's columns into panels whose expanded
+//     tuples fit the budget; each panel runs expand-sort-compress into
+//     per-bin sorted runs, and a final k-way merge per bin folds the runs
+//     into the same canonical CSR the single-shot path produces. This serves
+//     products whose flops×16 expansion exceeds RAM.
 package core
 
 import (
@@ -62,6 +74,20 @@ type Options struct {
 	// L2CacheBytes is the per-bin cache budget used to auto-size NBins;
 	// 0 means DefaultL2CacheBytes.
 	L2CacheBytes int
+	// MemoryBudgetBytes caps the expanded-tuple buffer — the flops×16-byte
+	// working set that dominates PB-SpGEMM's footprint. When positive and
+	// smaller than flops×16, A's columns are tiled into panels whose
+	// expanded tuples each fit the budget, and per-panel compressed runs are
+	// k-way merged into the final CSR. 0 means unlimited (one panel, the
+	// paper's single-shot algorithm). The budget is best-effort: one column
+	// of A is the smallest schedulable unit, so a single column whose outer
+	// product alone exceeds the budget still runs as its own panel.
+	MemoryBudgetBytes int64
+	// Workspace, if non-nil, supplies grow-only pooled buffers reused across
+	// calls (zero steady-state allocations when Threads == 1). The returned
+	// CSR and Stats then alias workspace memory and are invalidated by the
+	// next call using the same workspace.
+	Workspace *Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -79,12 +105,18 @@ func (o Options) withDefaults() Options {
 // (Table III), from which sustained bandwidth per phase is derived.
 type Stats struct {
 	Symbolic, Expand, Sort, Compress, Assemble time.Duration
-	Total                                      time.Duration
+	// Merge is the time spent k-way merging per-bin runs; nonzero only on
+	// budgeted (multi-panel) runs.
+	Merge time.Duration
+	Total time.Duration
 
 	Flops int64 // multiplications performed (nnz of C-hat)
 	NNZC  int64 // nonzeros in the final C
 	NBins int   // global bins used
-	CF    float64
+	// NPanels is the number of column panels the run was tiled into
+	// (1 unless MemoryBudgetBytes forced tiling).
+	NPanels int
+	CF      float64
 
 	// Traffic model (bytes), following Eq. 4 / Table III:
 	// expand reads both inputs and writes flop tuples; sort reads them back;
@@ -122,113 +154,211 @@ func gbs(bytes int64, d time.Duration) float64 {
 	return float64(bytes) / sec / 1e9
 }
 
-// plan is the output of the symbolic phase: bin geometry and per-bin extents.
-type plan struct {
-	flops      int64
-	nbins      int
-	rowsPerBin int32
-	colBits    uint
-	binStart   []int64 // exclusive prefix sum of per-bin flop counts, len nbins+1
-	colBounds  []int   // thread boundaries over columns, balanced by colFlops
+// engine is the per-call execution state. It lives inside the Workspace so
+// that the parallel paths' closures (which capture the engine pointer) never
+// force a per-call heap allocation, and so the Threads==1 paths touch no
+// allocator at all in steady state.
+type engine struct {
+	a      *matrix.CSC
+	b      *matrix.CSR
+	opt    Options
+	ws     *Workspace
+	shared bool // ws is caller-owned: pool result CSR and Stats too
+
+	flops         int64
+	maxPanelFlops int64 // largest single panel's flop count
+	nbins         int
+	npanels       int
+	rowsPerBin    int32
+	colBits       uint
+	localCap      int32 // tuples per thread-private local bin
+	maxRunsPerBin int   // k of the k-way merge (budgeted path)
+
+	st *Stats
 }
 
 // Multiply computes C = A*B with PB-SpGEMM. A must be CSC and B CSR, the
 // layouts the outer product streams naturally (Algorithm 2 takes exactly
-// these). The returned stats are always non-nil.
+// these). The returned stats are always non-nil. When opt.Workspace is set,
+// the returned CSR and Stats alias workspace memory (Clone the CSR to keep
+// it past the next call).
 func Multiply(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
 	opt = opt.withDefaults()
 	if a.NumCols != b.NumRows {
 		return nil, nil, fmt.Errorf("core: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
 	}
-	st := &Stats{}
-	totalStart := time.Now()
-
-	// --- Phase 1: symbolic -------------------------------------------------
-	t0 := time.Now()
-	pl := symbolic(a, b, opt)
-	tuples := make([]radix.Pair, pl.flops)
-	st.Symbolic = time.Since(t0)
-	st.Flops = pl.flops
-	st.NBins = pl.nbins
-
-	if pl.flops == 0 {
-		c := matrix.NewCSR(a.NumRows, b.NumCols, 0)
-		st.Total = time.Since(totalStart)
-		return c, st, nil
+	ws := opt.Workspace
+	shared := ws != nil
+	if !shared {
+		ws = &Workspace{}
 	}
-
-	// --- Phase 2: expand ---------------------------------------------------
-	t0 = time.Now()
-	expand(a, b, pl, tuples, opt)
-	st.Expand = time.Since(t0)
-	st.ExpandBytes = matrix.BytesPerTuple * (a.NNZ() + b.NNZ() + pl.flops)
-
-	// --- Phase 3: sort -----------------------------------------------------
-	t0 = time.Now()
-	par.ForEachDynamic(pl.nbins, opt.Threads, func(_, bin int) {
-		lo, hi := pl.binStart[bin], pl.binStart[bin+1]
-		radix.SortPairsInPlace(tuples[lo:hi])
-	})
-	st.Sort = time.Since(t0)
-	st.SortBytes = matrix.BytesPerTuple * pl.flops
-
-	// --- Phase 4: compress + CSR assembly ----------------------------------
-	t0 = time.Now()
-	binOut := make([]int64, pl.nbins)
-	rowCounts := make([]int64, a.NumRows+1)
-	par.ForEachDynamic(pl.nbins, opt.Threads, func(_, bin int) {
-		lo, hi := pl.binStart[bin], pl.binStart[bin+1]
-		binOut[bin] = compressBin(tuples[lo:hi],
-			int32(bin)*pl.rowsPerBin, pl.colBits, rowCounts)
-	})
-	st.Compress = time.Since(t0)
-
-	t0 = time.Now()
-	c := assemble(a.NumRows, b.NumCols, pl, tuples, binOut, rowCounts, opt)
-	st.Assemble = time.Since(t0)
-	st.NNZC = c.NNZ()
-	st.CompressBytes = matrix.BytesPerTuple * st.NNZC
-	if st.NNZC > 0 {
-		st.CF = float64(st.Flops) / float64(st.NNZC)
+	e := &ws.eng
+	*e = engine{a: a, b: b, opt: opt, ws: ws, shared: shared}
+	if shared {
+		ws.stats = Stats{}
+		e.st = &ws.stats
+	} else {
+		e.st = &Stats{}
 	}
-	st.Total = time.Since(totalStart)
+	c := e.run()
+	st := e.st
+	// Drop input references so a long-lived workspace doesn't pin matrices.
+	e.a, e.b, e.st = nil, nil, nil
 	return c, st, nil
 }
 
-// symbolic implements Algorithm 3 plus bin planning: it computes flop from
-// the pointer arrays only, derives nbins so one bin's tuples fit the L2
-// budget, and computes exact per-bin capacities with one pass over A's
-// nonzeros (bins are contiguous row ranges, Fig. 4).
-func symbolic(a *matrix.CSC, b *matrix.CSR, opt Options) *plan {
-	k := int(a.NumCols)
-	colFlops := make([]int64, k)
-	par.ForRanges(k, opt.Threads, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			colFlops[i] = a.ColNNZ(int32(i)) * b.RowNNZ(int32(i))
+func (e *engine) run() *matrix.CSR {
+	totalStart := time.Now()
+
+	t0 := time.Now()
+	e.symbolic()
+	e.planPanels()
+	e.planBins()
+	e.st.Symbolic = time.Since(t0)
+	e.st.Flops = e.flops
+	e.st.NBins = e.nbins
+	e.st.NPanels = e.npanels
+
+	if e.flops == 0 {
+		c := e.newResult(0)
+		e.st.Total = time.Since(totalStart)
+		return c
+	}
+
+	var c *matrix.CSR
+	if e.npanels == 1 {
+		c = e.runSingleShot()
+	} else {
+		c = e.runBudgeted()
+	}
+	e.st.NNZC = c.NNZ()
+	e.st.ExpandBytes = matrix.BytesPerTuple * (e.a.NNZ() + e.b.NNZ() + e.flops)
+	e.st.SortBytes = matrix.BytesPerTuple * e.flops
+	e.st.CompressBytes = matrix.BytesPerTuple * e.st.NNZC
+	if e.st.NNZC > 0 {
+		e.st.CF = float64(e.st.Flops) / float64(e.st.NNZC)
+	}
+	e.st.Total = time.Since(totalStart)
+	return c
+}
+
+// runSingleShot is the paper's algorithm: one panel covering all of A's
+// columns, compress directly tallying row counts, assemble from the tuple
+// buffer.
+func (e *engine) runSingleShot() *matrix.CSR {
+	t0 := time.Now()
+	e.panelPlan(0, int(e.a.NumCols))
+	growPairs(&e.ws.tuples, e.flops)
+	e.st.Symbolic += time.Since(t0)
+
+	t0 = time.Now()
+	e.expandPanel(0)
+	e.st.Expand = time.Since(t0)
+
+	t0 = time.Now()
+	e.sortBins()
+	e.st.Sort = time.Since(t0)
+
+	t0 = time.Now()
+	binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
+	rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
+	bs, tuples := e.ws.binStart, e.ws.tuples
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]],
+				int32(bin)*e.rowsPerBin, e.colBits, rowCounts)
 		}
-	})
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]],
+				int32(bin)*e.rowsPerBin, e.colBits, rowCounts)
+		})
+	}
+	e.st.Compress = time.Since(t0)
+
+	t0 = time.Now()
+	c := e.assemble(tuples, bs)
+	e.st.Assemble = time.Since(t0)
+	return c
+}
+
+// symbolic implements Algorithm 3's flop count: per-column flops from the
+// pointer arrays only, plus the packed-key geometry.
+func (e *engine) symbolic() {
+	k := int(e.a.NumCols)
+	cf := matrix.GrowInt64(&e.ws.colFlops, k)
+	if e.opt.Threads == 1 {
+		for i := 0; i < k; i++ {
+			cf[i] = e.a.ColNNZ(int32(i)) * e.b.RowNNZ(int32(i))
+		}
+	} else {
+		a, b := e.a, e.b
+		par.ForRanges(k, e.opt.Threads, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cf[i] = a.ColNNZ(int32(i)) * b.RowNNZ(int32(i))
+			}
+		})
+	}
 	var flops int64
-	for _, f := range colFlops {
+	for _, f := range cf {
 		flops += f
 	}
-
-	pl := &plan{flops: flops}
-	pl.colBits = uint(bits.Len32(uint32(b.NumCols)))
-	if pl.colBits == 0 {
-		pl.colBits = 1
+	e.flops = flops
+	e.colBits = uint(bits.Len32(uint32(e.b.NumCols)))
+	if e.colBits == 0 {
+		e.colBits = 1
 	}
+}
 
-	// nbins = flop*tupleBytes / L2 (Algorithm 3 line 6), clamped to [1, rows].
-	// The auto value is additionally capped at 2048: the paper uses 1K-2K
-	// bins in practice (Section V-A) because each thread also keeps one
-	// local bin per global bin, and nbins*LocalBinBytes must stay within the
-	// cache for the expand phase to stream (Fig. 5). Callers can override
-	// with an explicit NBins.
+// planPanels tiles A's columns into contiguous panels whose expanded-tuple
+// footprint (panel flops × 16 bytes) fits MemoryBudgetBytes. With no budget
+// (or a budget the whole product fits) there is exactly one panel.
+func (e *engine) planPanels() {
+	k := int(e.a.NumCols)
+	cf := e.ws.colFlops
+	ps := e.ws.panelStart[:0]
+	ps = append(ps, 0)
+	budgetTuples := e.opt.MemoryBudgetBytes / tupleBytes
+	if e.opt.MemoryBudgetBytes <= 0 || e.flops <= budgetTuples {
+		ps = append(ps, k)
+		e.maxPanelFlops = e.flops
+	} else {
+		var cur, maxf int64
+		for i := 0; i < k; i++ {
+			if cur > 0 && cur+cf[i] > budgetTuples {
+				ps = append(ps, i)
+				if cur > maxf {
+					maxf = cur
+				}
+				cur = 0
+			}
+			cur += cf[i]
+		}
+		ps = append(ps, k)
+		if cur > maxf {
+			maxf = cur
+		}
+		e.maxPanelFlops = maxf
+	}
+	e.ws.panelStart = ps
+	e.npanels = len(ps) - 1
+}
+
+// planBins derives the bin geometry (Algorithm 3 line 6) from the largest
+// panel's flop count, so each panel's bins fit the L2 budget during sorting.
+// Bins are fixed row ranges of A, identical across panels, which is what
+// lets per-panel runs merge bin-by-bin.
+func (e *engine) planBins() {
+	// The auto value is capped at 2048: the paper uses 1K-2K bins in
+	// practice (Section V-A) because each thread also keeps one local bin
+	// per global bin, and nbins*LocalBinBytes must stay within the cache for
+	// the expand phase to stream (Fig. 5). Callers can override with an
+	// explicit NBins.
 	const maxAutoBins = 2048
-	nbins := opt.NBins
+	nbins := e.opt.NBins
 	if nbins <= 0 {
-		nbins = int((flops*tupleBytes + int64(opt.L2CacheBytes) - 1) / int64(opt.L2CacheBytes))
+		nbins = int((e.maxPanelFlops*tupleBytes + int64(e.opt.L2CacheBytes) - 1) / int64(e.opt.L2CacheBytes))
 		if nbins > maxAutoBins {
 			nbins = maxAutoBins
 		}
@@ -236,130 +366,176 @@ func symbolic(a *matrix.CSC, b *matrix.CSR, opt Options) *plan {
 	if nbins < 1 {
 		nbins = 1
 	}
-	if int64(nbins) > int64(a.NumRows) && a.NumRows > 0 {
-		nbins = int(a.NumRows)
+	if int64(nbins) > int64(e.a.NumRows) && e.a.NumRows > 0 {
+		nbins = int(e.a.NumRows)
 	}
-	rowsPerBin := (a.NumRows + int32(nbins) - 1) / int32(nbins)
+	rowsPerBin := (e.a.NumRows + int32(nbins) - 1) / int32(nbins)
 	if rowsPerBin < 1 {
 		rowsPerBin = 1
 	}
 	// Recompute nbins from rowsPerBin so bins exactly tile [0, rows).
-	if a.NumRows > 0 {
-		nbins = int((a.NumRows + rowsPerBin - 1) / rowsPerBin)
+	if e.a.NumRows > 0 {
+		nbins = int((e.a.NumRows + rowsPerBin - 1) / rowsPerBin)
 	}
-	pl.nbins = nbins
-	pl.rowsPerBin = rowsPerBin
+	e.nbins = nbins
+	e.rowsPerBin = rowsPerBin
 
-	// Per-bin flop counts: one pass over A's nonzeros, accumulated into
-	// per-thread arrays (nbins is small) and reduced.
-	threads := opt.Threads
-	perThread := make([][]int64, threads)
-	pl.colBounds = par.BalancedBoundaries(colFlops, threads)
-	par.ParallelRun(threads, func(t int) {
-		local := make([]int64, nbins)
-		lo, hi := pl.colBounds[t], pl.colBounds[t+1]
-		for i := lo; i < hi; i++ {
-			bRow := b.RowNNZ(int32(i))
-			if bRow == 0 {
-				continue
-			}
-			for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-				local[a.RowIdx[p]/rowsPerBin] += bRow
-			}
-		}
-		perThread[t] = local
-	})
-	binFlops := make([]int64, nbins)
-	for _, local := range perThread {
-		for bin, c := range local {
-			binFlops[bin] += c
-		}
+	capT := int32(e.opt.LocalBinBytes / tupleBytes)
+	if capT < 1 {
+		capT = 1
 	}
-	pl.binStart = make([]int64, nbins+1)
-	par.PrefixSum(binFlops, pl.binStart)
-	return pl
+	e.localCap = capT
 }
 
-// localBins is one thread's set of propagation-blocking buffers: a flat
-// backing array of capacity tuples per bin (Fig. 5).
-type localBins struct {
-	buf  []radix.Pair
-	lens []int32
-	cap  int32
-}
-
-func newLocalBins(nbins, binBytes int) *localBins {
-	capTuples := int32(binBytes / tupleBytes)
-	if capTuples < 1 {
-		capTuples = 1
-	}
-	return &localBins{
-		buf:  make([]radix.Pair, int32(nbins)*capTuples),
-		lens: make([]int32, nbins),
-		cap:  capTuples,
-	}
-}
-
-// expand runs the outer-product expansion with propagation blocking
-// (Algorithm 2 lines 5–18). Global-bin space was exactly pre-sized by the
-// symbolic phase; each flush reserves a range with a per-bin cursor and
-// copies the local bin in one go (the paper's MemCopy).
-func expand(a *matrix.CSC, b *matrix.CSR, pl *plan, tuples []radix.Pair, opt Options) {
-	// Per-bin write cursors. Each bin's range is written by many threads, so
-	// reservation must be atomic; int64 via sync/atomic on a padded slice
-	// would be ideal, but plain atomic adds on a []int64 keep it simple.
-	cursors := make([]int64, pl.nbins)
-	copy(cursors, pl.binStart[:pl.nbins])
-	var cursorSlots atomicInt64Slice = cursors
-
-	par.ParallelRun(opt.Threads, func(t int) {
-		lb := newLocalBins(pl.nbins, opt.LocalBinBytes)
-		flush := func(bin int32) {
-			n := lb.lens[bin]
-			if n == 0 {
-				return
-			}
-			off := cursorSlots.add(int(bin), int64(n)) - int64(n)
-			base := bin * lb.cap
-			copy(tuples[off:off+int64(n)], lb.buf[base:base+n])
-			lb.lens[bin] = 0
-		}
-		lo, hi := pl.colBounds[t], pl.colBounds[t+1]
-		for i := lo; i < hi; i++ {
-			bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
-			if bLo == bHi {
-				continue
-			}
-			for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-				r := a.RowIdx[p]
-				av := a.Val[p]
-				bin := r / pl.rowsPerBin
-				localRow := uint64(r-bin*pl.rowsPerBin) << pl.colBits
-				base := bin * lb.cap
-				ln := lb.lens[bin]
-				for q := bLo; q < bHi; q++ {
-					if ln == lb.cap {
-						lb.lens[bin] = ln
-						flush(bin)
-						ln = 0
-					}
-					lb.buf[base+ln] = radix.Pair{Key: localRow | uint64(b.ColIdx[q]), Val: av * b.Val[q]}
-					ln++
+// panelPlan computes per-bin flop counts for columns [lo, hi) of A with one
+// pass over the panel's nonzeros, leaving the exclusive prefix in
+// ws.binStart and flop-balanced thread boundaries (relative to lo) in
+// ws.colBounds. Returns the panel's flop count.
+func (e *engine) panelPlan(lo, hi int) int64 {
+	nbins := e.nbins
+	threads := e.opt.Threads
+	binFlops := matrix.GrowInt64Zero(&e.ws.binFlops, nbins)
+	e.ws.colBounds = par.BalancedBoundariesInto(
+		e.ws.colFlops[lo:hi], threads, matrix.GrowInt(&e.ws.colBounds, threads+1))
+	if threads == 1 {
+		e.countPanelBins(lo, hi, binFlops)
+	} else {
+		pt := matrix.GrowInt64Zero(&e.ws.perThread, threads*nbins)
+		a, b, rpb := e.a, e.b, e.rowsPerBin
+		bounds := e.ws.colBounds
+		par.ParallelRun(threads, func(t int) {
+			local := pt[t*nbins : (t+1)*nbins]
+			for i := lo + bounds[t]; i < lo+bounds[t+1]; i++ {
+				bRow := b.RowNNZ(int32(i))
+				if bRow == 0 {
+					continue
 				}
-				lb.lens[bin] = ln
+				for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+					local[a.RowIdx[p]/rpb] += bRow
+				}
+			}
+		})
+		for t := 0; t < threads; t++ {
+			local := pt[t*nbins : (t+1)*nbins]
+			for bin, c := range local {
+				binFlops[bin] += c
 			}
 		}
-		// Drain partially-filled local bins (Algorithm 2 lines 15–18).
-		for bin := int32(0); bin < int32(pl.nbins); bin++ {
-			flush(bin)
+	}
+	return par.PrefixSum(binFlops, matrix.GrowInt64(&e.ws.binStart, nbins+1))
+}
+
+func (e *engine) countPanelBins(lo, hi int, binFlops []int64) {
+	a, b, rpb := e.a, e.b, e.rowsPerBin
+	for i := lo; i < hi; i++ {
+		bRow := b.RowNNZ(int32(i))
+		if bRow == 0 {
+			continue
 		}
-	})
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			binFlops[a.RowIdx[p]/rpb] += bRow
+		}
+	}
+}
+
+// expandPanel runs the outer-product expansion with propagation blocking
+// (Algorithm 2 lines 5–18) over the panel starting at column lo, writing
+// into ws.tuples at the offsets ws.binStart laid out. Global-bin space was
+// exactly pre-sized by panelPlan; each flush reserves a range with an atomic
+// per-bin cursor and copies the local bin in one go (the paper's MemCopy).
+func (e *engine) expandPanel(lo int) {
+	threads := e.opt.Threads
+	nbins := e.nbins
+	cursors := matrix.GrowInt64(&e.ws.cursors, nbins)
+	copy(cursors, e.ws.binStart[:nbins])
+	growPairs(&e.ws.locals, int64(threads)*int64(nbins)*int64(e.localCap))
+	lens := matrix.GrowInt32(&e.ws.localLens, threads*nbins)
+	clear(lens)
+	if threads == 1 {
+		e.expandRange(0, lo)
+	} else {
+		par.ParallelRun(threads, func(t int) { e.expandRange(t, lo) })
+	}
+}
+
+// expandRange is one worker's share of expandPanel: the panel columns
+// [lo+colBounds[t], lo+colBounds[t+1]).
+func (e *engine) expandRange(t, lo int) {
+	a, b := e.a, e.b
+	nbins := int32(e.nbins)
+	capT := e.localCap
+	// Offsets in int64: threads × nbins × capT can exceed int32 range.
+	stride := int64(e.nbins) * int64(capT)
+	buf := e.ws.locals[int64(t)*stride : int64(t+1)*stride]
+	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
+	tuples := e.ws.tuples
+	var cursors atomicInt64Slice = e.ws.cursors
+
+	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
+		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+		if bLo == bHi {
+			continue
+		}
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			r := a.RowIdx[p]
+			av := a.Val[p]
+			bin := r / e.rowsPerBin
+			localRow := uint64(r-bin*e.rowsPerBin) << e.colBits
+			base := int64(bin) * int64(capT)
+			ln := lens[bin]
+			for q := bLo; q < bHi; q++ {
+				if ln == capT {
+					lens[bin] = ln
+					flushLocalBin(bin, buf, lens, tuples, cursors, capT)
+					ln = 0
+				}
+				buf[base+int64(ln)] = radix.Pair{Key: localRow | uint64(b.ColIdx[q]), Val: av * b.Val[q]}
+				ln++
+			}
+			lens[bin] = ln
+		}
+	}
+	// Drain partially-filled local bins (Algorithm 2 lines 15–18).
+	for bin := int32(0); bin < nbins; bin++ {
+		flushLocalBin(bin, buf, lens, tuples, cursors, capT)
+	}
+}
+
+// flushLocalBin bulk-copies one thread-private local bin to its global bin,
+// reserving the destination range with an atomic cursor add.
+func flushLocalBin(bin int32, buf []radix.Pair, lens []int32,
+	tuples []radix.Pair, cursors atomicInt64Slice, capT int32) {
+
+	n := lens[bin]
+	if n == 0 {
+		return
+	}
+	off := cursors.add(int(bin), int64(n)) - int64(n)
+	base := int64(bin) * int64(capT)
+	copy(tuples[off:off+int64(n)], buf[base:base+int64(n)])
+	lens[bin] = 0
+}
+
+// sortBins radix-sorts each global bin of the current panel independently.
+func (e *engine) sortBins() {
+	bs, tuples := e.ws.binStart, e.ws.tuples
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			radix.SortPairsInPlace(tuples[bs[bin]:bs[bin+1]])
+		}
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+			radix.SortPairsInPlace(tuples[bs[bin]:bs[bin+1]])
+		})
+	}
 }
 
 // compressBin is the paper's two-pointer in-place merge (Section III-E): p1
 // walks the sorted tuples, p2 tracks the write position; equal keys fold
-// their values into the tuple at p2. It also tallies per-row output counts
-// (rows of a bin are touched by no other bin, so the shared slice is safe).
+// their values into the tuple at p2. When rowCounts is non-nil it also
+// tallies per-row output counts (rows of a bin are touched by no other bin,
+// so the shared slice is safe); the budgeted path passes nil and tallies
+// during the final merge instead.
 func compressBin(tuples []radix.Pair, firstRow int32, colBits uint, rowCounts []int64) int64 {
 	if len(tuples) == 0 {
 		return 0
@@ -374,36 +550,65 @@ func compressBin(tuples []radix.Pair, firstRow int32, colBits uint, rowCounts []
 		tuples[p2] = tuples[p1]
 	}
 	out := int64(p2 + 1)
-	for i := int64(0); i < out; i++ {
-		row := firstRow + int32(tuples[i].Key>>colBits)
-		rowCounts[row+1]++
+	if rowCounts != nil {
+		for i := int64(0); i < out; i++ {
+			row := firstRow + int32(tuples[i].Key>>colBits)
+			rowCounts[row+1]++
+		}
 	}
 	return out
 }
 
-// assemble builds canonical CSR from the compressed bins. Bins hold disjoint
-// ascending row ranges and each bin is sorted, so compressed tuples are
-// already in global CSR order; assembly is two prefix sums plus one parallel
-// unpacking copy.
-func assemble(rows, cols int32, pl *plan, tuples []radix.Pair,
-	binOut, rowCounts []int64, opt Options) *matrix.CSR {
+// assemble builds canonical CSR from the compressed bins in src (the tuple
+// buffer on single-shot runs, the merged-run buffer on budgeted runs).
+// Bins hold disjoint ascending row ranges and each bin is sorted, so
+// compressed tuples are already in global CSR order; assembly is two prefix
+// sums plus one parallel unpacking copy. ws.binOut and ws.rowCounts must be
+// populated.
+func (e *engine) assemble(src []radix.Pair, srcStart []int64) *matrix.CSR {
+	binOut := e.ws.binOut
+	binOutStart := matrix.GrowInt64(&e.ws.binOutStart, e.nbins+1)
+	nnzc := par.PrefixSum(binOut, binOutStart)
 
-	var nnzc int64
-	binOutStart := make([]int64, pl.nbins+1)
-	nnzc = par.PrefixSum(binOut, binOutStart)
-
-	c := matrix.NewCSR(rows, cols, nnzc)
-	for i := int32(0); i < rows; i++ {
+	c := e.newResult(nnzc)
+	rowCounts := e.ws.rowCounts
+	c.RowPtr[0] = 0
+	for i := int32(0); i < e.a.NumRows; i++ {
 		c.RowPtr[i+1] = c.RowPtr[i] + rowCounts[i+1]
 	}
-	colMask := uint64(1)<<pl.colBits - 1
-	par.ForEachDynamic(pl.nbins, opt.Threads, func(_, bin int) {
-		src := pl.binStart[bin]
-		dst := binOutStart[bin]
-		for j := int64(0); j < binOut[bin]; j++ {
-			c.ColIdx[dst+j] = int32(tuples[src+j].Key & colMask)
-			c.Val[dst+j] = tuples[src+j].Val
+	colMask := uint64(1)<<e.colBits - 1
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			unpackBin(c, src, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
 		}
-	})
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+			unpackBin(c, src, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
+		})
+	}
 	return c
+}
+
+func unpackBin(c *matrix.CSR, src []radix.Pair, srcOff, dstOff, n int64, colMask uint64) {
+	for j := int64(0); j < n; j++ {
+		c.ColIdx[dstOff+j] = int32(src[srcOff+j].Key & colMask)
+		c.Val[dstOff+j] = src[srcOff+j].Val
+	}
+}
+
+// newResult returns the output CSR: freshly allocated normally, or carved
+// from the workspace's pooled output arrays when the workspace is shared.
+func (e *engine) newResult(nnzc int64) *matrix.CSR {
+	rows, cols := e.a.NumRows, e.b.NumCols
+	if !e.shared {
+		return matrix.NewCSR(rows, cols, nnzc)
+	}
+	ws := e.ws
+	ws.out = matrix.CSR{
+		NumRows: rows, NumCols: cols,
+		RowPtr: matrix.GrowInt64Zero(&ws.outRowPtr, int(rows)+1),
+		ColIdx: matrix.GrowInt32(&ws.outColIdx, int(nnzc)),
+		Val:    matrix.GrowFloat64(&ws.outVal, nnzc),
+	}
+	return &ws.out
 }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/radix"
+)
+
+// Workspace pools every buffer the PB-SpGEMM engine needs across calls.
+// Buffers are grow-only: a workspace warmed up on the largest multiplication
+// of a workload performs subsequent multiplications of the same or smaller
+// size with zero heap allocations (exactly zero when Threads == 1; a handful
+// of small goroutine/closure allocations otherwise).
+//
+// A Workspace must not be shared by concurrent Multiply calls. When a call
+// runs with Options.Workspace set, the returned CSR and Stats alias
+// workspace memory and are invalidated by the next call that uses the same
+// workspace; Clone the CSR to keep it.
+type Workspace struct {
+	// tuples is the expanded-tuple buffer for one column panel — the flops×16
+	// byte allocation the unbudgeted single-shot algorithm makes per call.
+	tuples []radix.Pair
+
+	// Budgeted-path buffers: compressed per-(panel,bin) sorted runs, their
+	// metadata, and the per-bin merged output.
+	runs        []radix.Pair
+	merged      []radix.Pair
+	runStart    []int64 // run i occupies runs[runStart[i]:runStart[i+1]]
+	runBins     []int32 // global bin of run i
+	runIdx      []int32 // run ids grouped by bin
+	runIdxStart []int32 // group boundaries into runIdx, len nbins+1
+	mergedStart []int64 // per-bin offsets into merged, len nbins+1
+	heads       []int64 // k-way merge cursors, threads × maxRunsPerBin
+
+	// Plan and phase scratch.
+	colFlops    []int64
+	binFlops    []int64
+	perThread   []int64 // threads × nbins symbolic accumulators
+	binStart    []int64
+	panelStart  []int   // panel boundaries over A's columns, npanels+1
+	colBounds   []int   // thread boundaries over the current panel's columns
+	cursors     []int64
+	binOut      []int64
+	binOutStart []int64
+	rowCounts   []int64
+
+	// Propagation-blocking local bins, flattened threads × nbins × capTuples.
+	locals    []radix.Pair
+	localLens []int32
+
+	// Pooled result storage (used only for shared workspaces).
+	out       matrix.CSR
+	outRowPtr []int64
+	outColIdx []int32
+	outVal    []float64
+
+	// Pooled CSC conversion of A for the public API's CSR-in interface.
+	csc matrix.CSC
+
+	// stats is returned (by pointer) from Multiply when the workspace is
+	// shared, so steady-state calls do not allocate a Stats either.
+	stats Stats
+
+	// eng is the per-call engine state; living inside the workspace keeps it
+	// off the per-call heap (closures in the parallel paths capture &eng).
+	eng engine
+
+	// generic pools the type-erased buffers of the semiring engine.
+	generic GenericSpace
+}
+
+// NewWorkspace returns an empty workspace. All buffers are grown on first
+// use, so constructing one is free.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset drops all pooled memory, returning the workspace to its initial
+// empty state (useful after a one-off huge multiplication).
+func (ws *Workspace) Reset() { *ws = Workspace{} }
+
+// TupleCapBytes reports the current capacity of the pooled expanded-tuple
+// buffer in bytes — the high-water mark MemoryBudgetBytes bounds.
+func (ws *Workspace) TupleCapBytes() int64 { return int64(cap(ws.tuples)) * tupleBytes }
+
+// CSCOf converts a into the workspace's pooled CSC storage. The result
+// aliases workspace memory and is invalidated by the next CSCOf call.
+func (ws *Workspace) CSCOf(a *matrix.CSR) *matrix.CSC { return a.ToCSCInto(&ws.csc) }
+
+// Generic exposes the pooled buffers of the type-generic semiring engine.
+func (ws *Workspace) Generic() *GenericSpace { return &ws.generic }
+
+// GenericSpace pools the buffers of internal/semiring's generic engine. The
+// tuple and value buffers are type-erased (any) because their element type is
+// the semiring's T: reuse hits when T is stable across calls, and a changed T
+// simply reallocates. Plain int slices are shared like the float64 engine's.
+type GenericSpace struct {
+	Tuples, Runs, Merged, OutVal any
+
+	ColFlops, BinFlops, BinStart, Cursor []int64
+	BinOut, BinOutStart, RowCounts       []int64
+	RunStart, MergedStart, Heads         []int64
+	RunBins, RunIdx, RunIdxStart         []int32
+	PanelStart                           []int
+	OutRowPtr                            []int64
+	OutColIdx                            []int32
+}
+
+// growPairs returns (*buf)[:n], reallocating only when capacity is short.
+// Contents are unspecified. (The typed-scalar counterparts are
+// matrix.GrowInt64 and friends.)
+func growPairs(buf *[]radix.Pair, n int64) []radix.Pair {
+	if int64(cap(*buf)) < n {
+		*buf = make([]radix.Pair, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

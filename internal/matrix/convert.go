@@ -87,6 +87,45 @@ func (m *CSR) ToCSC() *CSC {
 	return out
 }
 
+// ToCSCInto is ToCSC reusing out's storage, grown only when capacity is
+// short — the allocation-free conversion the workspace-pooled engine uses.
+// It needs no scratch: ColPtr doubles as the per-column write cursor during
+// the placement pass and is rotated back to exclusive-prefix form after.
+// Returns out.
+func (m *CSR) ToCSCInto(out *CSC) *CSC {
+	nnz := m.NNZ()
+	out.NumRows, out.NumCols = m.NumRows, m.NumCols
+	out.ColPtr = GrowInt64(&out.ColPtr, int(m.NumCols)+1)
+	out.RowIdx = GrowInt32(&out.RowIdx, int(nnz))
+	out.Val = GrowFloat64(&out.Val, nnz)
+	for j := range out.ColPtr {
+		out.ColPtr[j] = 0
+	}
+	for _, c := range m.ColIdx {
+		out.ColPtr[c+1]++
+	}
+	for j := int32(0); j < m.NumCols; j++ {
+		out.ColPtr[j+1] += out.ColPtr[j]
+	}
+	// Place entries using ColPtr[c] as the cursor for column c; row-major
+	// traversal keeps rows ascending within each column.
+	for i := int32(0); i < m.NumRows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			q := out.ColPtr[c]
+			out.RowIdx[q] = i
+			out.Val[q] = m.Val[p]
+			out.ColPtr[c] = q + 1
+		}
+	}
+	// ColPtr[c] now holds end(c) = start(c+1); rotate right to restore starts.
+	for j := m.NumCols; j >= 1; j-- {
+		out.ColPtr[j] = out.ColPtr[j-1]
+	}
+	out.ColPtr[0] = 0
+	return out
+}
+
 // ToCSR converts CSC to CSR (mirror of CSR.ToCSC).
 func (m *CSC) ToCSR() *CSR {
 	nnz := m.NNZ()

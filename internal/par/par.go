@@ -114,17 +114,29 @@ func ForChunksDynamic(n, threads, chunk int, fn func(worker, lo, hi int)) {
 // flop/threads multiplications (the paper's static schedule stays balanced
 // because ER columns are uniform; for RMAT the weights make it balanced too).
 func BalancedBoundaries(weights []int64, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	return BalancedBoundariesInto(weights, parts, make([]int, parts+1))
+}
+
+// BalancedBoundariesInto is BalancedBoundaries writing into a caller-provided
+// slice b of length parts+1 (allocation-free for pooled callers). It returns b.
+func BalancedBoundariesInto(weights []int64, parts int, b []int) []int {
 	n := len(weights)
 	if parts < 1 {
 		parts = 1
 	}
-	b := make([]int, parts+1)
+	b[0] = 0
 	b[parts] = n
 	var total int64
 	for _, w := range weights {
 		total += w
 	}
 	if n == 0 || parts == 1 {
+		for i := 1; i < parts; i++ {
+			b[i] = 0
+		}
 		return b
 	}
 	target := total / int64(parts)

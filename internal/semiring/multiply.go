@@ -3,7 +3,9 @@ package semiring
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
+	"pbspgemm/internal/core"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/par"
 )
@@ -14,35 +16,103 @@ type pair[T any] struct {
 	val T
 }
 
+// Options configures the generic engine. The zero value runs single-shot on
+// all cores with fresh buffers, exactly like the original Multiply.
+type Options struct {
+	// Threads is the worker count for the sort/compress/merge phases;
+	// 0 means GOMAXPROCS. Expansion is sequential in the generic path.
+	Threads int
+	// MemoryBudgetBytes caps the expanded-tuple buffer as in the float64
+	// engine (core.Options.MemoryBudgetBytes): columns are tiled into
+	// panels, per-panel compressed runs are merged per bin with sr.Plus.
+	MemoryBudgetBytes int64
+	// Workspace, if non-nil, pools buffers across calls through the
+	// workspace's type-erased generic arena (core.GenericSpace). Tuple and
+	// value buffers are cached per element type T: reuse hits when T is
+	// stable across calls. The returned matrix then aliases workspace
+	// memory and is invalidated by the next call using the same workspace.
+	Workspace *core.Workspace
+}
+
 // Multiply computes C = A ⊗ B over the semiring sr with the PB-SpGEMM
 // structure: outer-product expansion into row-range bins, per-bin in-place
 // radix sort on packed keys, two-pointer compression folding duplicates
 // with sr.Plus. It is the generic (GraphBLAS-style) counterpart of
 // internal/core.Multiply; the float64 kernel remains the tuned fast path.
 func Multiply[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], threads int) (*CSRg[T], error) {
+	return MultiplyOpts(sr, a, b, Options{Threads: threads})
+}
+
+// MultiplyOpts is Multiply with the full execution-engine options: shared
+// workspace and memory budget (column-panel tiling with per-bin run
+// merging), mirroring the float64 engine.
+func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*CSRg[T], error) {
 	if a.NumCols != b.NumRows {
 		return nil, fmt.Errorf("semiring: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
 	}
-	threads = par.DefaultThreads(threads)
+	threads := par.DefaultThreads(opt.Threads)
+	shared := opt.Workspace != nil
+	gws := &core.GenericSpace{}
+	if shared {
+		gws = opt.Workspace.Generic()
+	}
 
-	// Symbolic: flop count and per-bin capacities (Algorithm 3).
+	// Symbolic: flop count from the pointer arrays (Algorithm 3).
 	k := int(a.NumCols)
-	colFlops := make([]int64, k)
+	colFlops := matrix.GrowInt64(&gws.ColFlops, k)
 	var flops int64
 	for i := 0; i < k; i++ {
 		colFlops[i] = (a.ColPtr[i+1] - a.ColPtr[i]) * (b.RowPtr[i+1] - b.RowPtr[i])
 		flops += colFlops[i]
 	}
 	if flops == 0 {
-		return &CSRg[T]{NumRows: a.NumRows, NumCols: b.NumCols,
-			RowPtr: make([]int64, a.NumRows+1)}, nil
+		return newResult[T](gws, shared, a.NumRows, b.NumCols, 0), nil
 	}
 	colBits := uint(bits.Len32(uint32(b.NumCols)))
 	if colBits == 0 {
 		colBits = 1
 	}
-	nbins := int(flops * 16 / (1 << 20))
+
+	// Panels: tile columns so one panel's tuples fit the budget (the tuple
+	// size is T-dependent, so the cut uses the real sizeof).
+	tsize := int64(unsafe.Sizeof(pair[T]{}))
+	ps := append(gws.PanelStart[:0], 0)
+	var maxPanelFlops int64
+	budgetTuples := int64(0)
+	if opt.MemoryBudgetBytes > 0 {
+		budgetTuples = opt.MemoryBudgetBytes / tsize
+		if budgetTuples < 1 {
+			budgetTuples = 1 // sub-tuple budgets tile maximally, as in core
+		}
+	}
+	if budgetTuples <= 0 || flops <= budgetTuples {
+		ps = append(ps, k)
+		maxPanelFlops = flops
+	} else {
+		var cur int64
+		for i := 0; i < k; i++ {
+			if cur > 0 && cur+colFlops[i] > budgetTuples {
+				ps = append(ps, i)
+				if cur > maxPanelFlops {
+					maxPanelFlops = cur
+				}
+				cur = 0
+			}
+			cur += colFlops[i]
+		}
+		ps = append(ps, k)
+		if cur > maxPanelFlops {
+			maxPanelFlops = cur
+		}
+	}
+	gws.PanelStart = ps
+	npanels := len(ps) - 1
+	single := npanels == 1
+
+	// Bin geometry: same L2 sizing and clamps as the float64 engine,
+	// derived from the largest panel so every panel's bins fit the cache.
+	nbins := int(maxPanelFlops * tsize / (1 << 20))
 	if nbins < 1 {
 		nbins = 1
 	}
@@ -58,175 +128,271 @@ func Multiply[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], threads int) (*CSRg
 	}
 	nbins = int((a.NumRows + rowsPerBin - 1) / rowsPerBin)
 
-	binFlops := make([]int64, nbins)
-	for i := 0; i < k; i++ {
-		bRow := b.RowPtr[i+1] - b.RowPtr[i]
-		if bRow == 0 {
-			continue
-		}
-		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-			binFlops[a.RowIdx[p]/rowsPerBin] += bRow
-		}
-	}
-	binStart := make([]int64, nbins+1)
-	par.PrefixSum(binFlops, binStart)
+	tuples := growAny[pair[T]](&gws.Tuples, maxPanelFlops)
+	binFlops := matrix.GrowInt64(&gws.BinFlops, nbins)
+	binStart := matrix.GrowInt64(&gws.BinStart, nbins+1)
+	cursor := matrix.GrowInt64(&gws.Cursor, nbins)
+	binOut := matrix.GrowInt64(&gws.BinOut, nbins)
+	rowCounts := matrix.GrowInt64(&gws.RowCounts, int(a.NumRows)+1)
+	clear(rowCounts)
 
-	// Expand: sequential over columns (the generic path favours clarity;
-	// per-bin cursors advance without atomics).
-	tuples := make([]pair[T], flops)
-	cursor := make([]int64, nbins)
-	copy(cursor, binStart[:nbins])
-	for i := 0; i < k; i++ {
-		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
-		if bLo == bHi {
-			continue
-		}
-		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-			r := a.RowIdx[p]
-			av := a.Val[p]
-			bin := r / rowsPerBin
-			localRow := uint64(r-bin*rowsPerBin) << colBits
-			c := cursor[bin]
-			for q := bLo; q < bHi; q++ {
-				tuples[c] = pair[T]{key: localRow | uint64(b.ColIdx[q]), val: sr.Times(av, b.Val[q])}
-				c++
-			}
-			cursor[bin] = c
-		}
+	var runs []pair[T]
+	if !single {
+		runs, _ = gws.Runs.([]pair[T])
+		runs = runs[:0]
+		gws.RunBins = gws.RunBins[:0]
+		gws.RunStart = gws.RunStart[:0]
 	}
 
-	// Sort + compress, bins in parallel.
-	binOut := make([]int64, nbins)
-	rowCounts := make([]int64, a.NumRows+1)
-	par.ForEachDynamic(nbins, threads, func(_, bin int) {
-		seg := tuples[binStart[bin]:binStart[bin+1]]
-		sortPairsG(seg)
-		if len(seg) == 0 {
-			return
-		}
-		p2 := 0
-		for p1 := 1; p1 < len(seg); p1++ {
-			if seg[p1].key == seg[p2].key {
-				seg[p2].val = sr.Plus(seg[p2].val, seg[p1].val)
+	for p := 0; p < npanels; p++ {
+		lo, hi := ps[p], ps[p+1]
+
+		// Per-panel bin extents: one pass over the panel's nonzeros.
+		clear(binFlops)
+		for i := lo; i < hi; i++ {
+			bRow := b.RowPtr[i+1] - b.RowPtr[i]
+			if bRow == 0 {
 				continue
 			}
-			p2++
-			seg[p2] = seg[p1]
+			for q := a.ColPtr[i]; q < a.ColPtr[i+1]; q++ {
+				binFlops[a.RowIdx[q]/rowsPerBin] += bRow
+			}
 		}
-		binOut[bin] = int64(p2 + 1)
-		firstRow := int32(bin) * rowsPerBin
-		for i := int64(0); i <= int64(p2); i++ {
-			rowCounts[firstRow+int32(seg[i].key>>colBits)+1]++
+		par.PrefixSum(binFlops, binStart)
+
+		// Expand: sequential over columns (the generic path favours
+		// clarity; per-bin cursors advance without atomics).
+		copy(cursor, binStart[:nbins])
+		for i := lo; i < hi; i++ {
+			bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+			if bLo == bHi {
+				continue
+			}
+			for q := a.ColPtr[i]; q < a.ColPtr[i+1]; q++ {
+				r := a.RowIdx[q]
+				av := a.Val[q]
+				bin := r / rowsPerBin
+				localRow := uint64(r-bin*rowsPerBin) << colBits
+				c := cursor[bin]
+				for w := bLo; w < bHi; w++ {
+					tuples[c] = pair[T]{key: localRow | uint64(b.ColIdx[w]), val: sr.Times(av, b.Val[w])}
+					c++
+				}
+				cursor[bin] = c
+			}
 		}
-	})
+
+		// Sort + compress, bins in parallel. On single-shot runs the row
+		// tallies happen here; budgeted runs tally during the merge, when
+		// final per-row counts are known.
+		par.ForEachDynamic(nbins, threads, func(_, bin int) {
+			seg := tuples[binStart[bin]:binStart[bin+1]]
+			sortPairsG(seg)
+			out := compressSeg(sr, seg)
+			binOut[bin] = out
+			if single {
+				firstRow := int32(bin) * rowsPerBin
+				for i := int64(0); i < out; i++ {
+					rowCounts[firstRow+int32(seg[i].key>>colBits)+1]++
+				}
+			}
+		})
+
+		if !single {
+			runs = appendRunsG(gws, runs, tuples, binStart, binOut, nbins)
+		}
+	}
+
+	src, srcStart := tuples, binStart
+	if !single {
+		gws.Runs = runs
+		gws.RunStart = append(gws.RunStart, int64(len(runs)))
+		srcStart = mergeRunsG(sr, gws, runs, nbins, rowsPerBin, colBits, threads, binOut, rowCounts)
+		src, _ = gws.Merged.([]pair[T])
+	}
 
 	// Assemble.
-	binOutStart := make([]int64, nbins+1)
+	binOutStart := matrix.GrowInt64(&gws.BinOutStart, nbins+1)
 	nnzc := par.PrefixSum(binOut, binOutStart)
-	c := &CSRg[T]{
-		NumRows: a.NumRows, NumCols: b.NumCols,
-		RowPtr: make([]int64, a.NumRows+1),
-		ColIdx: make([]int32, nnzc),
-		Val:    make([]T, nnzc),
-	}
+	c := newResult[T](gws, shared, a.NumRows, b.NumCols, nnzc)
+	c.RowPtr[0] = 0
 	for i := int32(0); i < a.NumRows; i++ {
 		c.RowPtr[i+1] = c.RowPtr[i] + rowCounts[i+1]
 	}
 	colMask := uint64(1)<<colBits - 1
 	par.ForEachDynamic(nbins, threads, func(_, bin int) {
-		src := binStart[bin]
-		dst := binOutStart[bin]
+		s := srcStart[bin]
+		d := binOutStart[bin]
 		for j := int64(0); j < binOut[bin]; j++ {
-			c.ColIdx[dst+j] = int32(tuples[src+j].key & colMask)
-			c.Val[dst+j] = tuples[src+j].val
+			c.ColIdx[d+j] = int32(src[s+j].key & colMask)
+			c.Val[d+j] = src[s+j].val
 		}
 	})
 	return c, nil
 }
 
-// sortPairsG is the in-place American-flag radix sort over generic payload
-// tuples (same structure as internal/radix, instantiated per T).
-func sortPairsG[T any](ps []pair[T]) {
-	if len(ps) < 2 {
-		return
+// compressSeg is the two-pointer in-place merge over a sorted segment,
+// folding equal keys with sr.Plus. Returns the compressed length.
+func compressSeg[T any](sr Semiring[T], seg []pair[T]) int64 {
+	if len(seg) == 0 {
+		return 0
 	}
-	var or uint64
-	for i := range ps {
-		or |= ps[i].key
-	}
-	if or == 0 {
-		return
-	}
-	top := 0
-	x := or
-	for s := 32; s >= 8; s >>= 1 {
-		if x>>(uint(s)) != 0 {
-			x >>= uint(s)
-			top += s / 8
+	p2 := 0
+	for p1 := 1; p1 < len(seg); p1++ {
+		if seg[p1].key == seg[p2].key {
+			seg[p2].val = sr.Plus(seg[p2].val, seg[p1].val)
+			continue
 		}
+		p2++
+		seg[p2] = seg[p1]
 	}
-	sortAtByteG(ps, top)
+	return int64(p2 + 1)
 }
 
-func sortAtByteG[T any](ps []pair[T], byteIdx int) {
-	n := len(ps)
-	if n < 2 {
-		return
+// appendRunsG copies the current panel's nonempty compressed bin segments
+// into the run arena (append's amortized growth, contents preserved),
+// recording one sorted duplicate-free run per (panel, bin).
+func appendRunsG[T any](gws *core.GenericSpace, runs []pair[T],
+	tuples []pair[T], binStart, binOut []int64, nbins int) []pair[T] {
+
+	for bin := 0; bin < nbins; bin++ {
+		n := binOut[bin]
+		if n == 0 {
+			continue
+		}
+		gws.RunBins = append(gws.RunBins, int32(bin))
+		gws.RunStart = append(gws.RunStart, int64(len(runs)))
+		runs = append(runs, tuples[binStart[bin]:binStart[bin]+n]...)
 	}
-	if n <= 32 {
-		for i := 1; i < n; i++ {
-			p := ps[i]
-			j := i - 1
-			for j >= 0 && ps[j].key > p.key {
-				ps[j+1] = ps[j]
-				j--
+	return runs
+}
+
+// mergeRunsG groups runs by bin and k-way merges each bin's runs, folding
+// duplicates with sr.Plus and tallying per-row output counts. It fills
+// binOut with merged sizes and returns the per-bin offsets into the merged
+// buffer. Structure mirrors the float64 engine's mergeBins.
+func mergeRunsG[T any](sr Semiring[T], gws *core.GenericSpace, runs []pair[T],
+	nbins int, rowsPerBin int32, colBits uint, threads int,
+	binOut, rowCounts []int64) []int64 {
+
+	nruns := len(gws.RunBins)
+	ris := matrix.GrowInt32(&gws.RunIdxStart, nbins+1)
+	clear(ris)
+	for _, bin := range gws.RunBins {
+		ris[bin+1]++
+	}
+	for bin := 0; bin < nbins; bin++ {
+		ris[bin+1] += ris[bin]
+	}
+	ri := matrix.GrowInt32(&gws.RunIdx, nruns)
+	cur := matrix.GrowInt64(&gws.BinFlops, nbins) // free scratch here
+	for bin := 0; bin < nbins; bin++ {
+		cur[bin] = int64(ris[bin])
+	}
+	for r, bin := range gws.RunBins {
+		ri[cur[bin]] = int32(r)
+		cur[bin]++
+	}
+
+	ms := matrix.GrowInt64(&gws.MergedStart, nbins+1)
+	ms[0] = 0
+	maxRuns := 0
+	for bin := 0; bin < nbins; bin++ {
+		var sum int64
+		group := ri[ris[bin]:ris[bin+1]]
+		for _, r := range group {
+			sum += gws.RunStart[r+1] - gws.RunStart[r]
+		}
+		ms[bin+1] = ms[bin] + sum
+		if len(group) > maxRuns {
+			maxRuns = len(group)
+		}
+	}
+	merged := growAny[pair[T]](&gws.Merged, ms[nbins])
+	heads := matrix.GrowInt64(&gws.Heads, threads*maxRuns)
+
+	par.ForEachDynamic(nbins, threads, func(worker, bin int) {
+		group := ri[ris[bin]:ris[bin+1]]
+		kk := len(group)
+		dstBase := ms[bin]
+		dst := dstBase
+		switch kk {
+		case 0:
+		case 1:
+			r := group[0]
+			n := gws.RunStart[r+1] - gws.RunStart[r]
+			copy(merged[dst:dst+n], runs[gws.RunStart[r]:gws.RunStart[r+1]])
+			dst += n
+		default:
+			hs := heads[worker*maxRuns : worker*maxRuns+kk]
+			for i, r := range group {
+				hs[i] = gws.RunStart[r]
 			}
-			ps[j+1] = p
-		}
-		return
-	}
-	shift := uint(byteIdx * 8)
-	var count [256]int
-	for i := range ps {
-		count[(ps[i].key>>shift)&0xff]++
-	}
-	var start, end [256]int
-	sum, nonEmpty := 0, 0
-	for b := 0; b < 256; b++ {
-		start[b] = sum
-		sum += count[b]
-		end[b] = sum
-		if count[b] > 0 {
-			nonEmpty++
-		}
-	}
-	if nonEmpty == 1 {
-		if byteIdx > 0 {
-			sortAtByteG(ps, byteIdx-1)
-		}
-		return
-	}
-	var cursor [256]int
-	copy(cursor[:], start[:])
-	for b := 0; b < 256; b++ {
-		for cursor[b] < end[b] {
-			p := ps[cursor[b]]
-			home := int((p.key >> shift) & 0xff)
-			if home == b {
-				cursor[b]++
-				continue
+			for {
+				best := -1
+				var bestKey uint64
+				for i, r := range group {
+					h := hs[i]
+					if h == gws.RunStart[r+1] {
+						continue // run exhausted
+					}
+					if key := runs[h].key; best < 0 || key < bestKey {
+						best, bestKey = i, key
+					}
+				}
+				if best < 0 {
+					break
+				}
+				p := runs[hs[best]]
+				hs[best]++
+				if dst > dstBase && merged[dst-1].key == p.key {
+					merged[dst-1].val = sr.Plus(merged[dst-1].val, p.val)
+				} else {
+					merged[dst] = p
+					dst++
+				}
 			}
-			j := cursor[home]
-			ps[cursor[b]], ps[j] = ps[j], p
-			cursor[home]++
+		}
+		binOut[bin] = dst - dstBase
+		firstRow := int32(bin) * rowsPerBin
+		for i := dstBase; i < dst; i++ {
+			rowCounts[firstRow+int32(merged[i].key>>colBits)+1]++
+		}
+	})
+	return ms
+}
+
+// newResult returns the output matrix: fresh normally, carved from the
+// workspace's generic arena when shared.
+func newResult[T any](gws *core.GenericSpace, shared bool, rows, cols int32, nnzc int64) *CSRg[T] {
+	if !shared {
+		return &CSRg[T]{
+			NumRows: rows, NumCols: cols,
+			RowPtr: make([]int64, rows+1),
+			ColIdx: make([]int32, nnzc),
+			Val:    make([]T, nnzc),
 		}
 	}
-	if byteIdx == 0 {
-		return
+	rp := matrix.GrowInt64(&gws.OutRowPtr, int(rows)+1)
+	clear(rp)
+	return &CSRg[T]{
+		NumRows: rows, NumCols: cols,
+		RowPtr: rp,
+		ColIdx: matrix.GrowInt32(&gws.OutColIdx, int(nnzc)),
+		Val:    growAny[T](&gws.OutVal, nnzc),
 	}
-	for b := 0; b < 256; b++ {
-		if count[b] > 1 {
-			sortAtByteG(ps[start[b]:end[b]], byteIdx-1)
-		}
+}
+
+// growAny returns a []E of length n backed by the type-erased cache slot,
+// reallocating when the cached slice has a different element type or too
+// little capacity — the "arena" half of the workspace's GenericSpace.
+func growAny[E any](slot *any, n int64) []E {
+	if s, ok := (*slot).([]E); ok && int64(cap(s)) >= n {
+		s = s[:n]
+		*slot = s
+		return s
 	}
+	s := make([]E, n)
+	*slot = s
+	return s
 }

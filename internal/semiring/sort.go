@@ -1,0 +1,88 @@
+package semiring
+
+// sortPairsG is the in-place American-flag radix sort over generic payload
+// tuples (same structure as internal/radix, instantiated per T).
+func sortPairsG[T any](ps []pair[T]) {
+	if len(ps) < 2 {
+		return
+	}
+	var or uint64
+	for i := range ps {
+		or |= ps[i].key
+	}
+	if or == 0 {
+		return
+	}
+	top := 0
+	x := or
+	for s := 32; s >= 8; s >>= 1 {
+		if x>>(uint(s)) != 0 {
+			x >>= uint(s)
+			top += s / 8
+		}
+	}
+	sortAtByteG(ps, top)
+}
+
+func sortAtByteG[T any](ps []pair[T], byteIdx int) {
+	n := len(ps)
+	if n < 2 {
+		return
+	}
+	if n <= 32 {
+		for i := 1; i < n; i++ {
+			p := ps[i]
+			j := i - 1
+			for j >= 0 && ps[j].key > p.key {
+				ps[j+1] = ps[j]
+				j--
+			}
+			ps[j+1] = p
+		}
+		return
+	}
+	shift := uint(byteIdx * 8)
+	var count [256]int
+	for i := range ps {
+		count[(ps[i].key>>shift)&0xff]++
+	}
+	var start, end [256]int
+	sum, nonEmpty := 0, 0
+	for b := 0; b < 256; b++ {
+		start[b] = sum
+		sum += count[b]
+		end[b] = sum
+		if count[b] > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 1 {
+		if byteIdx > 0 {
+			sortAtByteG(ps, byteIdx-1)
+		}
+		return
+	}
+	var cursor [256]int
+	copy(cursor[:], start[:])
+	for b := 0; b < 256; b++ {
+		for cursor[b] < end[b] {
+			p := ps[cursor[b]]
+			home := int((p.key >> shift) & 0xff)
+			if home == b {
+				cursor[b]++
+				continue
+			}
+			j := cursor[home]
+			ps[cursor[b]], ps[j] = ps[j], p
+			cursor[home]++
+		}
+	}
+	if byteIdx == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if count[b] > 1 {
+			sortAtByteG(ps[start[b]:end[b]], byteIdx-1)
+		}
+	}
+}

@@ -115,7 +115,29 @@ type Options struct {
 	// L2CacheBytes is the per-bin cache budget used to auto-size NBins (PB
 	// only); 0 = 1 MiB.
 	L2CacheBytes int
+	// MemoryBudgetBytes caps PB-SpGEMM's expanded-tuple working set — the
+	// flop×16-byte buffer that dominates its footprint. When positive and
+	// smaller than that, A's columns are tiled into panels whose expansions
+	// each fit the budget and per-panel results are merged, enabling
+	// products whose expansion exceeds RAM. 0 = unlimited (single shot).
+	// PB only; the budget is best-effort with a one-column-panel floor.
+	MemoryBudgetBytes int64
+	// Workspace, if non-nil, reuses buffers across calls (PB only):
+	// steady-state multiplications perform zero large allocations, and with
+	// Threads == 1 zero allocations at all inside the core engine. The
+	// returned Result.C then aliases workspace memory and is invalidated by
+	// the next Multiply using the same workspace — Clone it to keep it.
+	Workspace *Workspace
 }
+
+// Workspace pools PB-SpGEMM's buffers (tuple arena, local bins, plan and
+// merge arrays, output storage, A's CSC conversion) across Multiply calls.
+// Create one with NewWorkspace, pass it via Options.Workspace, and do not
+// share it between concurrent calls.
+type Workspace = core.Workspace
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
 
 // PhaseStats is the per-phase timing/traffic breakdown of a PB-SpGEMM run.
 type PhaseStats = core.Stats
@@ -162,12 +184,19 @@ func Multiply(a, b *CSR, opt Options) (*Result, error) {
 	res := &Result{Algorithm: opt.Algorithm}
 	switch opt.Algorithm {
 	case PB:
-		acsc := a.ToCSC()
+		var acsc *CSC
+		if opt.Workspace != nil {
+			acsc = opt.Workspace.CSCOf(a)
+		} else {
+			acsc = a.ToCSC()
+		}
 		c, st, err := core.Multiply(acsc, b, core.Options{
-			NBins:         opt.NBins,
-			LocalBinBytes: opt.LocalBinBytes,
-			Threads:       opt.Threads,
-			L2CacheBytes:  opt.L2CacheBytes,
+			NBins:             opt.NBins,
+			LocalBinBytes:     opt.LocalBinBytes,
+			Threads:           opt.Threads,
+			L2CacheBytes:      opt.L2CacheBytes,
+			MemoryBudgetBytes: opt.MemoryBudgetBytes,
+			Workspace:         opt.Workspace,
 		})
 		if err != nil {
 			return nil, err
@@ -220,11 +249,19 @@ func MultiplyPartitioned(a, b *CSR, parts int, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("pbspgemm: inner dimensions disagree (%dx%d)·(%dx%d): %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
 	}
-	c, st, err := core.MultiplyPartitioned(a.ToCSC(), b, parts, core.Options{
-		NBins:         opt.NBins,
-		LocalBinBytes: opt.LocalBinBytes,
-		Threads:       opt.Threads,
-		L2CacheBytes:  opt.L2CacheBytes,
+	var acsc *CSC
+	if opt.Workspace != nil {
+		acsc = opt.Workspace.CSCOf(a)
+	} else {
+		acsc = a.ToCSC()
+	}
+	c, st, err := core.MultiplyPartitioned(acsc, b, parts, core.Options{
+		NBins:             opt.NBins,
+		LocalBinBytes:     opt.LocalBinBytes,
+		Threads:           opt.Threads,
+		L2CacheBytes:      opt.L2CacheBytes,
+		MemoryBudgetBytes: opt.MemoryBudgetBytes,
+		Workspace:         opt.Workspace,
 	})
 	if err != nil {
 		return nil, err

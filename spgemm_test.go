@@ -37,6 +37,46 @@ func TestPublicMultiplyAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestPublicWorkspaceAndBudget exercises the execution-engine options
+// through the public API: repeated multiplications through one workspace,
+// with and without a memory budget, stay correct and report tiling.
+func TestPublicWorkspaceAndBudget(t *testing.T) {
+	a := NewER(512, 6, 3)
+	b := NewER(512, 6, 4)
+	want := Reference(a, b)
+	ws := NewWorkspace()
+	for i := 0; i < 3; i++ {
+		res, err := Multiply(a, b, Options{Workspace: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualWithin(want, res.C, 1e-9) {
+			t.Fatalf("iteration %d: workspace result differs from reference", i)
+		}
+		if res.PB.NPanels != 1 {
+			t.Fatalf("unbudgeted run tiled into %d panels", res.PB.NPanels)
+		}
+	}
+	res, err := Multiply(a, b, Options{Workspace: ws, MemoryBudgetBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualWithin(want, res.C, 1e-9) {
+		t.Fatal("budgeted result differs from reference")
+	}
+	if res.PB.NPanels < 2 {
+		t.Fatalf("expected tiling under 32 KiB budget, got %d panels", res.PB.NPanels)
+	}
+	// The same workspace also serves the partitioned variant.
+	resP, err := MultiplyPartitioned(a, b, 2, Options{Workspace: ws, MemoryBudgetBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualWithin(want, resP.C, 1e-9) {
+		t.Fatal("partitioned budgeted result differs from reference")
+	}
+}
+
 func TestPublicSquare(t *testing.T) {
 	a := NewRMAT(8, 4, 3)
 	res, err := Square(a, Options{})
