@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,33 +74,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := pbspgemm.Options{
-		Algorithm: alg, Threads: *threads, NBins: *nbins, LocalBinBytes: *lbin,
-		MemoryBudgetBytes: budgetBytes,
+	// The engine pools workspaces internally: the first repetition warms one
+	// up and the remaining reps reuse it, with results cloned out so they
+	// survive the next call.
+	eng, err := pbspgemm.NewEngine(
+		pbspgemm.WithAlgorithm(alg),
+		pbspgemm.WithThreads(*threads),
+		pbspgemm.WithNBins(*nbins),
+		pbspgemm.WithLocalBinBytes(*lbin),
+		pbspgemm.WithMemoryBudget(budgetBytes),
+	)
+	if err != nil {
+		fatal(err)
 	}
-	if alg == pbspgemm.PB {
-		// One workspace across repetitions: after the first rep warms it up,
-		// the remaining reps run with zero steady-state allocations.
-		opt.Workspace = pbspgemm.NewWorkspace()
-	}
+	ctx := context.Background()
 	var best *pbspgemm.Result
 	for r := 0; r < *reps; r++ {
-		res, err := pbspgemm.Multiply(a, b, opt)
+		res, err := eng.Multiply(ctx, a, b)
 		if err != nil {
 			fatal(err)
 		}
 		if best == nil || res.Elapsed < best.Elapsed {
-			if opt.Workspace != nil && *reps > 1 {
-				// The result (CSR and stats) aliases the workspace the next
-				// rep overwrites; detach what we keep.
-				kept := *res
-				kept.C = res.C.Clone()
-				if res.PB != nil {
-					st := *res.PB
-					kept.PB = &st
-				}
-				res = &kept
-			}
 			best = res
 		}
 	}
@@ -123,6 +118,11 @@ func main() {
 	}
 	if st := best.Baseline; st != nil {
 		fmt.Printf("phases: symbolic %v, numeric %v\n", st.Symbolic, st.Numeric)
+	}
+	if *reps > 1 {
+		em := eng.Metrics()
+		fmt.Printf("engine: %d calls, %s total flops, %.2f GB modeled traffic, busy %v\n",
+			em.Calls, metrics.HumanCount(em.Flops), float64(em.BytesMoved)/1e9, em.Busy)
 	}
 
 	if *verify {

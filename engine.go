@@ -1,0 +1,312 @@
+package pbspgemm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/semiring"
+)
+
+// Engine is a concurrency-safe multiplication service: a sync.Pool of
+// grow-only workspaces keeps steady-state calls free of large allocations,
+// every call observes its context's cancellation and deadline at phase
+// boundaries, and aggregate metrics (calls, flops, modeled bytes moved)
+// accumulate for serving-style observability.
+//
+// Engine methods may be called from any number of goroutines; each call
+// checks a workspace out of the pool and returns results that are fully
+// owned by the caller (never aliased to pooled memory). NewEngine's options
+// become per-engine defaults that individual calls can override.
+//
+// Engine replaces the growing Options struct of the original API; Multiply
+// with Options remains as a deprecated shim.
+type Engine struct {
+	defaults []Option
+	pool     sync.Pool // *core.Workspace
+
+	calls      atomic.Int64
+	failures   atomic.Int64
+	flops      atomic.Int64
+	bytesMoved atomic.Int64
+	nnzOut     atomic.Int64
+	busyNanos  atomic.Int64
+}
+
+// NewEngine returns an engine whose option defaults apply to every call.
+// Invalid defaults (e.g. WithThreads(-1)) are rejected here, with the same
+// *OptionError a call would return.
+func NewEngine(defaults ...Option) (*Engine, error) {
+	if _, err := resolve(defaults, nil); err != nil {
+		return nil, err
+	}
+	e := &Engine{defaults: defaults}
+	e.pool.New = func() any { return core.NewWorkspace() }
+	return e, nil
+}
+
+// EngineMetrics is a snapshot of an engine's aggregate counters. Calls
+// rejected before dispatch — invalid options, mismatched shapes — are not
+// counted at all: the counters track multiplications that ran (to
+// completion or cancellation), not request validation.
+type EngineMetrics struct {
+	// Calls is the number of dispatched multiplications (successful or not).
+	Calls int64
+	// Failures counts dispatched calls that returned an error (including
+	// cancellations).
+	Failures int64
+	// Flops is the total scalar multiplications performed by successful calls.
+	Flops int64
+	// BytesMoved is the total modeled memory traffic (the paper's 16-byte
+	// per-tuple model over inputs, expansion and output) of successful calls.
+	BytesMoved int64
+	// NNZProduced is the total nonzeros returned by successful calls.
+	NNZProduced int64
+	// Busy is the cumulative wall time spent inside multiplications; with
+	// concurrent callers it exceeds elapsed time.
+	Busy time.Duration
+}
+
+// Metrics returns a point-in-time snapshot of the engine's counters.
+func (e *Engine) Metrics() EngineMetrics {
+	return EngineMetrics{
+		Calls:       e.calls.Load(),
+		Failures:    e.failures.Load(),
+		Flops:       e.flops.Load(),
+		BytesMoved:  e.bytesMoved.Load(),
+		NNZProduced: e.nnzOut.Load(),
+		Busy:        time.Duration(e.busyNanos.Load()),
+	}
+}
+
+// record folds one finished call into the aggregate counters.
+func (e *Engine) record(start time.Time, flops, nnzA, nnzB, nnzC int64, err error) {
+	e.calls.Add(1)
+	e.busyNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		e.failures.Add(1)
+		return
+	}
+	e.flops.Add(flops)
+	e.nnzOut.Add(nnzC)
+	// Table III's traffic model: expand reads both inputs and writes flop
+	// tuples, sort reads them back, compress writes nnz(C) tuples.
+	e.bytesMoved.Add(matrix.BytesPerTuple * (nnzA + nnzB + 2*flops + nnzC))
+}
+
+// Multiply computes C = A*B with the configured algorithm (default PB),
+// honoring ctx at phase boundaries. It is safe for concurrent use; the
+// returned Result is fully caller-owned. A nil ctx falls back to a
+// WithContext default, then to context.Background().
+func (e *Engine) Multiply(ctx context.Context, a, b *CSR, opts ...Option) (*Result, error) {
+	cfg, err := resolve(e.defaults, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		cfg.ctx = ctx
+	}
+	if a.NumCols != b.NumRows {
+		return nil, shapeError(a, b)
+	}
+	if err := cfg.validateMaskShape(a.NumRows, b.NumCols); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := e.multiply(&cfg, a, b)
+	var flops, nnzc int64
+	if res != nil {
+		flops, nnzc = res.Flops, res.C.NNZ()
+	}
+	e.record(start, flops, a.NNZ(), b.NNZ(), nnzc, err)
+	return res, err
+}
+
+// MultiplyMasked computes C⟨M⟩ = (A·B) ∘ mask over the arithmetic semiring
+// without materializing the unmasked product (see MultiplyMasked at package
+// level). It shares the engine's workspace pool, context handling and
+// metrics.
+func (e *Engine) MultiplyMasked(ctx context.Context, a, b, mask *CSR, opts ...Option) (*CSR, error) {
+	// Precedence: per-call options > the explicit mask argument > engine
+	// defaults (mirroring how the explicit ctx overrides WithContext).
+	cfg, err := resolve(e.defaults, nil)
+	if err != nil {
+		return nil, err
+	}
+	if mask != nil {
+		cfg.mask, cfg.complement = mask, false
+	}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if ctx != nil {
+		cfg.ctx = ctx
+	}
+	if cfg.mask == nil {
+		return nil, errNilMask
+	}
+	if a.NumCols != b.NumRows {
+		return nil, shapeError(a, b)
+	}
+	if err := cfg.validateMaskShape(a.NumRows, b.NumCols); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c, err := e.maskedFloat64(&cfg, a, b)
+	var nnzc int64
+	if err == nil {
+		nnzc = c.NNZ()
+	}
+	e.record(start, flopsNoAlloc(a, b), a.NNZ(), b.NNZ(), nnzc, err)
+	return c, err
+}
+
+// multiply dispatches one resolved call. PB runs on a pooled workspace and
+// the result is cloned out before the workspace returns to the pool.
+func (e *Engine) multiply(cfg *config, a, b *CSR) (*Result, error) {
+	if cfg.mask != nil {
+		start := time.Now()
+		c, err := e.maskedFloat64(cfg, a, b)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{C: c, Algorithm: PB, Flops: flopsNoAlloc(a, b), Elapsed: time.Since(start)}
+		if nnz := c.NNZ(); nnz > 0 {
+			res.CF = float64(res.Flops) / float64(nnz)
+		}
+		return res, nil
+	}
+	res := &Result{Algorithm: cfg.algorithm}
+	switch cfg.algorithm {
+	case PB:
+		ws := e.pool.Get().(*core.Workspace)
+		c, st, err := core.Multiply(ws.CSCOf(a), b, core.Options{
+			NBins:             cfg.nbins,
+			LocalBinBytes:     cfg.localBin,
+			Threads:           cfg.threads,
+			L2CacheBytes:      cfg.l2Cache,
+			MemoryBudgetBytes: cfg.budget,
+			Workspace:         ws,
+			Cancel:            cfg.cancelFunc(),
+		})
+		if err == nil {
+			// Detach the result from the pooled workspace before another
+			// call can grab it.
+			res.C = c.Clone()
+			stCopy := *st
+			res.PB = &stCopy
+			res.Flops, res.CF, res.Elapsed = st.Flops, st.CF, st.Total
+		}
+		e.pool.Put(ws)
+		if err != nil {
+			return nil, err
+		}
+	case Heap, Hash, HashVec, SPA, ColumnESC, OuterHeapNaive:
+		// Column baselines have no phase hooks; observe the context at the
+		// call boundary so an already-canceled ctx still short-circuits.
+		if cancel := cfg.cancelFunc(); cancel != nil {
+			if err := cancel(); err != nil {
+				return nil, err
+			}
+		}
+		legacy := Options{Algorithm: cfg.algorithm, Threads: cfg.threads}
+		r, err := Multiply(a, b, legacy)
+		if err != nil {
+			return nil, err
+		}
+		res = r
+	default:
+		return nil, &OptionError{Option: "WithAlgorithm", Value: int64(cfg.algorithm)}
+	}
+	return res, nil
+}
+
+// maskedFloat64 is the masked arithmetic path on a pooled workspace.
+func (e *Engine) maskedFloat64(cfg *config, a, b *CSR) (*CSR, error) {
+	ws := e.pool.Get().(*core.Workspace)
+	gc, err := semiring.MultiplyOpts(Arithmetic(), colView(ws.CSCOf(a)), Float64Matrix(b), cfg.semiringOptions(ws))
+	if err != nil {
+		e.pool.Put(ws)
+		return nil, err
+	}
+	c := Float64CSR(gc.Clone())
+	e.pool.Put(ws)
+	return c, nil
+}
+
+// EngineMultiplyOver is MultiplyOver running on an engine: the semiring
+// multiplication checks a pooled workspace out of e, observes ctx at phase
+// boundaries, and folds into e's metrics. (Go methods cannot introduce type
+// parameters, hence the package-level function taking the engine first.)
+// The result is cloned out of the workspace and fully caller-owned. Pooled
+// generic buffers are cached per element type T, so an engine serving a
+// stable T hits its pool just like the float64 path.
+func EngineMultiplyOver[T any](e *Engine, ctx context.Context, sr Semiring[T], a *ColMatrix[T], b *Matrix[T], opts ...Option) (*Matrix[T], error) {
+	cfg, err := resolve(e.defaults, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		cfg.ctx = ctx
+	}
+	// Shape rejections happen before dispatch so they stay out of the
+	// metrics, matching Engine.Multiply.
+	if a.NumCols != b.NumRows {
+		return nil, fmt.Errorf("pbspgemm: inner dimensions disagree (%dx%d)·(%dx%d): %w",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	if err := cfg.validateMaskShape(a.NumRows, b.NumCols); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ws := e.pool.Get().(*core.Workspace)
+	gc, err := semiring.MultiplyOpts(sr, a, b, cfg.semiringOptions(ws))
+	var out *Matrix[T]
+	var nnzc int64
+	if err == nil {
+		out = gc.Clone()
+		nnzc = out.NNZ()
+	}
+	e.pool.Put(ws)
+	e.record(start, semiringFlops(a, b), a.NNZ(), b.NNZ(), nnzc, err)
+	return out, err
+}
+
+// validateMaskShape rejects a mask that does not match the product's
+// shape, before dispatch — so shape mistakes never reach the metrics.
+func (c *config) validateMaskShape(rows, cols int32) error {
+	if c.mask != nil && (c.mask.NumRows != rows || c.mask.NumCols != cols) {
+		return fmt.Errorf("pbspgemm: mask is %dx%d, product is %dx%d: %w",
+			c.mask.NumRows, c.mask.NumCols, rows, cols, matrix.ErrShape)
+	}
+	return nil
+}
+
+// flopsNoAlloc is Flops for the masked paths' metrics: one pass over A's
+// column indices against B's row pointers, no per-call allocation.
+func flopsNoAlloc(a, b *CSR) int64 {
+	var flops int64
+	for _, k := range a.ColIdx {
+		flops += b.RowPtr[k+1] - b.RowPtr[k]
+	}
+	return flops
+}
+
+// semiringFlops is the symbolic flop count of a generic product, from the
+// pointer arrays alone.
+func semiringFlops[T any](a *ColMatrix[T], b *Matrix[T]) int64 {
+	if a.NumCols != b.NumRows {
+		return 0
+	}
+	var flops int64
+	for i := int32(0); i < a.NumCols; i++ {
+		flops += (a.ColPtr[i+1] - a.ColPtr[i]) * (b.RowPtr[i+1] - b.RowPtr[i])
+	}
+	return flops
+}

@@ -1,8 +1,8 @@
 // Multi-source BFS and connected components — the linear-algebraic graph
 // traversal of Gilbert, Reinhardt and Shah that the paper's introduction
 // cites [3]: every BFS level is one SpGEMM between the adjacency matrix and
-// a tall-skinny frontier matrix, so a batch of searches advances in a
-// single multiplication.
+// a tall-skinny frontier matrix over the Boolean semiring, so a batch of
+// searches advances in a single structural multiplication.
 package main
 
 import (
@@ -18,9 +18,10 @@ func main() {
 	g := graph.FromAdjacency(pbspgemm.NewRMAT(12, 8, 42))
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	// 8 BFS searches advance together; each level is one A·F SpGEMM.
+	// 8 BFS searches advance together; each level is one A·F multiplication
+	// over Boolean() — no float64 values are ever formed for the frontiers.
 	sources := []int32{0, 100, 500, 1000, 2000, 3000, 4000, 4090}
-	levels, err := g.MultiSourceBFS(sources, pbspgemm.Options{})
+	levels, err := g.MultiSourceBFS(sources)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 	}
 
 	// Components of the whole graph via batched BFS sweeps.
-	comp, n, err := g.ConnectedComponents(pbspgemm.Options{})
+	comp, n, err := g.ConnectedComponents()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,13 +55,13 @@ func main() {
 	}
 	fmt.Printf("connected components: %d (largest has %d vertices)\n", n, largest)
 
-	// Triangle statistics on the same graph, because the two workloads share
-	// every SpGEMM byte of machinery.
-	tri, err := g.Triangles(pbspgemm.Options{})
+	// Triangle statistics on the same graph: the count is the masked product
+	// A²⟨A⟩ — the unmasked square is never materialized.
+	tri, err := g.Triangles()
 	if err != nil {
 		log.Fatal(err)
 	}
-	gcc, err := g.GlobalClusteringCoefficient(pbspgemm.Options{})
+	gcc, err := g.GlobalClusteringCoefficient()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,10 +31,18 @@ func main() {
 		prune     = 1e-4
 		maxIter   = 40
 	)
+	// One engine serves every expansion: its pooled workspace is warmed up
+	// by the first squaring and reused to convergence, and its metrics
+	// aggregate the whole run.
+	eng, err := pbspgemm.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	var iter int
 	for iter = 1; iter <= maxIter; iter++ {
 		// Expansion via PB-SpGEMM.
-		res, err := pbspgemm.Square(m, pbspgemm.Options{})
+		res, err := eng.Multiply(ctx, m, m)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +57,9 @@ func main() {
 		}
 		m = next
 	}
-	fmt.Printf("converged after %d expansions (last cf from SpGEMM stats above)\n", iter)
+	stats := eng.Metrics()
+	fmt.Printf("converged after %d expansions: engine did %d multiplies, %d flops, %.1f MB modeled traffic\n",
+		iter, stats.Calls, stats.Flops, float64(stats.BytesMoved)/1e6)
 
 	clusters := extractClusters(m)
 	fmt.Printf("found %d clusters with sizes: ", len(clusters))

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,8 +18,16 @@ func main() {
 	b := pbspgemm.NewER(1<<14, 8, 2)
 	fmt.Printf("A, B: %dx%d with %d nonzeros each\n", a.NumRows, a.NumCols, a.NNZ())
 
+	// An Engine is the library's front door: safe for concurrent callers,
+	// cancellable via context, pooling workspaces across calls.
+	eng, err := pbspgemm.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	// PB-SpGEMM with the paper's defaults (auto bins, 512-byte local bins).
-	res, err := pbspgemm.Multiply(a, b, pbspgemm.Options{})
+	res, err := eng.Multiply(ctx, a, b)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,8 +38,9 @@ func main() {
 	fmt.Printf("  sort    %8v  %6.2f GB/s (%d bins)\n", st.Sort, st.SortGBs(), st.NBins)
 	fmt.Printf("  compress%8v  %6.2f GB/s\n", st.Compress, st.CompressGBs())
 
-	// The same multiplication with the strongest column baseline.
-	hash, err := pbspgemm.Multiply(a, b, pbspgemm.Options{Algorithm: pbspgemm.Hash})
+	// The same multiplication with the strongest column baseline, selected
+	// per call with a functional option.
+	hash, err := eng.Multiply(ctx, a, b, pbspgemm.WithAlgorithm(pbspgemm.Hash))
 	if err != nil {
 		log.Fatal(err)
 	}

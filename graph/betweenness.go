@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 
 	"pbspgemm"
@@ -24,7 +25,7 @@ import (
 //
 // The result is scaled like Brandes: unnormalized, each pair counted once
 // per direction (divide by 2 for undirected interpretation if desired).
-func (g *Graph) BetweennessCentrality(sources []int32, opt pbspgemm.Options) ([]float64, error) {
+func (g *Graph) BetweennessCentrality(sources []int32, opts ...pbspgemm.Option) ([]float64, error) {
 	n := g.Adj.NumRows
 	bc := make([]float64, n)
 	if len(sources) == 0 {
@@ -36,6 +37,11 @@ func (g *Graph) BetweennessCentrality(sources []int32, opt pbspgemm.Options) ([]
 		}
 	}
 	k := int32(len(sources))
+	eng, err := pbspgemm.NewEngine(noMask(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
 
 	// Per-source state, dense over vertices (k is a small batch).
 	level := make([][]int32, k)   // BFS level or -1
@@ -71,7 +77,7 @@ func (g *Graph) BetweennessCentrality(sources []int32, opt pbspgemm.Options) ([]
 			break
 		}
 		f := coo.ToCSR()
-		res, err := pbspgemm.Multiply(g.Adj, f, opt)
+		res, err := eng.Multiply(ctx, g.Adj, f)
 		if err != nil {
 			return nil, err
 		}
@@ -136,35 +142,13 @@ func (g *Graph) BetweennessCentrality(sources []int32, opt pbspgemm.Options) ([]
 
 // Add returns the sparse sum A + B of two equal-shape canonical CSR
 // matrices — the companion operation SpGEMM applications (algebraic
-// multigrid, MCL variants) interleave with multiplication.
+// multigrid, MCL variants) interleave with multiplication. It is EWiseAdd
+// over the arithmetic semiring on zero-copy float64 views.
 func Add(a, b *pbspgemm.CSR) (*pbspgemm.CSR, error) {
-	if a.NumRows != b.NumRows || a.NumCols != b.NumCols {
-		return nil, fmt.Errorf("graph: shapes %dx%d and %dx%d differ: %w",
-			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	sum, err := pbspgemm.EWiseAdd(pbspgemm.Arithmetic(),
+		pbspgemm.Float64Matrix(a), pbspgemm.Float64Matrix(b))
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
 	}
-	out := &matrix.CSR{NumRows: a.NumRows, NumCols: a.NumCols,
-		RowPtr: make([]int64, a.NumRows+1)}
-	for i := int32(0); i < a.NumRows; i++ {
-		p, pEnd := a.RowPtr[i], a.RowPtr[i+1]
-		q, qEnd := b.RowPtr[i], b.RowPtr[i+1]
-		for p < pEnd || q < qEnd {
-			switch {
-			case q == qEnd || (p < pEnd && a.ColIdx[p] < b.ColIdx[q]):
-				out.ColIdx = append(out.ColIdx, a.ColIdx[p])
-				out.Val = append(out.Val, a.Val[p])
-				p++
-			case p == pEnd || b.ColIdx[q] < a.ColIdx[p]:
-				out.ColIdx = append(out.ColIdx, b.ColIdx[q])
-				out.Val = append(out.Val, b.Val[q])
-				q++
-			default:
-				out.ColIdx = append(out.ColIdx, a.ColIdx[p])
-				out.Val = append(out.Val, a.Val[p]+b.Val[q])
-				p++
-				q++
-			}
-		}
-		out.RowPtr[i+1] = int64(len(out.Val))
-	}
-	return out, nil
+	return pbspgemm.Float64CSR(sum), nil
 }

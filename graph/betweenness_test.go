@@ -60,7 +60,7 @@ func TestBetweennessPathGraph(t *testing.T) {
 	// shortest paths between the v_left and v_right sides.
 	g := pathGraph(5)
 	all := []int32{0, 1, 2, 3, 4}
-	got, err := g.BetweennessCentrality(all, pbspgemm.Options{})
+	got, err := g.BetweennessCentrality(all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestBetweennessStarGraph(t *testing.T) {
 	}
 	g := &Graph{Adj: coo.ToCSR()}
 	all := []int32{0, 1, 2, 3, 4, 5, 6}
-	got, err := g.BetweennessCentrality(all, pbspgemm.Options{})
+	got, err := g.BetweennessCentrality(all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestBetweennessStarGraph(t *testing.T) {
 func TestBetweennessMatchesBrandesRandom(t *testing.T) {
 	g := FromAdjacency(gen.ER(120, 4, 13))
 	sources := []int32{0, 5, 17, 60, 119}
-	got, err := g.BetweennessCentrality(sources, pbspgemm.Options{})
+	got, err := g.BetweennessCentrality(sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +118,10 @@ func TestBetweennessMatchesBrandesRandom(t *testing.T) {
 
 func TestBetweennessEdgeCases(t *testing.T) {
 	g := pathGraph(4)
-	if bc, err := g.BetweennessCentrality(nil, pbspgemm.Options{}); err != nil || len(bc) != 4 {
+	if bc, err := g.BetweennessCentrality(nil); err != nil || len(bc) != 4 {
 		t.Fatal("empty sources must return zeros")
 	}
-	if _, err := g.BetweennessCentrality([]int32{99}, pbspgemm.Options{}); err == nil {
+	if _, err := g.BetweennessCentrality([]int32{99}); err == nil {
 		t.Fatal("expected out-of-range error")
 	}
 }

@@ -2,21 +2,36 @@
 // introduction motivates SpGEMM with: triangle counting and clustering
 // coefficients (Azad, Buluç, Gilbert [2]) and multi-source breadth-first
 // search (Gilbert, Reinhardt, Shah [3]). Every kernel is built on the
-// library's SpGEMM, so these serve both as examples of the public API and as
-// end-to-end integration tests of the multiplication algorithms.
+// library's semiring surface — BFS multiplies over Boolean(), triangle
+// counting uses the masked product A²⟨A⟩ without ever materializing the
+// unmasked square, and one all-pairs shortest-path relaxation (APSPStep) is
+// a min-plus multiplication — so these serve both as examples of the public
+// API and as end-to-end integration tests of the multiplication engine.
 package graph
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"sync"
 
 	"pbspgemm"
 	"pbspgemm/internal/matrix"
 )
 
 // Graph is a simple undirected graph stored as a symmetric 0/1 adjacency
-// matrix with an empty diagonal.
+// matrix with an empty diagonal. Methods are safe for concurrent use once
+// the graph is built (the cached boolean adjacency is initialized under a
+// sync.Once).
 type Graph struct {
+	// Adj is the adjacency matrix. It must not be replaced or mutated after
+	// the first traversal method runs: BFS-based methods cache a boolean
+	// view of it, which would silently go stale. To change the graph, build
+	// a new Graph.
 	Adj *pbspgemm.CSR
+
+	boolOnce sync.Once
+	boolAdj  *pbspgemm.ColMatrix[bool]
 }
 
 // FromAdjacency builds a Graph from an arbitrary sparse matrix by
@@ -57,44 +72,64 @@ func (g *Graph) Degrees() []int64 {
 	return d
 }
 
-// Triangles counts the triangles of g as sum(A² ∘ A)/6 using the given
-// SpGEMM options (the paper's triangle-counting citation [2] is exactly
-// this masked-square formulation).
-func (g *Graph) Triangles(opt pbspgemm.Options) (int64, error) {
-	sq, err := pbspgemm.Square(g.Adj, opt)
+// booleanAdjacency lazily converts the adjacency to the boolean
+// column-major form the BFS multiplications stream, built once per graph.
+func (g *Graph) booleanAdjacency() *pbspgemm.ColMatrix[bool] {
+	g.boolOnce.Do(func() {
+		g.boolAdj = pbspgemm.MatrixOf(g.Adj, func(float64) bool { return true }).ToCSC()
+	})
+	return g.boolAdj
+}
+
+// noMask neutralizes any caller-supplied mask option before opts reach a
+// multiplication: the graph kernels define their own masking semantics (or
+// none), and a stray WithMask would silently corrupt traversal results.
+func noMask(opts []pbspgemm.Option) []pbspgemm.Option {
+	out := make([]pbspgemm.Option, 0, len(opts)+1)
+	out = append(out, opts...)
+	return append(out, pbspgemm.WithMask(nil))
+}
+
+// maskedSquare computes A²⟨A⟩ — the 2-path counts restricted to positions
+// that close an edge — via the masked multiply, so the full A² is never
+// formed. The trailing WithMask(g.Adj) outranks any stray caller mask
+// (per-call options take precedence over the positional mask argument).
+func (g *Graph) maskedSquare(opts []pbspgemm.Option) (*pbspgemm.CSR, error) {
+	o := make([]pbspgemm.Option, 0, len(opts)+1)
+	o = append(o, opts...)
+	o = append(o, pbspgemm.WithMask(g.Adj))
+	return pbspgemm.MultiplyMasked(g.Adj, g.Adj, g.Adj, o...)
+}
+
+// Triangles counts the triangles of g as sum(A²⟨A⟩)/6 (the paper's
+// triangle-counting citation [2] is exactly this masked-square
+// formulation). The mask is applied inside the multiplication: only 2-path
+// counts that land on an edge are ever materialized.
+func (g *Graph) Triangles(opts ...pbspgemm.Option) (int64, error) {
+	c, err := g.maskedSquare(opts)
 	if err != nil {
 		return 0, err
 	}
-	mass := matrix.ElementWiseMultiplySum(sq.C, g.Adj)
+	var mass float64
+	for _, v := range c.Val {
+		mass += v
+	}
 	return int64(mass+0.5) / 6, nil
 }
 
 // PerVertexTriangles returns the number of triangles through each vertex:
-// t(v) = (A²∘A) row-sum at v, halved (each triangle at v is counted once per
-// neighbour direction).
-func (g *Graph) PerVertexTriangles(opt pbspgemm.Options) ([]int64, error) {
-	sq, err := pbspgemm.Square(g.Adj, opt)
+// t(v) = row-sum of A²⟨A⟩ at v, halved (each triangle at v is counted once
+// per neighbour direction).
+func (g *Graph) PerVertexTriangles(opts ...pbspgemm.Option) ([]int64, error) {
+	c, err := g.maskedSquare(opts)
 	if err != nil {
 		return nil, err
 	}
-	a := g.Adj
-	c := sq.C
-	out := make([]int64, a.NumRows)
-	for i := int32(0); i < a.NumRows; i++ {
-		p, pEnd := c.RowPtr[i], c.RowPtr[i+1]
-		q, qEnd := a.RowPtr[i], a.RowPtr[i+1]
+	out := make([]int64, c.NumRows)
+	for i := int32(0); i < c.NumRows; i++ {
 		var sum float64
-		for p < pEnd && q < qEnd {
-			switch {
-			case c.ColIdx[p] < a.ColIdx[q]:
-				p++
-			case c.ColIdx[p] > a.ColIdx[q]:
-				q++
-			default:
-				sum += c.Val[p]
-				p++
-				q++
-			}
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			sum += c.Val[p]
 		}
 		out[i] = int64(sum+0.5) / 2
 	}
@@ -103,8 +138,8 @@ func (g *Graph) PerVertexTriangles(opt pbspgemm.Options) ([]int64, error) {
 
 // ClusteringCoefficients returns the local clustering coefficient of every
 // vertex: triangles(v) / (d(v)·(d(v)-1)/2); vertices of degree < 2 get 0.
-func (g *Graph) ClusteringCoefficients(opt pbspgemm.Options) ([]float64, error) {
-	tri, err := g.PerVertexTriangles(opt)
+func (g *Graph) ClusteringCoefficients(opts ...pbspgemm.Option) ([]float64, error) {
+	tri, err := g.PerVertexTriangles(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +154,8 @@ func (g *Graph) ClusteringCoefficients(opt pbspgemm.Options) ([]float64, error) 
 }
 
 // GlobalClusteringCoefficient returns 3·triangles / open-wedges.
-func (g *Graph) GlobalClusteringCoefficient(opt pbspgemm.Options) (float64, error) {
-	tri, err := g.Triangles(opt)
+func (g *Graph) GlobalClusteringCoefficient(opts ...pbspgemm.Option) (float64, error) {
+	tri, err := g.Triangles(opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -135,78 +170,121 @@ func (g *Graph) GlobalClusteringCoefficient(opt pbspgemm.Options) (float64, erro
 }
 
 // MultiSourceBFS runs breadth-first search from every source simultaneously
-// by iterating the frontier matrix F ← A·F (the SpGEMM formulation of [3]):
-// F is n×k with column s holding source s's current frontier. It returns
-// levels[s][v] = BFS distance from sources[s] to v, or -1 if unreachable.
-func (g *Graph) MultiSourceBFS(sources []int32, opt pbspgemm.Options) ([][]int32, error) {
+// by iterating the frontier matrix F ← A·F over the Boolean semiring (the
+// SpGEMM formulation of [3]): F is n×k with column s holding source s's
+// current frontier. It returns levels[s][v] = BFS distance from sources[s]
+// to v, or -1 if unreachable.
+func (g *Graph) MultiSourceBFS(sources []int32, opts ...pbspgemm.Option) ([][]int32, error) {
+	eng, err := pbspgemm.NewEngine(noMask(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	levels, _, err := g.multiSourceBFS(eng, sources)
+	return levels, err
+}
+
+// multiSourceBFS is the shared BFS driver. Alongside the level arrays it
+// returns reached[s], the vertices source s discovered (source included, in
+// discovery order) — connected-components labeling walks only these instead
+// of rescanning all n vertices per seed.
+//
+// The caller's engine serves every level (and, for ConnectedComponents,
+// every sweep), so the boolean workspace warmed up on the first
+// multiplication is reused to the end; the frontier matrix reuses one set
+// of CSR buffers across levels (new frontiers are discovered in row-major
+// order, so assembly is a counting pass, not a sort).
+func (g *Graph) multiSourceBFS(eng *pbspgemm.Engine, sources []int32) (levels, reached [][]int32, err error) {
 	n := g.Adj.NumRows
 	k := int32(len(sources))
-	levels := make([][]int32, k)
+	levels = make([][]int32, k)
+	reached = make([][]int32, k)
 	for s := range levels {
 		if sources[s] < 0 || sources[s] >= n {
-			return nil, fmt.Errorf("graph: source %d out of range [0,%d)", sources[s], n)
+			return nil, nil, fmt.Errorf("graph: source %d out of range [0,%d)", sources[s], n)
 		}
 		levels[s] = make([]int32, n)
 		for v := range levels[s] {
 			levels[s][v] = -1
 		}
 		levels[s][sources[s]] = 0
+		reached[s] = []int32{sources[s]}
 	}
 	if k == 0 {
-		return levels, nil
+		return levels, reached, nil
+	}
+	adj := g.booleanAdjacency()
+	ctx := context.Background()
+
+	// Frontier entry lists (row-major), reused across levels. The initial
+	// frontier is the sources, sorted into CSR order; every later frontier
+	// is discovered in row-major order and needs no sorting.
+	frRows := make([]int32, 0, k)
+	frCols := make([]int32, 0, k)
+	order := make([]int32, k)
+	for s := range order {
+		order[s] = int32(s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if sources[order[i]] != sources[order[j]] {
+			return sources[order[i]] < sources[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, s := range order {
+		frRows = append(frRows, sources[s])
+		frCols = append(frCols, s)
 	}
 
-	// Frontier matrix: F(v, s) = 1 if v is in source s's current frontier.
-	frontier := make([][]int32, k) // per source, current frontier vertex list
-	for s, src := range sources {
-		frontier[s] = []int32{src}
-	}
+	f := &pbspgemm.Matrix[bool]{NumRows: n, NumCols: k, RowPtr: make([]int64, n+1)}
+	var vals []bool
 
-	for depth := int32(1); ; depth++ {
-		// Build F as CSR (n×k) from the frontier lists.
-		coo := &matrix.COO{NumRows: n, NumCols: k}
-		total := 0
-		for s, fr := range frontier {
-			for _, v := range fr {
-				coo.Row = append(coo.Row, v)
-				coo.Col = append(coo.Col, int32(s))
-				coo.Val = append(coo.Val, 1)
-			}
-			total += len(fr)
+	for depth := int32(1); len(frRows) > 0; depth++ {
+		// Assemble F from the entry lists: counting pass into the reused
+		// RowPtr, column indices and all-true values aliased directly.
+		for i := range f.RowPtr {
+			f.RowPtr[i] = 0
 		}
-		if total == 0 {
-			break
+		for _, v := range frRows {
+			f.RowPtr[v+1]++
 		}
-		f := coo.ToCSR()
+		for i := int32(0); i < n; i++ {
+			f.RowPtr[i+1] += f.RowPtr[i]
+		}
+		vals = vals[:0]
+		for range frCols {
+			vals = append(vals, true)
+		}
+		f.ColIdx, f.Val = frCols, vals
 
-		// One SpGEMM advances every search: N = A·F reaches the neighbours
-		// of all frontiers at once.
-		res, err := pbspgemm.Multiply(g.Adj, f, opt)
+		// One boolean SpGEMM advances every search: N = A·F reaches the
+		// neighbours of all frontiers at once.
+		next, err := pbspgemm.EngineMultiplyOver(eng, ctx, pbspgemm.Boolean(), adj, f)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		next := res.C
 
-		// Mask out visited vertices and record new levels.
-		for s := range frontier {
-			frontier[s] = frontier[s][:0]
-		}
+		// Mask out visited vertices, record new levels and collect the next
+		// frontier — rows ascending, columns ascending within a row, so the
+		// lists stay in CSR order for the next assembly.
+		frRows, frCols = frRows[:0], frCols[:0]
 		for v := int32(0); v < n; v++ {
 			for p := next.RowPtr[v]; p < next.RowPtr[v+1]; p++ {
 				s := next.ColIdx[p]
 				if levels[s][v] == -1 {
 					levels[s][v] = depth
-					frontier[s] = append(frontier[s], v)
+					reached[s] = append(reached[s], v)
+					frRows = append(frRows, v)
+					frCols = append(frCols, s)
 				}
 			}
 		}
 	}
-	return levels, nil
+	return levels, reached, nil
 }
 
 // Eccentricity returns max distance from source to any reachable vertex.
-func (g *Graph) Eccentricity(source int32, opt pbspgemm.Options) (int32, error) {
-	levels, err := g.MultiSourceBFS([]int32{source}, opt)
+func (g *Graph) Eccentricity(source int32, opts ...pbspgemm.Option) (int32, error) {
+	levels, err := g.MultiSourceBFS([]int32{source}, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -222,7 +300,7 @@ func (g *Graph) Eccentricity(source int32, opt pbspgemm.Options) (int32, error) 
 // ConnectedComponents labels vertices by component using repeated BFS
 // sweeps (batched k sources per sweep to amortize SpGEMM cost). Returns the
 // component id per vertex and the number of components.
-func (g *Graph) ConnectedComponents(opt pbspgemm.Options) ([]int32, int32, error) {
+func (g *Graph) ConnectedComponents(opts ...pbspgemm.Option) ([]int32, int32, error) {
 	n := g.Adj.NumRows
 	comp := make([]int32, n)
 	for i := range comp {
@@ -230,58 +308,65 @@ func (g *Graph) ConnectedComponents(opt pbspgemm.Options) ([]int32, int32, error
 	}
 	var nextComp int32
 	const batch = 16
+	// One engine across all sweeps: the workspace warmed up by the first
+	// sweep's multiplications serves every later one.
+	eng, err := pbspgemm.NewEngine(noMask(opts)...)
+	if err != nil {
+		return nil, 0, err
+	}
+	next := int32(0) // unlabeled scan resumes where the last sweep stopped
 	for {
-		// Collect up to `batch` unvisited seeds.
+		// Collect up to `batch` unlabeled seeds (distinct by construction:
+		// each vertex is visited once by the monotone scan).
 		var seeds []int32
-		for v := int32(0); v < n && len(seeds) < batch; v++ {
-			if comp[v] == -1 {
-				already := false
-				for _, s := range seeds {
-					if s == v {
-						already = true
-						break
-					}
-				}
-				if !already {
-					seeds = append(seeds, v)
-				}
+		for ; next < n && len(seeds) < batch; next++ {
+			if comp[next] == -1 {
+				seeds = append(seeds, next)
 			}
 		}
 		if len(seeds) == 0 {
 			break
 		}
-		levels, err := g.MultiSourceBFS(seeds, opt)
+		_, reached, err := g.multiSourceBFS(eng, seeds)
 		if err != nil {
 			return nil, 0, err
 		}
-		// Assign: earlier seeds win; seeds in the same component share ids.
-		seedComp := make([]int32, len(seeds))
-		for s := range seeds {
-			seedComp[s] = -1
-		}
+		// Assign labels walking only the vertices each seed discovered.
+		// Earlier seeds win: a later seed of the same component finds its
+		// own vertex already labeled and claims nothing.
 		for s, src := range seeds {
 			if comp[src] != -1 {
-				continue // already labeled by an earlier seed this round
+				continue // an earlier seed of this batch reached src
 			}
-			// Did an earlier seed of this batch reach src?
-			owner := int32(-1)
-			for e := 0; e < s; e++ {
-				if levels[e][src] >= 0 && seedComp[e] >= 0 {
-					owner = seedComp[e]
-					break
-				}
-			}
-			if owner == -1 {
-				owner = nextComp
-				nextComp++
-			}
-			seedComp[s] = owner
-			for v := int32(0); v < n; v++ {
-				if levels[s][v] >= 0 && comp[v] == -1 {
-					comp[v] = owner
+			id := nextComp
+			nextComp++
+			for _, v := range reached[s] {
+				if comp[v] == -1 {
+					comp[v] = id
 				}
 			}
 		}
 	}
 	return comp, nextComp, nil
+}
+
+// APSPStep performs one min-plus relaxation of all-pairs shortest paths:
+// D' = D ⊕ (D ⊗ D) over the tropical semiring, where stored entries are
+// known path lengths and absent entries are +∞. Starting from a weighted
+// adjacency matrix, ⌈log₂ n⌉ repeated steps converge to the full APSP
+// closure (each step doubles the maximum hop count covered). The
+// multiplication runs the PB-structured semiring kernel; the merge with the
+// previous iterate is an element-wise min (EWiseAdd over MinPlus).
+func APSPStep(d *pbspgemm.CSR, opts ...pbspgemm.Option) (*pbspgemm.CSR, error) {
+	sr := pbspgemm.MinPlus()
+	gd := pbspgemm.Float64Matrix(d)
+	sq, err := pbspgemm.MultiplyOver(sr, gd.ToCSC(), gd, noMask(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	relaxed, err := pbspgemm.EWiseAdd(sr, gd, sq)
+	if err != nil {
+		return nil, err
+	}
+	return pbspgemm.Float64CSR(relaxed), nil
 }

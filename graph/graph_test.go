@@ -38,7 +38,7 @@ func TestTrianglesKnownGraphs(t *testing.T) {
 	// K_n has C(n,3) triangles.
 	for _, n := range []int32{3, 4, 5, 10} {
 		g := completeGraph(n)
-		got, err := g.Triangles(pbspgemm.Options{})
+		got, err := g.Triangles()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,33 +48,38 @@ func TestTrianglesKnownGraphs(t *testing.T) {
 		}
 	}
 	// A path has none.
-	if got, _ := pathGraph(20).Triangles(pbspgemm.Options{}); got != 0 {
+	if got, _ := pathGraph(20).Triangles(); got != 0 {
 		t.Fatalf("path graph has %d triangles, want 0", got)
 	}
 }
 
 func TestTrianglesAgreeAcrossAlgorithms(t *testing.T) {
+	// The masked-multiply count must agree with the legacy unmasked
+	// formulation (materialize A² with each algorithm, Hadamard-mask, sum).
 	g := FromAdjacency(gen.ER(512, 6, 3))
-	var counts []int64
+	masked, err := g.Triangles()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, alg := range []pbspgemm.Algorithm{pbspgemm.PB, pbspgemm.Hash, pbspgemm.Heap} {
-		c, err := g.Triangles(pbspgemm.Options{Algorithm: alg})
+		sq, err := pbspgemm.Square(g.Adj, pbspgemm.Options{Algorithm: alg})
 		if err != nil {
 			t.Fatal(err)
 		}
-		counts = append(counts, c)
-	}
-	if counts[0] != counts[1] || counts[1] != counts[2] {
-		t.Fatalf("triangle counts disagree: %v", counts)
+		mass := matrix.ElementWiseMultiplySum(sq.C, g.Adj)
+		if legacy := int64(mass+0.5) / 6; legacy != masked {
+			t.Fatalf("%v: masked count %d != unmasked count %d", alg, masked, legacy)
+		}
 	}
 }
 
 func TestPerVertexTrianglesSumsToTotal(t *testing.T) {
 	g := FromAdjacency(gen.ER(300, 8, 5))
-	per, err := g.PerVertexTriangles(pbspgemm.Options{})
+	per, err := g.PerVertexTriangles()
 	if err != nil {
 		t.Fatal(err)
 	}
-	total, err := g.Triangles(pbspgemm.Options{})
+	total, err := g.Triangles()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +94,7 @@ func TestPerVertexTrianglesSumsToTotal(t *testing.T) {
 
 func TestClusteringCoefficients(t *testing.T) {
 	// Every vertex of K_5 has coefficient 1; path interior vertices 0.
-	cc, err := completeGraph(5).ClusteringCoefficients(pbspgemm.Options{})
+	cc, err := completeGraph(5).ClusteringCoefficients()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +103,7 @@ func TestClusteringCoefficients(t *testing.T) {
 			t.Fatalf("K_5 vertex %d coefficient %v, want 1", v, c)
 		}
 	}
-	cc, err = pathGraph(10).ClusteringCoefficients(pbspgemm.Options{})
+	cc, err = pathGraph(10).ClusteringCoefficients()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +112,7 @@ func TestClusteringCoefficients(t *testing.T) {
 			t.Fatalf("path vertex %d coefficient %v, want 0", v, c)
 		}
 	}
-	gcc, err := completeGraph(6).GlobalClusteringCoefficient(pbspgemm.Options{})
+	gcc, err := completeGraph(6).GlobalClusteringCoefficient()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +123,7 @@ func TestClusteringCoefficients(t *testing.T) {
 
 func TestMultiSourceBFSPath(t *testing.T) {
 	g := pathGraph(10)
-	levels, err := g.MultiSourceBFS([]int32{0, 9, 5}, pbspgemm.Options{})
+	levels, err := g.MultiSourceBFS([]int32{0, 9, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +147,7 @@ func TestMultiSourceBFSPath(t *testing.T) {
 func TestMultiSourceBFSMatchesSequentialBFS(t *testing.T) {
 	g := FromAdjacency(gen.RMAT(9, 4, gen.Graph500Params, 7))
 	sources := []int32{0, 17, 100, 301}
-	levels, err := g.MultiSourceBFS(sources, pbspgemm.Options{})
+	levels, err := g.MultiSourceBFS(sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,10 +184,10 @@ func sequentialBFS(a *pbspgemm.CSR, src int32) []int32 {
 
 func TestMultiSourceBFSBadSource(t *testing.T) {
 	g := pathGraph(5)
-	if _, err := g.MultiSourceBFS([]int32{99}, pbspgemm.Options{}); err == nil {
+	if _, err := g.MultiSourceBFS([]int32{99}); err == nil {
 		t.Fatal("expected out-of-range source error")
 	}
-	levels, err := g.MultiSourceBFS(nil, pbspgemm.Options{})
+	levels, err := g.MultiSourceBFS(nil)
 	if err != nil || len(levels) != 0 {
 		t.Fatal("empty source list should be a no-op")
 	}
@@ -190,7 +195,7 @@ func TestMultiSourceBFSBadSource(t *testing.T) {
 
 func TestEccentricity(t *testing.T) {
 	g := pathGraph(10)
-	ecc, err := g.Eccentricity(0, pbspgemm.Options{})
+	ecc, err := g.Eccentricity(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +214,7 @@ func TestConnectedComponents(t *testing.T) {
 		coo.Val = append(coo.Val, 1, 1)
 	}
 	g := &Graph{Adj: coo.ToCSR()}
-	comp, n, err := g.ConnectedComponents(pbspgemm.Options{})
+	comp, n, err := g.ConnectedComponents()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +241,7 @@ func TestConnectedComponentsLargerThanBatch(t *testing.T) {
 		coo.Val = append(coo.Val, 1, 1)
 	}
 	g := &Graph{Adj: coo.ToCSR()}
-	comp, n, err := g.ConnectedComponents(pbspgemm.Options{})
+	comp, n, err := g.ConnectedComponents()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,5 +281,141 @@ func TestFromAdjacencyProperties(t *testing.T) {
 	}
 	if degSum != a.NNZ() {
 		t.Fatal("degree sum != nnz")
+	}
+}
+
+func TestAPSPStepConvergesToFloydWarshall(t *testing.T) {
+	// Small weighted digraph with deterministic pseudo-random weights; the
+	// min-plus relaxation doubled ⌈log₂ n⌉ times must reach the full APSP
+	// closure computed by Floyd–Warshall.
+	n := int32(24)
+	coo := &matrix.COO{NumRows: n, NumCols: n}
+	state := uint64(99)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for e := 0; e < int(n)*3; e++ {
+		i := int32(next() % uint64(n))
+		j := int32(next() % uint64(n))
+		if i == j {
+			continue
+		}
+		coo.Row = append(coo.Row, i)
+		coo.Col = append(coo.Col, j)
+		coo.Val = append(coo.Val, 1+float64(next()%100)/10)
+	}
+	d := coo.ToCSR()
+
+	const inf = 1e308
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = make([]float64, n)
+		for j := range want[i] {
+			want[i][j] = inf
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		for p := d.RowPtr[i]; p < d.RowPtr[i+1]; p++ {
+			if v := d.Val[p]; v < want[i][d.ColIdx[p]] {
+				want[i][d.ColIdx[p]] = v
+			}
+		}
+	}
+	for k := int32(0); k < n; k++ {
+		for i := int32(0); i < n; i++ {
+			for j := int32(0); j < n; j++ {
+				if rel := want[i][k] + want[k][j]; rel < want[i][j] {
+					want[i][j] = rel
+				}
+			}
+		}
+	}
+
+	cur := d
+	for s := 0; s < 5; s++ { // ⌈log₂ 24⌉ = 5 doublings
+		var err error
+		cur, err = APSPStep(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		got := make([]float64, n)
+		for j := range got {
+			got[j] = inf
+		}
+		for p := cur.RowPtr[i]; p < cur.RowPtr[i+1]; p++ {
+			got[cur.ColIdx[p]] = cur.Val[p]
+		}
+		for j := int32(0); j < n; j++ {
+			w := want[i][j]
+			if w == inf {
+				if got[j] != inf {
+					t.Fatalf("(%d,%d): got %v, want unreachable", i, j, got[j])
+				}
+				continue
+			}
+			if diff := got[j] - w; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("(%d,%d): got %v, want %v", i, j, got[j], w)
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsReachedLabeling(t *testing.T) {
+	// A graph whose batch contains several seeds of the same component:
+	// a star on vertices [0,20) centred at 0, plus 30 isolated vertices, so
+	// one sweep's 16 seeds mix one big component with many singletons.
+	coo := &matrix.COO{NumRows: 50, NumCols: 50}
+	for i := int32(1); i < 20; i++ {
+		coo.Row = append(coo.Row, 0, i)
+		coo.Col = append(coo.Col, i, 0)
+		coo.Val = append(coo.Val, 1, 1)
+	}
+	g := &Graph{Adj: coo.ToCSR()}
+	comp, n, err := g.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 31 {
+		t.Fatalf("components = %d, want 31 (star + 30 singletons)", n)
+	}
+	for i := int32(1); i < 20; i++ {
+		if comp[i] != comp[0] {
+			t.Fatalf("star vertex %d not in component of centre", i)
+		}
+	}
+	seen := map[int32]bool{comp[0]: true}
+	for i := int32(20); i < 50; i++ {
+		if seen[comp[i]] {
+			t.Fatalf("singleton %d shares component %d", i, comp[i])
+		}
+		seen[comp[i]] = true
+	}
+}
+
+func TestGraphMethodsIgnoreStrayMaskOptions(t *testing.T) {
+	// A caller-supplied WithMask must not leak into the traversal kernels'
+	// own multiplications (it would silently truncate BFS and corrupt
+	// triangle counts).
+	g := pathGraph(10)
+	bogus := pbspgemm.NewER(10, 1, 1)
+	levels, err := g.MultiSourceBFS([]int32{0}, pbspgemm.WithMask(bogus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 10; v++ {
+		if levels[0][v] != v {
+			t.Fatalf("masked-option BFS wrong: level[%d] = %d, want %d", v, levels[0][v], v)
+		}
+	}
+	k := completeGraph(5)
+	tri, err := k.Triangles(pbspgemm.WithMask(bogus.Transpose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri != 10 {
+		t.Fatalf("masked-option triangles = %d, want 10", tri)
 	}
 }

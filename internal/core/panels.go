@@ -22,7 +22,7 @@ import (
 
 // runBudgeted executes the multi-panel pipeline. Caller guarantees
 // npanels >= 2 and flops > 0.
-func (e *engine) runBudgeted() *matrix.CSR {
+func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	ws := e.ws
 	growPairs(&ws.tuples, e.maxPanelFlops)
 	ws.runs = ws.runs[:0]
@@ -31,6 +31,9 @@ func (e *engine) runBudgeted() *matrix.CSR {
 	matrix.GrowInt64(&ws.binOut, e.nbins)
 
 	for p := 0; p < e.npanels; p++ {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		lo, hi := ws.panelStart[p], ws.panelStart[p+1]
 
 		t0 := time.Now()
@@ -51,6 +54,9 @@ func (e *engine) runBudgeted() *matrix.CSR {
 		e.st.Compress += time.Since(t0)
 	}
 	ws.runStart = append(ws.runStart, int64(len(ws.runs))) // closing boundary
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 
 	t0 := time.Now()
 	e.groupRuns()
@@ -60,7 +66,7 @@ func (e *engine) runBudgeted() *matrix.CSR {
 	t0 = time.Now()
 	c := e.assemble(ws.merged, ws.mergedStart)
 	e.st.Assemble = time.Since(t0)
-	return c
+	return c, nil
 }
 
 // compressPanel folds duplicate keys within each sorted bin segment of the

@@ -88,6 +88,12 @@ type Options struct {
 	// CSR and Stats then alias workspace memory and are invalidated by the
 	// next call using the same workspace.
 	Workspace *Workspace
+	// Cancel, if non-nil, is polled at phase boundaries (after planning and
+	// between expand/sort/compress/merge, per panel on budgeted runs). A
+	// non-nil return aborts the multiplication with that error; in-flight
+	// phases always run to completion first, so no goroutines leak. The
+	// public API wires context.Context.Err here.
+	Cancel func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -201,14 +207,26 @@ func Multiply(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, e
 	} else {
 		e.st = &Stats{}
 	}
-	c := e.run()
+	c, err := e.run()
 	st := e.st
 	// Drop input references so a long-lived workspace doesn't pin matrices.
 	e.a, e.b, e.st = nil, nil, nil
+	if err != nil {
+		return nil, nil, err
+	}
 	return c, st, nil
 }
 
-func (e *engine) run() *matrix.CSR {
+// canceled polls the caller's cancellation hook; the phases call it only at
+// their boundaries, so the per-call overhead is a handful of atomic loads.
+func (e *engine) canceled() error {
+	if e.opt.Cancel == nil {
+		return nil
+	}
+	return e.opt.Cancel()
+}
+
+func (e *engine) run() (*matrix.CSR, error) {
 	totalStart := time.Now()
 
 	t0 := time.Now()
@@ -223,14 +241,21 @@ func (e *engine) run() *matrix.CSR {
 	if e.flops == 0 {
 		c := e.newResult(0)
 		e.st.Total = time.Since(totalStart)
-		return c
+		return c, nil
+	}
+	if err := e.canceled(); err != nil {
+		return nil, err
 	}
 
 	var c *matrix.CSR
+	var err error
 	if e.npanels == 1 {
-		c = e.runSingleShot()
+		c, err = e.runSingleShot()
 	} else {
-		c = e.runBudgeted()
+		c, err = e.runBudgeted()
+	}
+	if err != nil {
+		return nil, err
 	}
 	e.st.NNZC = c.NNZ()
 	e.st.ExpandBytes = matrix.BytesPerTuple * (e.a.NNZ() + e.b.NNZ() + e.flops)
@@ -240,13 +265,13 @@ func (e *engine) run() *matrix.CSR {
 		e.st.CF = float64(e.st.Flops) / float64(e.st.NNZC)
 	}
 	e.st.Total = time.Since(totalStart)
-	return c
+	return c, nil
 }
 
 // runSingleShot is the paper's algorithm: one panel covering all of A's
 // columns, compress directly tallying row counts, assemble from the tuple
 // buffer.
-func (e *engine) runSingleShot() *matrix.CSR {
+func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 := time.Now()
 	e.panelPlan(0, int(e.a.NumCols))
 	growPairs(&e.ws.tuples, e.flops)
@@ -255,10 +280,16 @@ func (e *engine) runSingleShot() *matrix.CSR {
 	t0 = time.Now()
 	e.expandPanel(0)
 	e.st.Expand = time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 
 	t0 = time.Now()
 	e.sortBins()
 	e.st.Sort = time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 
 	t0 = time.Now()
 	binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
@@ -276,11 +307,14 @@ func (e *engine) runSingleShot() *matrix.CSR {
 		})
 	}
 	e.st.Compress = time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 
 	t0 = time.Now()
 	c := e.assemble(tuples, bs)
 	e.st.Assemble = time.Since(t0)
-	return c
+	return c, nil
 }
 
 // symbolic implements Algorithm 3's flop count: per-column flops from the

@@ -1,0 +1,87 @@
+package semiring
+
+import (
+	"fmt"
+
+	"pbspgemm/internal/matrix"
+)
+
+// EWiseAdd returns the element-wise "sum" of a and b over sr.Plus
+// (GraphBLAS eWiseAdd): the output support is the union of the inputs'
+// supports, entries present in both are folded with Plus, entries present in
+// one are copied through. Combined with a min-plus semiring this is the
+// distance-relaxation merge of shortest-path iterations.
+func EWiseAdd[T any](sr Semiring[T], a, b *CSRg[T]) (*CSRg[T], error) {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols {
+		return nil, fmt.Errorf("semiring: eWiseAdd shapes %dx%d and %dx%d differ: %w",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	out := &CSRg[T]{NumRows: a.NumRows, NumCols: a.NumCols,
+		RowPtr: make([]int64, a.NumRows+1)}
+	for i := int32(0); i < a.NumRows; i++ {
+		p, pEnd := a.RowPtr[i], a.RowPtr[i+1]
+		q, qEnd := b.RowPtr[i], b.RowPtr[i+1]
+		for p < pEnd || q < qEnd {
+			switch {
+			case q == qEnd || (p < pEnd && a.ColIdx[p] < b.ColIdx[q]):
+				out.ColIdx = append(out.ColIdx, a.ColIdx[p])
+				out.Val = append(out.Val, a.Val[p])
+				p++
+			case p == pEnd || b.ColIdx[q] < a.ColIdx[p]:
+				out.ColIdx = append(out.ColIdx, b.ColIdx[q])
+				out.Val = append(out.Val, b.Val[q])
+				q++
+			default:
+				out.ColIdx = append(out.ColIdx, a.ColIdx[p])
+				out.Val = append(out.Val, sr.Plus(a.Val[p], b.Val[q]))
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.Val))
+	}
+	return out, nil
+}
+
+// EWiseMult returns the element-wise "product" of a and b over sr.Times
+// (GraphBLAS eWiseMult, the Hadamard product): the output support is the
+// intersection of the inputs' supports. Over the arithmetic semiring this is
+// the A² ∘ A mask-and-keep step of triangle counting.
+func EWiseMult[T any](sr Semiring[T], a, b *CSRg[T]) (*CSRg[T], error) {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols {
+		return nil, fmt.Errorf("semiring: eWiseMult shapes %dx%d and %dx%d differ: %w",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	out := &CSRg[T]{NumRows: a.NumRows, NumCols: a.NumCols,
+		RowPtr: make([]int64, a.NumRows+1)}
+	for i := int32(0); i < a.NumRows; i++ {
+		p, pEnd := a.RowPtr[i], a.RowPtr[i+1]
+		q, qEnd := b.RowPtr[i], b.RowPtr[i+1]
+		for p < pEnd && q < qEnd {
+			switch {
+			case a.ColIdx[p] < b.ColIdx[q]:
+				p++
+			case a.ColIdx[p] > b.ColIdx[q]:
+				q++
+			default:
+				out.ColIdx = append(out.ColIdx, a.ColIdx[p])
+				out.Val = append(out.Val, sr.Times(a.Val[p], b.Val[q]))
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.Val))
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of m: the public engine hands pooled results
+// back to callers as clones so the workspace can be reused immediately.
+func (m *CSRg[T]) Clone() *CSRg[T] {
+	return &CSRg[T]{
+		NumRows: m.NumRows, NumCols: m.NumCols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    append([]T(nil), m.Val...),
+	}
+}

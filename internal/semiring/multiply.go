@@ -32,6 +32,19 @@ type Options struct {
 	// stable across calls. The returned matrix then aliases workspace
 	// memory and is invalidated by the next call using the same workspace.
 	Workspace *core.Workspace
+	// Mask, if non-nil, restricts the output structurally (GraphBLAS C⟨M⟩):
+	// only positions where Mask stores an entry survive (values ignored).
+	// Filtering happens per bin right after compression, before any output
+	// or run buffer is written, so the unmasked product is never
+	// materialized. Mask must be canonical CSR of shape rows(A)×cols(B).
+	Mask *matrix.CSR
+	// Complement flips the mask (C⟨¬M⟩): keep positions NOT stored in Mask.
+	// Ignored when Mask is nil.
+	Complement bool
+	// Cancel, if non-nil, is polled at phase boundaries (per panel, before
+	// the merge and before assembly). A non-nil return aborts the
+	// multiplication with that error.
+	Cancel func() error
 }
 
 // Multiply computes C = A ⊗ B over the semiring sr with the PB-SpGEMM
@@ -50,6 +63,16 @@ func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*
 	if a.NumCols != b.NumRows {
 		return nil, fmt.Errorf("semiring: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	if opt.Mask != nil && (opt.Mask.NumRows != a.NumRows || opt.Mask.NumCols != b.NumCols) {
+		return nil, fmt.Errorf("semiring: mask is %dx%d, product is %dx%d: %w",
+			opt.Mask.NumRows, opt.Mask.NumCols, a.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	canceled := func() error {
+		if opt.Cancel == nil {
+			return nil
+		}
+		return opt.Cancel()
 	}
 	threads := par.DefaultThreads(opt.Threads)
 	shared := opt.Workspace != nil
@@ -145,6 +168,9 @@ func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*
 	}
 
 	for p := 0; p < npanels; p++ {
+		if err := canceled(); err != nil {
+			return nil, err
+		}
 		lo, hi := ps[p], ps[p+1]
 
 		// Per-panel bin extents: one pass over the panel's nonzeros.
@@ -182,16 +208,21 @@ func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*
 			}
 		}
 
-		// Sort + compress, bins in parallel. On single-shot runs the row
-		// tallies happen here; budgeted runs tally during the merge, when
-		// final per-row counts are known.
+		// Sort + compress, bins in parallel; the structural mask (if any) is
+		// applied to the compressed segment before anything downstream sees
+		// it, so unmasked entries never reach the output or the run arena.
+		// On single-shot runs the row tallies happen here; budgeted runs
+		// tally during the merge, when final per-row counts are known.
 		par.ForEachDynamic(nbins, threads, func(_, bin int) {
+			firstRow := int32(bin) * rowsPerBin
 			seg := tuples[binStart[bin]:binStart[bin+1]]
 			sortPairsG(seg)
 			out := compressSeg(sr, seg)
+			if opt.Mask != nil {
+				out = filterSegMask(seg[:out], opt.Mask, opt.Complement, firstRow, colBits)
+			}
 			binOut[bin] = out
 			if single {
-				firstRow := int32(bin) * rowsPerBin
 				for i := int64(0); i < out; i++ {
 					rowCounts[firstRow+int32(seg[i].key>>colBits)+1]++
 				}
@@ -205,10 +236,16 @@ func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*
 
 	src, srcStart := tuples, binStart
 	if !single {
+		if err := canceled(); err != nil {
+			return nil, err
+		}
 		gws.Runs = runs
 		gws.RunStart = append(gws.RunStart, int64(len(runs)))
 		srcStart = mergeRunsG(sr, gws, runs, nbins, rowsPerBin, colBits, threads, binOut, rowCounts)
 		src, _ = gws.Merged.([]pair[T])
+	}
+	if err := canceled(); err != nil {
+		return nil, err
 	}
 
 	// Assemble.
@@ -229,6 +266,40 @@ func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*
 		}
 	})
 	return c, nil
+}
+
+// filterSegMask drops tuples of a compressed, sorted bin segment according
+// to the structural mask: a tuple at global position (row, col) survives iff
+// the mask stores an entry there (or does not, under complement). The
+// segment is sorted by packed key, so rows appear in ascending order with
+// ascending columns inside each row, and the filter is one linear merge of
+// the segment against the relevant mask rows. Returns the kept length.
+func filterSegMask[T any](seg []pair[T], mask *matrix.CSR, complement bool,
+	firstRow int32, colBits uint) int64 {
+
+	colMask := uint64(1)<<colBits - 1
+	var w int64
+	for i := 0; i < len(seg); {
+		rowKey := seg[i].key >> colBits
+		row := firstRow + int32(rowKey)
+		j := i
+		for j < len(seg) && seg[j].key>>colBits == rowKey {
+			j++
+		}
+		mp, mEnd := mask.RowPtr[row], mask.RowPtr[row+1]
+		for ; i < j; i++ {
+			col := int32(seg[i].key & colMask)
+			for mp < mEnd && mask.ColIdx[mp] < col {
+				mp++
+			}
+			stored := mp < mEnd && mask.ColIdx[mp] == col
+			if stored != complement {
+				seg[w] = seg[i]
+				w++
+			}
+		}
+	}
+	return w
 }
 
 // compressSeg is the two-pointer in-place merge over a sorted segment,

@@ -1,0 +1,220 @@
+package pbspgemm
+
+import (
+	"context"
+	"fmt"
+)
+
+// Option is a per-call (or per-engine, via NewEngine) functional option for
+// the multiplication entry points: Engine.Multiply, Engine.MultiplyMasked,
+// MultiplyOver, MultiplyMasked and EngineMultiplyOver. Options validate
+// eagerly — an out-of-range value surfaces as an *OptionError from the call
+// that received it, before any work runs — and later options override
+// earlier ones, so engine defaults can be overridden per call.
+type Option func(*config) error
+
+// OptionError is the typed error returned when an option (or a legacy
+// Options field) carries an invalid value, e.g. a negative thread count.
+// Test with errors.As, or errors.Is against ErrInvalidOption.
+type OptionError struct {
+	// Option names the offending option or Options struct field.
+	Option string
+	// Value is the rejected value.
+	Value int64
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("pbspgemm: invalid option %s = %d", e.Option, e.Value)
+}
+
+// Is reports ErrInvalidOption as a match, so callers can class-check with
+// errors.Is without naming the concrete type.
+func (e *OptionError) Is(target error) bool { return target == ErrInvalidOption }
+
+// ErrInvalidOption is the errors.Is sentinel every *OptionError matches.
+var ErrInvalidOption = fmt.Errorf("pbspgemm: invalid option")
+
+// errNilMask rejects MultiplyMasked calls that end up with no mask at all —
+// silently returning the full unmasked product would be exactly the dense
+// blow-up the masked entry points exist to avoid.
+var errNilMask = fmt.Errorf("%w: MultiplyMasked requires a non-nil mask", ErrInvalidOption)
+
+// config is the resolved per-call configuration the functional options
+// mutate. The zero value is the paper's defaults: PB-SpGEMM, all cores,
+// auto-sized bins, no budget, no mask.
+type config struct {
+	ctx        context.Context
+	algorithm  Algorithm
+	threads    int
+	nbins      int
+	localBin   int
+	l2Cache    int
+	budget     int64
+	mask       *CSR
+	complement bool
+}
+
+// resolve applies defaults then per-call options in order.
+func resolve(defaults []Option, opts []Option) (config, error) {
+	var c config
+	for _, o := range defaults {
+		if err := o(&c); err != nil {
+			return c, err
+		}
+	}
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+func (c *config) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// cancelFunc adapts the call's context to the engines' phase-boundary
+// cancellation hook; nil when the context can never be canceled, so the
+// hot path pays nothing.
+func (c *config) cancelFunc() func() error {
+	ctx := c.context()
+	if ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
+// WithAlgorithm selects the SpGEMM implementation (default PB). Masked and
+// semiring multiplications always run the PB-structured kernel; for those
+// the algorithm choice is ignored.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) error {
+		if a < PB || a > ColumnESC {
+			return &OptionError{Option: "WithAlgorithm", Value: int64(a)}
+		}
+		c.algorithm = a
+		return nil
+	}
+}
+
+// WithThreads caps worker goroutines; 0 (the default) uses GOMAXPROCS.
+func WithThreads(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return &OptionError{Option: "WithThreads", Value: int64(n)}
+		}
+		c.threads = n
+		return nil
+	}
+}
+
+// WithNBins overrides the global bin count of the float64 PB kernel;
+// 0 auto-sizes from flop and the L2 budget (Algorithm 3). Masked and
+// semiring multiplications always auto-size their bins and ignore this
+// option (like WithLocalBinBytes and WithL2CacheBytes).
+func WithNBins(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return &OptionError{Option: "WithNBins", Value: int64(n)}
+		}
+		c.nbins = n
+		return nil
+	}
+}
+
+// WithLocalBinBytes sets the thread-private local bin width in bytes
+// (float64 PB kernel only; masked/semiring paths ignore it); 0 means 512,
+// the paper's tuned value (Fig. 6a).
+func WithLocalBinBytes(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return &OptionError{Option: "WithLocalBinBytes", Value: int64(n)}
+		}
+		c.localBin = n
+		return nil
+	}
+}
+
+// WithL2CacheBytes sets the per-bin cache budget used to auto-size the bin
+// count (float64 PB kernel only; masked/semiring paths ignore it); 0 means
+// 1 MiB.
+func WithL2CacheBytes(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return &OptionError{Option: "WithL2CacheBytes", Value: int64(n)}
+		}
+		c.l2Cache = n
+		return nil
+	}
+}
+
+// WithMemoryBudget caps the expanded-tuple working set in bytes: when the
+// expansion would exceed it, A's columns are tiled into panels that each fit
+// and per-panel results are merged. 0 means unlimited (single shot).
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *config) error {
+		if bytes < 0 {
+			return &OptionError{Option: "WithMemoryBudget", Value: bytes}
+		}
+		c.budget = bytes
+		return nil
+	}
+}
+
+// WithMask restricts the product structurally (GraphBLAS C⟨M⟩ = A·B): only
+// positions where m stores an entry are kept, and the unmasked product is
+// never materialized. m's values are ignored; its shape must be
+// rows(A)×cols(B). A masked multiplication always runs the PB-structured
+// semiring kernel. WithMask(nil) clears any mask set by an earlier option,
+// restoring the unmasked product.
+func WithMask(m *CSR) Option {
+	return func(c *config) error {
+		c.mask, c.complement = m, false
+		return nil
+	}
+}
+
+// WithComplementMask is WithMask with the complemented mask ⟨¬M⟩: positions
+// stored in m are dropped, all others kept.
+func WithComplementMask(m *CSR) Option {
+	return func(c *config) error {
+		c.mask, c.complement = m, true
+		return nil
+	}
+}
+
+// WithContext attaches a context to package-level calls that have no
+// explicit context parameter (MultiplyOver, MultiplyMasked, EWise helpers'
+// multiplying callers). Cancellation and deadlines are observed at phase
+// boundaries. Engine.Multiply's explicit context argument takes precedence
+// over this option.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) error {
+		c.ctx = ctx
+		return nil
+	}
+}
+
+// validate rejects out-of-range fields of the legacy Options struct with
+// the same typed error the functional options return.
+func (o Options) validate() error {
+	for _, f := range []struct {
+		name  string
+		value int64
+	}{
+		{"Options.Threads", int64(o.Threads)},
+		{"Options.NBins", int64(o.NBins)},
+		{"Options.LocalBinBytes", int64(o.LocalBinBytes)},
+		{"Options.L2CacheBytes", int64(o.L2CacheBytes)},
+		{"Options.MemoryBudgetBytes", o.MemoryBudgetBytes},
+	} {
+		if f.value < 0 {
+			return &OptionError{Option: f.name, Value: f.value}
+		}
+	}
+	return nil
+}

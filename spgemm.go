@@ -16,8 +16,16 @@
 //
 //	a := pbspgemm.NewER(1<<16, 8, 1)       // 65536x65536, 8 nnz/column
 //	b := pbspgemm.NewER(1<<16, 8, 2)
-//	res, err := pbspgemm.Multiply(a, b, pbspgemm.Options{})
+//	eng, _ := pbspgemm.NewEngine()         // concurrency-safe, pooled, metered
+//	res, err := eng.Multiply(context.Background(), a, b)
 //	fmt.Println(res.GFLOPS(), res.C.NNZ())
+//
+// Beyond float64 arithmetic, the package is generic over semirings
+// (Semiring[T], MultiplyOver) with GraphBLAS-style masked products
+// (MultiplyMasked, WithMask/WithComplementMask) and element-wise operations
+// (EWiseAdd, EWiseMult); see the graph subpackage for BFS over Boolean(),
+// masked triangle counting and min-plus shortest-path relaxation built on
+// that surface.
 package pbspgemm
 
 import (
@@ -99,8 +107,14 @@ func (a Algorithm) String() string {
 // order its figures plot them.
 func Algorithms() []Algorithm { return []Algorithm{PB, Heap, Hash, HashVec} }
 
-// Options configures Multiply. The zero value runs PB-SpGEMM with the
-// paper's defaults on all cores.
+// Options configures the deprecated Multiply entry point. The zero value
+// runs PB-SpGEMM with the paper's defaults on all cores.
+//
+// Deprecated: new code should use an Engine with functional options
+// (WithAlgorithm, WithThreads, WithMemoryBudget, WithMask, ...), which adds
+// concurrency safety, context cancellation and metrics. Options remains so
+// existing callers keep compiling; each field maps to the like-named With*
+// option.
 type Options struct {
 	// Algorithm selects the implementation (default PB).
 	Algorithm Algorithm
@@ -171,15 +185,30 @@ func (r *Result) GFLOPS() float64 {
 	return float64(r.Flops) / r.Elapsed.Seconds() / 1e9
 }
 
+// shapeError is the inner-dimension mismatch error every multiplication
+// entry point returns; it wraps matrix.ErrShape for errors.Is.
+func shapeError(a, b *CSR) error {
+	return fmt.Errorf("pbspgemm: inner dimensions disagree (%dx%d)·(%dx%d): %w",
+		a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+}
+
 // Multiply computes C = A*B with the selected algorithm. Inputs must be
 // canonical CSR (as produced by this package's generators, converters and
 // readers); A is converted to CSC internally when PB or OuterHeapNaive runs
 // (the conversion is excluded from Elapsed, matching how the paper passes A
 // pre-converted).
+//
+// Deprecated: Multiply is the legacy single-threaded-workspace entry point,
+// kept as a thin shim over the same kernels. New code should create an
+// Engine and call Engine.Multiply(ctx, a, b, opts...), which is safe for
+// concurrent use, cancellable and metered; semiring workloads should use
+// MultiplyOver / MultiplyMasked.
 func Multiply(a, b *CSR, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if a.NumCols != b.NumRows {
-		return nil, fmt.Errorf("pbspgemm: inner dimensions disagree (%dx%d)·(%dx%d): %w",
-			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+		return nil, shapeError(a, b)
 	}
 	res := &Result{Algorithm: opt.Algorithm}
 	switch opt.Algorithm {
@@ -245,9 +274,11 @@ func Square(a *CSR, opt Options) (*Result, error) { return Multiply(a, a, opt) }
 // NUMA mitigation of Section V-D (each band's bins stay socket-local at the
 // cost of re-reading B per band); parts <= 1 is plain PB-SpGEMM.
 func MultiplyPartitioned(a, b *CSR, parts int, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if a.NumCols != b.NumRows {
-		return nil, fmt.Errorf("pbspgemm: inner dimensions disagree (%dx%d)·(%dx%d): %w",
-			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
+		return nil, shapeError(a, b)
 	}
 	var acsc *CSC
 	if opt.Workspace != nil {
