@@ -74,9 +74,30 @@ func TestExperimentsListComplete(t *testing.T) {
 		ids[e.name] = true
 	}
 	for _, want := range []string{"fig3", "fig6a", "fig6b", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "table6", "table7", "tables123"} {
+		"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "table6", "table7",
+		"tables123", "planner"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
+	}
+}
+
+func TestPlannerWorkloadsCoverBothRegimes(t *testing.T) {
+	cfg := &config{seed: 42}
+	regimes := map[string]int{}
+	for _, w := range plannerWorkloads(cfg) {
+		if w.a == nil || w.b == nil || w.name == "" {
+			t.Fatalf("workload %+v incomplete", w)
+		}
+		if w.a.NumCols != w.b.NumRows {
+			t.Fatalf("workload %s shapes disagree", w.name)
+		}
+		regimes[w.regime]++
+	}
+	if regimes["low-cf"] == 0 || regimes["high-cf"] == 0 {
+		t.Fatalf("sweep must cover both model regimes, got %v", regimes)
+	}
+	if len(plannerCandidates()) < 5 {
+		t.Fatal("planner sweep should race at least five kernels")
 	}
 }

@@ -19,6 +19,7 @@
 //	-seed N      generator seed (default 42)
 //	-beta GB/s   override measured STREAM bandwidth in model outputs
 //	-mtxdir DIR  load real SuiteSparse .mtx files for fig11/table6
+//	-json PATH   write a machine-readable report (planner subcommand)
 package main
 
 import (
@@ -35,6 +36,7 @@ type config struct {
 	seed    uint64
 	beta    float64 // 0 = measure with STREAM
 	mtxdir  string
+	jsonOut string // planner: write the machine-readable report here
 }
 
 type experiment struct {
@@ -62,6 +64,7 @@ func experimentsList() []experiment {
 		{"fig14", "Dual-socket performance via NUMA model (Fig. 14)", runFig14},
 		{"tallskinny", "Square x tall-skinny multiply (deferred by the paper, Sec. IV-C)", runTallSkinny},
 		{"ablations", "Design-choice ablations: blocking, local bins, partitioning, ESC", runAblations},
+		{"planner", "Auto planner regime sweep: roofline choice vs empirically fastest", runPlanner},
 	}
 }
 
@@ -79,6 +82,7 @@ func main() {
 	fs.Uint64Var(&cfg.seed, "seed", 42, "generator seed")
 	fs.Float64Var(&cfg.beta, "beta", 0, "bandwidth GB/s for model output (0 = measure)")
 	fs.StringVar(&cfg.mtxdir, "mtxdir", "", "directory with real SuiteSparse .mtx files")
+	fs.StringVar(&cfg.jsonOut, "json", "", "write a machine-readable report to this path (planner)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}

@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"pbspgemm/internal/core"
+	"pbspgemm/internal/kernel"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/semiring"
 )
@@ -16,7 +16,13 @@ import (
 // grow-only workspaces keeps steady-state calls free of large allocations,
 // every call observes its context's cancellation and deadline at phase
 // boundaries, and aggregate metrics (calls, flops, modeled bytes moved)
-// accumulate for serving-style observability.
+// accumulate for serving-style observability — overall and per algorithm.
+//
+// The Engine is a planner over the internal kernel registry: every
+// algorithm (PB-SpGEMM and all column baselines) runs behind the same
+// kernel interface with pooled workspaces, cancellation and metrics, and
+// WithAlgorithm(Auto) lets the paper's roofline model pick the
+// predicted-fastest kernel per call (see Plan).
 //
 // Engine methods may be called from any number of goroutines; each call
 // checks a workspace out of the pool and returns results that are fully
@@ -27,7 +33,7 @@ import (
 // with Options remains as a deprecated shim.
 type Engine struct {
 	defaults []Option
-	pool     sync.Pool // *core.Workspace
+	pool     sync.Pool // *kernel.Workspace
 
 	calls      atomic.Int64
 	failures   atomic.Int64
@@ -35,6 +41,22 @@ type Engine struct {
 	bytesMoved atomic.Int64
 	nnzOut     atomic.Int64
 	busyNanos  atomic.Int64
+
+	byAlg [numAlgorithms]algCounters
+}
+
+// numAlgorithms sizes the per-algorithm counter array: one slot per
+// concrete algorithm (Auto resolves to one of them before dispatch).
+const numAlgorithms = int(Auto)
+
+// algCounters is one algorithm's slice of the engine metrics.
+type algCounters struct {
+	calls      atomic.Int64
+	failures   atomic.Int64
+	flops      atomic.Int64
+	nnzOut     atomic.Int64
+	busyNanos  atomic.Int64
+	autoChosen atomic.Int64
 }
 
 // NewEngine returns an engine whose option defaults apply to every call.
@@ -45,7 +67,7 @@ func NewEngine(defaults ...Option) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{defaults: defaults}
-	e.pool.New = func() any { return core.NewWorkspace() }
+	e.pool.New = func() any { return kernel.NewWorkspace() }
 	return e, nil
 }
 
@@ -69,11 +91,28 @@ type EngineMetrics struct {
 	// Busy is the cumulative wall time spent inside multiplications; with
 	// concurrent callers it exceeds elapsed time.
 	Busy time.Duration
+	// ByAlgorithm breaks the counters down per executed kernel; only
+	// algorithms that have dispatched at least one call appear. Auto calls
+	// are recorded under the kernel the planner chose, with AutoChosen
+	// counting how many arrived that way.
+	ByAlgorithm map[Algorithm]AlgorithmMetrics
+}
+
+// AlgorithmMetrics is one kernel's slice of the engine counters.
+type AlgorithmMetrics struct {
+	Calls       int64
+	Failures    int64
+	Flops       int64
+	NNZProduced int64
+	Busy        time.Duration
+	// AutoChosen counts the calls the roofline planner routed to this
+	// kernel (as opposed to explicit WithAlgorithm selection).
+	AutoChosen int64
 }
 
 // Metrics returns a point-in-time snapshot of the engine's counters.
 func (e *Engine) Metrics() EngineMetrics {
-	return EngineMetrics{
+	m := EngineMetrics{
 		Calls:       e.calls.Load(),
 		Failures:    e.failures.Load(),
 		Flops:       e.flops.Load(),
@@ -81,14 +120,47 @@ func (e *Engine) Metrics() EngineMetrics {
 		NNZProduced: e.nnzOut.Load(),
 		Busy:        time.Duration(e.busyNanos.Load()),
 	}
+	for alg := range numAlgorithms {
+		ac := &e.byAlg[alg]
+		calls := ac.calls.Load()
+		if calls == 0 {
+			continue
+		}
+		if m.ByAlgorithm == nil {
+			m.ByAlgorithm = make(map[Algorithm]AlgorithmMetrics)
+		}
+		m.ByAlgorithm[Algorithm(alg)] = AlgorithmMetrics{
+			Calls:       calls,
+			Failures:    ac.failures.Load(),
+			Flops:       ac.flops.Load(),
+			NNZProduced: ac.nnzOut.Load(),
+			Busy:        time.Duration(ac.busyNanos.Load()),
+			AutoChosen:  ac.autoChosen.Load(),
+		}
+	}
+	return m
 }
 
-// record folds one finished call into the aggregate counters.
-func (e *Engine) record(start time.Time, flops, nnzA, nnzB, nnzC int64, err error) {
+// record folds one finished call into the aggregate counters, overall and
+// under the executed algorithm.
+func (e *Engine) record(start time.Time, alg Algorithm, viaAuto bool, flops, nnzA, nnzB, nnzC int64, err error) {
+	elapsed := int64(time.Since(start))
 	e.calls.Add(1)
-	e.busyNanos.Add(int64(time.Since(start)))
+	e.busyNanos.Add(elapsed)
+	var ac *algCounters
+	if alg >= 0 && int(alg) < numAlgorithms {
+		ac = &e.byAlg[alg]
+		ac.calls.Add(1)
+		ac.busyNanos.Add(elapsed)
+		if viaAuto {
+			ac.autoChosen.Add(1)
+		}
+	}
 	if err != nil {
 		e.failures.Add(1)
+		if ac != nil {
+			ac.failures.Add(1)
+		}
 		return
 	}
 	e.flops.Add(flops)
@@ -96,12 +168,16 @@ func (e *Engine) record(start time.Time, flops, nnzA, nnzB, nnzC int64, err erro
 	// Table III's traffic model: expand reads both inputs and writes flop
 	// tuples, sort reads them back, compress writes nnz(C) tuples.
 	e.bytesMoved.Add(matrix.BytesPerTuple * (nnzA + nnzB + 2*flops + nnzC))
+	if ac != nil {
+		ac.flops.Add(flops)
+		ac.nnzOut.Add(nnzC)
+	}
 }
 
-// Multiply computes C = A*B with the configured algorithm (default PB),
-// honoring ctx at phase boundaries. It is safe for concurrent use; the
-// returned Result is fully caller-owned. A nil ctx falls back to a
-// WithContext default, then to context.Background().
+// Multiply computes C = A*B with the configured algorithm (default PB; Auto
+// plans per call), honoring ctx at phase boundaries. It is safe for
+// concurrent use; the returned Result is fully caller-owned. A nil ctx
+// falls back to a WithContext default, then to context.Background().
 func (e *Engine) Multiply(ctx context.Context, a, b *CSR, opts ...Option) (*Result, error) {
 	cfg, err := resolve(e.defaults, opts)
 	if err != nil {
@@ -117,19 +193,19 @@ func (e *Engine) Multiply(ctx context.Context, a, b *CSR, opts ...Option) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	res, err := e.multiply(&cfg, a, b)
+	res, alg, viaAuto, err := e.multiply(&cfg, a, b)
 	var flops, nnzc int64
 	if res != nil {
 		flops, nnzc = res.Flops, res.C.NNZ()
 	}
-	e.record(start, flops, a.NNZ(), b.NNZ(), nnzc, err)
+	e.record(start, alg, viaAuto, flops, a.NNZ(), b.NNZ(), nnzc, err)
 	return res, err
 }
 
 // MultiplyMasked computes C⟨M⟩ = (A·B) ∘ mask over the arithmetic semiring
 // without materializing the unmasked product (see MultiplyMasked at package
 // level). It shares the engine's workspace pool, context handling and
-// metrics.
+// metrics (recorded under PB, the kernel that serves masked products).
 func (e *Engine) MultiplyMasked(ctx context.Context, a, b, mask *CSR, opts ...Option) (*CSR, error) {
 	// Precedence: per-call options > the explicit mask argument > engine
 	// defaults (mirroring how the explicit ctx overrides WithContext).
@@ -163,74 +239,87 @@ func (e *Engine) MultiplyMasked(ctx context.Context, a, b, mask *CSR, opts ...Op
 	if err == nil {
 		nnzc = c.NNZ()
 	}
-	e.record(start, flopsNoAlloc(a, b), a.NNZ(), b.NNZ(), nnzc, err)
+	e.record(start, PB, false, flopsNoAlloc(a, b), a.NNZ(), b.NNZ(), nnzc, err)
 	return c, err
 }
 
-// multiply dispatches one resolved call. PB runs on a pooled workspace and
-// the result is cloned out before the workspace returns to the pool.
-func (e *Engine) multiply(cfg *config, a, b *CSR) (*Result, error) {
+// multiply dispatches one resolved call through the kernel registry: Auto
+// first runs the roofline planner, then the chosen kernel multiplies on a
+// pooled workspace and the result is cloned out before the workspace
+// returns to the pool. It reports the executed algorithm (and whether the
+// planner chose it) for the per-algorithm metrics.
+func (e *Engine) multiply(cfg *config, a, b *CSR) (*Result, Algorithm, bool, error) {
 	if cfg.mask != nil {
 		start := time.Now()
 		c, err := e.maskedFloat64(cfg, a, b)
 		if err != nil {
-			return nil, err
+			return nil, PB, false, err
 		}
 		res := &Result{C: c, Algorithm: PB, Flops: flopsNoAlloc(a, b), Elapsed: time.Since(start)}
 		if nnz := c.NNZ(); nnz > 0 {
 			res.CF = float64(res.Flops) / float64(nnz)
 		}
-		return res, nil
+		return res, PB, false, nil
 	}
-	res := &Result{Algorithm: cfg.algorithm}
-	switch cfg.algorithm {
-	case PB:
-		ws := e.pool.Get().(*core.Workspace)
-		c, st, err := core.Multiply(ws.CSCOf(a), b, core.Options{
-			NBins:             cfg.nbins,
-			LocalBinBytes:     cfg.localBin,
-			Threads:           cfg.threads,
-			L2CacheBytes:      cfg.l2Cache,
-			MemoryBudgetBytes: cfg.budget,
-			Workspace:         ws,
-			Cancel:            cfg.cancelFunc(),
-		})
-		if err == nil {
-			// Detach the result from the pooled workspace before another
-			// call can grab it.
-			res.C = c.Clone()
-			stCopy := *st
-			res.PB = &stCopy
-			res.Flops, res.CF, res.Elapsed = st.Flops, st.CF, st.Total
-		}
-		e.pool.Put(ws)
-		if err != nil {
-			return nil, err
-		}
-	case Heap, Hash, HashVec, SPA, ColumnESC, OuterHeapNaive:
-		// Column baselines have no phase hooks; observe the context at the
-		// call boundary so an already-canceled ctx still short-circuits.
+	alg := cfg.algorithm
+	var plan *Plan
+	ws := e.pool.Get().(*kernel.Workspace)
+	if alg == Auto {
+		// Observe cancellation before planning: the symbolic pass and a
+		// possible one-shot beta calibration are real work an expired ctx
+		// should not pay for.
 		if cancel := cfg.cancelFunc(); cancel != nil {
 			if err := cancel(); err != nil {
-				return nil, err
+				e.pool.Put(ws)
+				return nil, alg, false, err
 			}
 		}
-		legacy := Options{Algorithm: cfg.algorithm, Threads: cfg.threads}
-		r, err := Multiply(a, b, legacy)
-		if err != nil {
-			return nil, err
-		}
-		res = r
-	default:
-		return nil, &OptionError{Option: "WithAlgorithm", Value: int64(cfg.algorithm)}
+		plan = e.plan(cfg, a, b, &ws.PlanScratch)
+		alg = plan.Chosen
 	}
-	return res, nil
+	k, ok := kernel.Get(alg.String())
+	if !ok {
+		e.pool.Put(ws)
+		return nil, alg, plan != nil, &OptionError{Option: "WithAlgorithm", Value: int64(cfg.algorithm)}
+	}
+	kr, err := k.Multiply(cfg.context(), ws, a, b, kernel.Opts{
+		Threads:           cfg.threads,
+		NBins:             cfg.nbins,
+		LocalBinBytes:     cfg.localBin,
+		L2CacheBytes:      cfg.l2Cache,
+		MemoryBudgetBytes: cfg.budget,
+	})
+	if err != nil {
+		e.pool.Put(ws)
+		return nil, alg, plan != nil, err
+	}
+	// Detach the result from the pooled workspace before another call can
+	// grab it.
+	res := &Result{
+		C:         kr.C.Clone(),
+		Algorithm: alg,
+		Flops:     kr.Flops,
+		CF:        kr.CF,
+		Elapsed:   kr.Elapsed,
+		Plan:      plan,
+	}
+	if kr.PB != nil {
+		st := *kr.PB
+		res.PB = &st
+	}
+	if kr.Baseline != nil {
+		st := *kr.Baseline
+		res.Baseline = &st
+	}
+	e.pool.Put(ws)
+	return res, alg, plan != nil, nil
 }
 
 // maskedFloat64 is the masked arithmetic path on a pooled workspace.
 func (e *Engine) maskedFloat64(cfg *config, a, b *CSR) (*CSR, error) {
-	ws := e.pool.Get().(*core.Workspace)
-	gc, err := semiring.MultiplyOpts(Arithmetic(), colView(ws.CSCOf(a)), Float64Matrix(b), cfg.semiringOptions(ws))
+	ws := e.pool.Get().(*kernel.Workspace)
+	cw := ws.Core
+	gc, err := semiring.MultiplyOpts(Arithmetic(), colView(cw.CSCOf(a)), Float64Matrix(b), cfg.semiringOptions(cw))
 	if err != nil {
 		e.pool.Put(ws)
 		return nil, err
@@ -265,8 +354,8 @@ func EngineMultiplyOver[T any](e *Engine, ctx context.Context, sr Semiring[T], a
 		return nil, err
 	}
 	start := time.Now()
-	ws := e.pool.Get().(*core.Workspace)
-	gc, err := semiring.MultiplyOpts(sr, a, b, cfg.semiringOptions(ws))
+	ws := e.pool.Get().(*kernel.Workspace)
+	gc, err := semiring.MultiplyOpts(sr, a, b, cfg.semiringOptions(ws.Core))
 	var out *Matrix[T]
 	var nnzc int64
 	if err == nil {
@@ -274,7 +363,7 @@ func EngineMultiplyOver[T any](e *Engine, ctx context.Context, sr Semiring[T], a
 		nnzc = out.NNZ()
 	}
 	e.pool.Put(ws)
-	e.record(start, semiringFlops(a, b), a.NNZ(), b.NNZ(), nnzc, err)
+	e.record(start, PB, false, semiringFlops(a, b), a.NNZ(), b.NNZ(), nnzc, err)
 	return out, err
 }
 
@@ -288,8 +377,9 @@ func (c *config) validateMaskShape(rows, cols int32) error {
 	return nil
 }
 
-// flopsNoAlloc is Flops for the masked paths' metrics: one pass over A's
-// column indices against B's row pointers, no per-call allocation.
+// flopsNoAlloc is the symbolic flop count of a product — one pass over A's
+// column indices against B's row pointers, no per-call allocation. The
+// masked paths' metrics and the Auto planner both use it.
 func flopsNoAlloc(a, b *CSR) int64 {
 	var flops int64
 	for _, k := range a.ColIdx {

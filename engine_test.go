@@ -131,8 +131,15 @@ func TestEngineContextCancellation(t *testing.T) {
 		WithContext(ctx)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("WithContext(canceled) generic multiply returned %v, want context.Canceled", err)
 	}
-	if m := eng.Metrics(); m.Failures != 3 {
-		t.Fatalf("failures = %d, want 3", m.Failures)
+	// Baseline kernels poll at phase boundaries too since the registry port
+	// (the old engine only observed ctx at the call boundary for them).
+	for _, alg := range []Algorithm{Heap, Hash, HashVec, SPA, ColumnESC} {
+		if _, err := eng.Multiply(ctx, a, b, WithAlgorithm(alg)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-canceled %v multiply returned %v, want context.Canceled", alg, err)
+		}
+	}
+	if m := eng.Metrics(); m.Failures != 8 {
+		t.Fatalf("failures = %d, want 8", m.Failures)
 	}
 
 	// The legacy shim stays cancellation-free and still succeeds.
@@ -157,6 +164,14 @@ func TestEngineCancellationNoGoroutineLeak(t *testing.T) {
 		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
 		_, _ = eng.Multiply(ctx, a, b, WithMemoryBudget(1<<14))
 		cancel()
+		// Baseline kernels observe the same deadline at their symbolic and
+		// numeric phase boundaries; their workers must not outlive the call
+		// either.
+		for _, alg := range []Algorithm{Hash, Heap} {
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
+			_, _ = eng.Multiply(ctx, a, b, WithAlgorithm(alg))
+			cancel()
+		}
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {

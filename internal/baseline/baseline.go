@@ -13,6 +13,12 @@
 // the numeric pass merges with the algorithm's accumulator directly into the
 // exactly-sized CSR arrays. Rows are distributed over threads in contiguous
 // flop-balanced ranges.
+//
+// Like internal/core, the package is an execution engine, not just a
+// reference: all scratch (markers, accumulators, output storage) can be
+// pooled in a Workspace for zero steady-state allocations, and a Cancel
+// hook is polled at phase boundaries so the public Engine can abort calls
+// without leaking goroutines.
 package baseline
 
 import (
@@ -25,7 +31,17 @@ import (
 
 // Options tunes the baseline algorithms.
 type Options struct {
-	Threads int // 0 = GOMAXPROCS
+	// Threads caps worker goroutines; 0 = GOMAXPROCS.
+	Threads int
+	// Workspace, if non-nil, pools all scratch and the output arrays across
+	// calls. The returned CSR and Stats then alias workspace memory and are
+	// invalidated by the next call using the same workspace.
+	Workspace *Workspace
+	// Cancel, if non-nil, is polled at phase boundaries (after the flop
+	// count, after the symbolic pass, and after the numeric pass). A
+	// non-nil return aborts the multiplication with that error; in-flight
+	// phases run to completion first, so no goroutines leak.
+	Cancel func() error
 }
 
 // Stats reports the two phases of a column SpGEMM run.
@@ -45,91 +61,142 @@ func (s *Stats) GFLOPS() float64 {
 	return float64(s.Flops) / s.Total.Seconds() / 1e9
 }
 
-// worker holds the per-thread scratch an accumulator needs.
-type worker interface {
+// algorithm bundles the numeric-phase hooks of one column accumulator.
+// The hooks are top-level functions operating on pooled scratch, so
+// selecting an algorithm never allocates.
+type algorithm struct {
+	// prepare readies one thread's scratch before its numeric range
+	// (may be nil).
+	prepare func(sc *scratch, a, b *matrix.CSR)
 	// merge computes row i of C into dst, returning entries written.
-	merge(i int32, dstCol []int32, dstVal []float64) int
+	merge func(sc *scratch, a, b *matrix.CSR, i int32, dstCol []int32, dstVal []float64) int
 }
 
-// newWorkerFunc builds a per-thread worker for inputs a, b.
-type newWorkerFunc func(a, b *matrix.CSR) worker
-
 // run executes the shared two-phase skeleton with the given accumulator.
-func run(a, b *matrix.CSR, opt Options, nw newWorkerFunc) (*matrix.CSR, *Stats, error) {
+func run(a, b *matrix.CSR, opt Options, alg algorithm) (*matrix.CSR, *Stats, error) {
 	if a.NumCols != b.NumRows {
 		return nil, nil, fmt.Errorf("baseline: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
 	}
+	// Observe an already-expired ctx before any work (the engine used to do
+	// this at its call boundary for column kernels).
+	if err := poll(opt.Cancel); err != nil {
+		return nil, nil, err
+	}
 	threads := par.DefaultThreads(opt.Threads)
-	st := &Stats{}
+	ws := opt.Workspace
+	shared := ws != nil
+	if !shared {
+		ws = NewWorkspace()
+	}
+	st := ws.statsFor(shared)
 	totalStart := time.Now()
 
 	// Row flops for load balancing and the stats.
 	rows := int(a.NumRows)
-	rowFlops := make([]int64, rows)
-	par.ForRanges(rows, threads, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var f int64
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				f += b.RowNNZ(a.ColIdx[p])
-			}
-			rowFlops[i] = f
-		}
-	})
+	rowFlops := matrix.GrowInt64(&ws.rowFlops, rows)
+	if threads == 1 {
+		rowFlopsRange(a, b, rowFlops, 0, rows)
+	} else {
+		par.ForRanges(rows, threads, func(_, lo, hi int) {
+			rowFlopsRange(a, b, rowFlops, lo, hi)
+		})
+	}
 	for _, f := range rowFlops {
 		st.Flops += f
 	}
-	bounds := par.BalancedBoundaries(rowFlops, threads)
+	bounds := par.BalancedBoundariesInto(rowFlops, threads, matrix.GrowInt(&ws.bounds, threads+1))
+	ws.growThreads(threads)
+	if err := poll(opt.Cancel); err != nil {
+		return nil, nil, err
+	}
 
 	// Symbolic: exact nnz per output row with a per-thread versioned marker.
 	t0 := time.Now()
-	rowNNZ := make([]int64, rows)
-	par.ParallelRun(threads, func(t int) {
-		marker := make([]int32, b.NumCols)
-		for i := range marker {
-			marker[i] = -1
-		}
-		for i := bounds[t]; i < bounds[t+1]; i++ {
-			var cnt int64
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				k := a.ColIdx[p]
-				for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-					if j := b.ColIdx[q]; marker[j] != int32(i) {
-						marker[j] = int32(i)
-						cnt++
-					}
-				}
-			}
-			rowNNZ[i] = cnt
-		}
-	})
-	c := &matrix.CSR{NumRows: a.NumRows, NumCols: b.NumCols, RowPtr: make([]int64, rows+1)}
+	rowNNZ := matrix.GrowInt64(&ws.rowNNZ, rows)
+	if threads == 1 {
+		symbolicRange(a, b, &ws.threads[0], rowNNZ, 0, rows)
+	} else {
+		par.ParallelRun(threads, func(t int) {
+			symbolicRange(a, b, &ws.threads[t], rowNNZ, bounds[t], bounds[t+1])
+		})
+	}
+	c := ws.newOutput(a.NumRows, b.NumCols, shared)
 	nnzc := par.PrefixSum(rowNNZ, c.RowPtr)
-	c.ColIdx = make([]int32, nnzc)
-	c.Val = make([]float64, nnzc)
+	ws.growOutput(c, nnzc, shared)
 	st.Symbolic = time.Since(t0)
+	if err := poll(opt.Cancel); err != nil {
+		return nil, nil, err
+	}
 
 	// Numeric: per-algorithm accumulator writes straight into C.
 	t0 = time.Now()
-	par.ParallelRun(threads, func(t int) {
-		w := nw(a, b)
-		for i := bounds[t]; i < bounds[t+1]; i++ {
-			lo := c.RowPtr[i]
-			hi := c.RowPtr[i+1]
-			if lo == hi {
-				continue
-			}
-			n := w.merge(int32(i), c.ColIdx[lo:hi], c.Val[lo:hi])
-			if int64(n) != hi-lo {
-				panic(fmt.Sprintf("baseline: row %d numeric nnz %d != symbolic %d", i, n, hi-lo))
-			}
-		}
-	})
+	if threads == 1 {
+		numericRange(alg, &ws.threads[0], a, b, c, 0, rows)
+	} else {
+		par.ParallelRun(threads, func(t int) {
+			numericRange(alg, &ws.threads[t], a, b, c, bounds[t], bounds[t+1])
+		})
+	}
 	st.Numeric = time.Since(t0)
 	st.Total = time.Since(totalStart)
 	st.NNZC = nnzc
 	if nnzc > 0 {
 		st.CF = float64(st.Flops) / float64(nnzc)
 	}
+	if err := poll(opt.Cancel); err != nil {
+		return nil, nil, err
+	}
 	return c, st, nil
+}
+
+// rowFlopsRange fills rowFlops[lo:hi] with per-row multiplication counts.
+func rowFlopsRange(a, b *matrix.CSR, rowFlops []int64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var f int64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			f += b.RowNNZ(a.ColIdx[p])
+		}
+		rowFlops[i] = f
+	}
+}
+
+// symbolicRange counts the exact output nonzeros of rows [lo, hi) with the
+// thread's pooled marker (re-initialized per call: stale stamps from a
+// previous multiplication could collide with current row ids).
+func symbolicRange(a, b *matrix.CSR, sc *scratch, rowNNZ []int64, lo, hi int) {
+	marker := matrix.GrowInt32(&sc.marker, int(b.NumCols))
+	for i := range marker {
+		marker[i] = -1
+	}
+	for i := lo; i < hi; i++ {
+		var cnt int64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				if j := b.ColIdx[q]; marker[j] != int32(i) {
+					marker[j] = int32(i)
+					cnt++
+				}
+			}
+		}
+		rowNNZ[i] = cnt
+	}
+}
+
+// numericRange merges rows [lo, hi) into c with the algorithm's accumulator.
+func numericRange(alg algorithm, sc *scratch, a, b, c *matrix.CSR, lo, hi int) {
+	if alg.prepare != nil {
+		alg.prepare(sc, a, b)
+	}
+	for i := lo; i < hi; i++ {
+		start, end := c.RowPtr[i], c.RowPtr[i+1]
+		if start == end {
+			continue
+		}
+		n := alg.merge(sc, a, b, int32(i), c.ColIdx[start:end], c.Val[start:end])
+		if int64(n) != end-start {
+			panic(fmt.Sprintf("baseline: row %d numeric nnz %d != symbolic %d", i, n, end-start))
+		}
+	}
 }

@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"math/bits"
-	"sort"
 
 	"pbspgemm/internal/matrix"
 )
@@ -13,9 +12,7 @@ import (
 // assuming few collisions; the paper notes hash wins over PB when the
 // compression factor exceeds ~4 because it never materializes C-hat.
 func Hash(a, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
-	return run(a, b, opt, func(a, b *matrix.CSR) worker {
-		return &hashWorker{a: a, b: b, probe: probeLinear}
-	})
+	return run(a, b, opt, algorithm{merge: hashMergeLinear})
 }
 
 // HashVec computes C = A*B with HashVecSpGEMM, the paper's vector-register
@@ -25,9 +22,7 @@ func Hash(a, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
 // which preserves the algorithm's collision behaviour (fewer, wider probe
 // steps).
 func HashVec(a, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
-	return run(a, b, opt, func(a, b *matrix.CSR) worker {
-		return &hashWorker{a: a, b: b, probe: probeGrouped}
-	})
+	return run(a, b, opt, algorithm{merge: hashMergeGrouped})
 }
 
 const (
@@ -35,33 +30,32 @@ const (
 	groupSize = 8 // slots probed per step in the HashVec variant
 )
 
-// hashWorker holds one thread's hash table scratch. The table is sized per
-// row to the next power of two ≥ 2× the row's output nonzeros (known exactly
-// from the symbolic phase via dst length), then reset lazily by re-stamping.
-type hashWorker struct {
-	a, b  *matrix.CSR
-	cols  []int32
-	vals  []float64
-	probe func(w *hashWorker, mask uint32, col int32) int
-}
-
 // hashScale multiplies the per-row nonzero count to get the table size,
 // keeping load factor ≤ 0.5 as the reference implementation does.
 const hashScale = 2
 
-func (w *hashWorker) merge(i int32, dstCol []int32, dstVal []float64) int {
-	a, b := w.a, w.b
+func hashMergeLinear(sc *scratch, a, b *matrix.CSR, i int32, dstCol []int32, dstVal []float64) int {
+	return hashMerge(sc, a, b, i, dstCol, dstVal, probeLinear)
+}
+
+func hashMergeGrouped(sc *scratch, a, b *matrix.CSR, i int32, dstCol []int32, dstVal []float64) int {
+	return hashMerge(sc, a, b, i, dstCol, dstVal, probeGrouped)
+}
+
+// hashMerge accumulates row i into the thread's pooled hash table. The
+// table is sized per row to the next power of two ≥ 2× the row's output
+// nonzeros (known exactly from the symbolic phase via dst length), then
+// reset eagerly — per-row table sizes are small by construction, so the
+// reset stays in cache.
+func hashMerge(sc *scratch, a, b *matrix.CSR, i int32, dstCol []int32, dstVal []float64,
+	probe func(cols []int32, mask uint32, col int32) int) int {
 	need := hashScale * len(dstCol)
 	size := 1 << bits.Len(uint(need-1))
 	if size < groupSize {
 		size = groupSize
 	}
-	if cap(w.cols) < size {
-		w.cols = make([]int32, size)
-		w.vals = make([]float64, size)
-	}
-	cols := w.cols[:size]
-	vals := w.vals[:size]
+	cols := matrix.GrowInt32(&sc.hashCols, size)
+	vals := matrix.GrowFloat64(&sc.hashVals, int64(size))
 	for j := range cols {
 		cols[j] = emptySlot
 	}
@@ -72,7 +66,7 @@ func (w *hashWorker) merge(i int32, dstCol []int32, dstVal []float64) int {
 		av := a.Val[p]
 		for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
 			j := b.ColIdx[q]
-			slot := w.probe(w, mask, j)
+			slot := probe(cols, mask, j)
 			if cols[slot] == emptySlot {
 				cols[slot] = j
 				vals[slot] = av * b.Val[q]
@@ -102,10 +96,10 @@ func hash32(col int32) uint32 {
 
 // probeLinear finds col's slot (existing or first empty) by classic linear
 // probing.
-func probeLinear(w *hashWorker, mask uint32, col int32) int {
+func probeLinear(cols []int32, mask uint32, col int32) int {
 	h := hash32(col) & mask
 	for {
-		c := w.cols[h]
+		c := cols[h]
 		if c == col || c == emptySlot {
 			return int(h)
 		}
@@ -115,12 +109,12 @@ func probeLinear(w *hashWorker, mask uint32, col int32) int {
 
 // probeGrouped scans groupSize consecutive slots per step (the HashVec
 // batched probe).
-func probeGrouped(w *hashWorker, mask uint32, col int32) int {
+func probeGrouped(cols []int32, mask uint32, col int32) int {
 	h := hash32(col) & mask &^ (groupSize - 1)
 	for {
 		for g := uint32(0); g < groupSize; g++ {
 			s := (h + g) & mask
-			c := w.cols[s]
+			c := cols[s]
 			if c == col || c == emptySlot {
 				return int(s)
 			}
@@ -129,13 +123,14 @@ func probeGrouped(w *hashWorker, mask uint32, col int32) int {
 	}
 }
 
-// sortPairs sorts dstCol ascending carrying dstVal, used to canonicalize
-// hash-extracted rows.
+// sortPairs sorts cols ascending carrying vals, used to canonicalize
+// hash-extracted rows: insertion sort for short rows (the common case),
+// in-place heapsort otherwise. Both paths are allocation-free, keeping the
+// pooled-workspace steady state at zero allocations.
 func sortPairs(cols []int32, vals []float64) {
 	if len(cols) < 2 {
 		return
 	}
-	// Insertion sort for short rows (the common case), stdlib sort otherwise.
 	if len(cols) <= 24 {
 		for i := 1; i < len(cols); i++ {
 			c, v := cols[i], vals[i]
@@ -150,19 +145,36 @@ func sortPairs(cols []int32, vals []float64) {
 		}
 		return
 	}
-	sort.Sort(&pairSlice{cols, vals})
+	heapSortPairs(cols, vals)
 }
 
-type pairSlice struct {
-	cols []int32
-	vals []float64
+// heapSortPairs is an in-place max-heap sort over parallel arrays.
+func heapSortPairs(cols []int32, vals []float64) {
+	n := len(cols)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDownPairs(cols, vals, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		cols[0], cols[end] = cols[end], cols[0]
+		vals[0], vals[end] = vals[end], vals[0]
+		siftDownPairs(cols, vals, 0, end)
+	}
 }
 
-func (p *pairSlice) Len() int           { return len(p.cols) }
-func (p *pairSlice) Less(i, j int) bool { return p.cols[i] < p.cols[j] }
-func (p *pairSlice) Swap(i, j int) {
-	p.cols[i], p.cols[j] = p.cols[j], p.cols[i]
-	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
+func siftDownPairs(cols []int32, vals []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && cols[r] > cols[child] {
+			child = r
+		}
+		if cols[root] >= cols[child] {
+			return
+		}
+		cols[root], cols[child] = cols[child], cols[root]
+		vals[root], vals[child] = vals[child], vals[root]
+		root = child
+	}
 }
-
-var _ worker = (*hashWorker)(nil)

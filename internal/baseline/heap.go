@@ -7,9 +7,7 @@ import "pbspgemm/internal/matrix"
 // min-heap keyed by column index. Complexity O(flop · log d) — the log d heap
 // factor is why the paper expects heap to lag hash on denser matrices.
 func Heap(a, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
-	return run(a, b, opt, func(a, b *matrix.CSR) worker {
-		return &heapWorker{a: a, b: b}
-	})
+	return run(a, b, opt, algorithm{merge: heapMerge})
 }
 
 // heapEntry is one stream in the k-way merge: the current column of the
@@ -21,23 +19,19 @@ type heapEntry struct {
 	end  int64   // row k's end in B
 }
 
-type heapWorker struct {
-	a, b *matrix.CSR
-	h    []heapEntry // reusable heap storage
-}
-
-func (w *heapWorker) merge(i int32, dstCol []int32, dstVal []float64) int {
-	a, b := w.a, w.b
-	w.h = w.h[:0]
+// heapMerge k-way merges row i's selected B rows with the thread's pooled
+// heap storage.
+func heapMerge(sc *scratch, a, b *matrix.CSR, i int32, dstCol []int32, dstVal []float64) int {
+	h := sc.heap[:0]
 	for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 		k := a.ColIdx[p]
 		lo, hi := b.RowPtr[k], b.RowPtr[k+1]
 		if lo == hi {
 			continue
 		}
-		w.h = append(w.h, heapEntry{col: b.ColIdx[lo], aval: a.Val[p], pos: lo, end: hi})
+		h = append(h, heapEntry{col: b.ColIdx[lo], aval: a.Val[p], pos: lo, end: hi})
 	}
-	h := w.h
+	sc.heap = h // keep any growth pooled
 	// Heapify (sift-down from the last parent).
 	for j := len(h)/2 - 1; j >= 0; j-- {
 		siftDown(h, j)
@@ -99,5 +93,3 @@ func siftDown(h []heapEntry, j int) {
 		j = small
 	}
 }
-
-var _ worker = (*heapWorker)(nil)

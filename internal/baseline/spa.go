@@ -8,50 +8,44 @@ import "pbspgemm/internal/matrix"
 // O(flop) accumulation with no hashing, at the cost of O(n) thread-private
 // memory — the classic MATLAB-style column SpGEMM the paper's Table I cites.
 func SPA(a, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
-	return run(a, b, opt, func(a, b *matrix.CSR) worker {
-		w := &spaWorker{
-			a: a, b: b,
-			val:   make([]float64, b.NumCols),
-			stamp: make([]int32, b.NumCols),
-		}
-		for i := range w.stamp {
-			w.stamp[i] = -1
-		}
-		return w
-	})
+	return run(a, b, opt, algorithm{prepare: spaPrepare, merge: spaMerge})
 }
 
-type spaWorker struct {
-	a, b    *matrix.CSR
-	val     []float64
-	stamp   []int32
-	touched []int32
+// spaPrepare sizes the thread's dense accumulator and re-initializes the
+// occupancy stamp. The stamp reuses the symbolic marker, which the symbolic
+// pass left stamped with exactly the row ids the numeric pass is about to
+// re-visit — hence the mandatory refill to -1.
+func spaPrepare(sc *scratch, _, b *matrix.CSR) {
+	sc.dense = matrix.GrowFloat64(&sc.dense, int64(b.NumCols))
+	stamp := matrix.GrowInt32(&sc.marker, int(b.NumCols))
+	for i := range stamp {
+		stamp[i] = -1
+	}
 }
 
-func (w *spaWorker) merge(i int32, dstCol []int32, dstVal []float64) int {
-	a, b := w.a, w.b
-	w.touched = w.touched[:0]
+func spaMerge(sc *scratch, a, b *matrix.CSR, i int32, dstCol []int32, dstVal []float64) int {
+	stamp, val := sc.marker, sc.dense
+	touched := sc.touched[:0]
 	for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 		k := a.ColIdx[p]
 		av := a.Val[p]
 		for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
 			j := b.ColIdx[q]
-			if w.stamp[j] != i {
-				w.stamp[j] = i
-				w.val[j] = av * b.Val[q]
-				w.touched = append(w.touched, j)
+			if stamp[j] != i {
+				stamp[j] = i
+				val[j] = av * b.Val[q]
+				touched = append(touched, j)
 			} else {
-				w.val[j] += av * b.Val[q]
+				val[j] += av * b.Val[q]
 			}
 		}
 	}
-	n := copy(dstCol, w.touched)
+	sc.touched = touched // keep any growth pooled
+	n := copy(dstCol, touched)
 	for idx := 0; idx < n; idx++ {
-		dstVal[idx] = w.val[dstCol[idx]]
+		dstVal[idx] = val[dstCol[idx]]
 	}
 	// touched is in first-touch order; canonical CSR needs sorted columns.
 	sortPairs(dstCol[:n], dstVal[:n])
 	return n
 }
-
-var _ worker = (*spaWorker)(nil)

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/radix"
+)
+
+// Workspace pools every buffer the column SpGEMM baselines need across
+// calls, mirroring core.Workspace for the PB engine: buffers are grow-only,
+// so a workspace warmed up on the largest multiplication of a workload runs
+// subsequent calls of the same or smaller size without heap allocations
+// (exactly zero when Threads == 1; a handful of goroutine-spawn allocations
+// otherwise).
+//
+// A Workspace must not be shared by concurrent calls. When a call runs with
+// Options.Workspace set, the returned CSR and Stats alias workspace memory
+// and are invalidated by the next call using the same workspace; Clone the
+// CSR to keep it.
+type Workspace struct {
+	// Shared two-phase skeleton scratch.
+	rowFlops []int64
+	rowNNZ   []int64
+	bounds   []int
+	threads  []scratch
+
+	// ColumnESC's expanded-tuple pipeline.
+	tuples   []radix.Pair
+	segStart []int64
+	rowOut   []int64
+
+	// Pooled result storage (used only for shared workspaces).
+	out       matrix.CSR
+	outRowPtr []int64
+	outColIdx []int32
+	outVal    []float64
+
+	// stats is returned (by pointer) when the workspace is shared, so
+	// steady-state calls do not allocate a Stats either.
+	stats Stats
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset drops all pooled memory, returning the workspace to its initial
+// empty state.
+func (ws *Workspace) Reset() { *ws = Workspace{} }
+
+// scratch is one thread's accumulator storage. The fields cover every
+// accumulator family: the versioned marker doubles as the symbolic-phase
+// counter and SPA's occupancy stamp (SPA re-initializes it before the
+// numeric pass), dense+touched serve SPA, hashCols/hashVals the hash
+// variants, and heap the k-way heap merge.
+type scratch struct {
+	marker   []int32
+	touched  []int32
+	dense    []float64
+	hashCols []int32
+	hashVals []float64
+	heap     []heapEntry
+}
+
+// growThreads makes ws.threads at least n entries long, preserving pooled
+// per-thread buffers across calls with varying thread counts.
+func (ws *Workspace) growThreads(n int) {
+	if cap(ws.threads) < n {
+		grown := make([]scratch, n)
+		copy(grown, ws.threads)
+		ws.threads = grown
+		return
+	}
+	ws.threads = ws.threads[:n]
+}
+
+// statsFor returns the Stats a call should fill: pooled when shared,
+// freshly allocated for one-shot calls (which own their stats).
+func (ws *Workspace) statsFor(shared bool) *Stats {
+	if !shared {
+		return &Stats{}
+	}
+	ws.stats = Stats{}
+	return &ws.stats
+}
+
+// newOutput returns the result header with a sized RowPtr, pooled when
+// shared.
+func (ws *Workspace) newOutput(rows, cols int32, shared bool) *matrix.CSR {
+	if !shared {
+		return &matrix.CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int64, int(rows)+1)}
+	}
+	ws.out = matrix.CSR{NumRows: rows, NumCols: cols,
+		RowPtr: matrix.GrowInt64(&ws.outRowPtr, int(rows)+1)}
+	return &ws.out
+}
+
+// growOutput sizes the result's index and value arrays once nnz(C) is known.
+func (ws *Workspace) growOutput(c *matrix.CSR, nnz int64, shared bool) {
+	if !shared {
+		c.ColIdx = make([]int32, nnz)
+		c.Val = make([]float64, nnz)
+		return
+	}
+	c.ColIdx = matrix.GrowInt32(&ws.outColIdx, int(nnz))
+	c.Val = matrix.GrowFloat64(&ws.outVal, nnz)
+}
+
+// poll checks the caller's cancellation hook (nil means non-cancellable).
+func poll(cancel func() error) error {
+	if cancel == nil {
+		return nil
+	}
+	return cancel()
+}

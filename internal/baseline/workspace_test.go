@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+)
+
+// TestWorkspaceZeroSteadyStateAllocs mirrors core's tentpole check for the
+// column baselines: repeated multiplications through a shared Workspace
+// perform zero steady-state heap allocations (single-threaded; parallel
+// paths add only goroutine-spawn allocations).
+func TestWorkspaceZeroSteadyStateAllocs(t *testing.T) {
+	a := gen.ER(400, 6, 1)
+	b := gen.ER(400, 6, 2)
+	for _, al := range algos() {
+		t.Run(al.name, func(t *testing.T) {
+			ws := NewWorkspace()
+			opt := Options{Threads: 1, Workspace: ws}
+			// Warm up: grow every pooled buffer to its high-water mark.
+			if _, _, err := al.fn(a, b, opt); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, _, err := al.fn(a, b, opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s allocated %.1f times per call, want 0", al.name, allocs)
+			}
+		})
+	}
+}
+
+// TestWorkspaceReuseAcrossShapes multiplies differently-shaped inputs
+// through one workspace per algorithm, verifying results against the
+// reference and that shrinking inputs do not read stale pooled state.
+func TestWorkspaceReuseAcrossShapes(t *testing.T) {
+	shapes := []struct {
+		n    int32
+		d    int
+		seed uint64
+	}{{512, 6, 1}, {128, 4, 2}, {700, 3, 3}, {128, 8, 4}}
+	for _, al := range algos() {
+		t.Run(al.name, func(t *testing.T) {
+			ws := NewWorkspace()
+			for _, s := range shapes {
+				a := gen.ER(s.n, s.d, s.seed)
+				b := gen.ER(s.n, s.d, s.seed+100)
+				got, st, err := al.fn(a, b, Options{Workspace: ws})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := matrix.ReferenceMultiply(a, b)
+				if !matrix.Equal(want, got, 1e-9) {
+					t.Fatalf("n=%d: pooled result differs from reference", s.n)
+				}
+				if st.NNZC != want.NNZ() {
+					t.Fatalf("n=%d: stats nnzC %d, want %d", s.n, st.NNZC, want.NNZ())
+				}
+			}
+		})
+	}
+}
+
+// TestCancelObservedAtPhaseBoundaries verifies every baseline aborts with
+// the hook's error when cancellation is already requested at entry.
+func TestCancelObservedAtPhaseBoundaries(t *testing.T) {
+	a := gen.ER(256, 5, 9)
+	b := gen.ER(256, 5, 10)
+	sentinel := errors.New("canceled")
+	for _, al := range algos() {
+		t.Run(al.name, func(t *testing.T) {
+			calls := 0
+			cancel := func() error { calls++; return sentinel }
+			if _, _, err := al.fn(a, b, Options{Cancel: cancel}); !errors.Is(err, sentinel) {
+				t.Fatalf("got %v, want sentinel cancellation error", err)
+			}
+			if calls == 0 {
+				t.Fatal("cancel hook never polled")
+			}
+			// A hook that never fires must not change the result.
+			ok := func() error { return nil }
+			got, _, err := al.fn(a, b, Options{Cancel: ok})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(matrix.ReferenceMultiply(a, b), got, 1e-9) {
+				t.Fatal("result with passing cancel hook differs from reference")
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/par"
+	"pbspgemm/internal/radix"
 )
 
 // This file is the memory-budgeted execution path: A's columns are tiled
@@ -24,7 +25,7 @@ import (
 // npanels >= 2 and flops > 0.
 func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	ws := e.ws
-	growPairs(&ws.tuples, e.maxPanelFlops)
+	radix.GrowPairs(&ws.tuples, e.maxPanelFlops)
 	ws.runs = ws.runs[:0]
 	ws.runStart = ws.runStart[:0]
 	ws.runBins = ws.runBins[:0]
@@ -143,7 +144,7 @@ func (e *engine) groupRuns() {
 		}
 	}
 	e.maxRunsPerBin = maxRuns
-	growPairs(&ws.merged, ms[e.nbins])
+	radix.GrowPairs(&ws.merged, ms[e.nbins])
 	matrix.GrowInt64(&ws.heads, e.opt.Threads*maxRuns)
 }
 

@@ -274,7 +274,7 @@ func (e *engine) run() (*matrix.CSR, error) {
 func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 := time.Now()
 	e.panelPlan(0, int(e.a.NumCols))
-	growPairs(&e.ws.tuples, e.flops)
+	radix.GrowPairs(&e.ws.tuples, e.flops)
 	e.st.Symbolic += time.Since(t0)
 
 	t0 = time.Now()
@@ -482,7 +482,7 @@ func (e *engine) expandPanel(lo int) {
 	nbins := e.nbins
 	cursors := matrix.GrowInt64(&e.ws.cursors, nbins)
 	copy(cursors, e.ws.binStart[:nbins])
-	growPairs(&e.ws.locals, int64(threads)*int64(nbins)*int64(e.localCap))
+	radix.GrowPairs(&e.ws.locals, int64(threads)*int64(nbins)*int64(e.localCap))
 	lens := matrix.GrowInt32(&e.ws.localLens, threads*nbins)
 	clear(lens)
 	if threads == 1 {

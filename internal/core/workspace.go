@@ -36,8 +36,8 @@ type Workspace struct {
 	binFlops    []int64
 	perThread   []int64 // threads × nbins symbolic accumulators
 	binStart    []int64
-	panelStart  []int   // panel boundaries over A's columns, npanels+1
-	colBounds   []int   // thread boundaries over the current panel's columns
+	panelStart  []int // panel boundaries over A's columns, npanels+1
+	colBounds   []int // thread boundaries over the current panel's columns
 	cursors     []int64
 	binOut      []int64
 	binOutStart []int64
@@ -101,15 +101,4 @@ type GenericSpace struct {
 	PanelStart                           []int
 	OutRowPtr                            []int64
 	OutColIdx                            []int32
-}
-
-// growPairs returns (*buf)[:n], reallocating only when capacity is short.
-// Contents are unspecified. (The typed-scalar counterparts are
-// matrix.GrowInt64 and friends.)
-func growPairs(buf *[]radix.Pair, n int64) []radix.Pair {
-	if int64(cap(*buf)) < n {
-		*buf = make([]radix.Pair, n)
-	}
-	*buf = (*buf)[:n]
-	return *buf
 }

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pbspgemm/internal/baseline"
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+)
+
+// TestRegistryComplete: every implementation in the repository is
+// registered exactly once under its paper name.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{NamePB, NameHeap, NameHash, NameHashVec, NameSPA, NameOuterHeap, NameColumnESC}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d kernels, want %d", len(all), len(want))
+	}
+	for _, name := range want {
+		k, ok := Get(name)
+		if !ok {
+			t.Fatalf("kernel %q not registered", name)
+		}
+		if k.Name() != name {
+			t.Fatalf("kernel registered under %q reports name %q", name, k.Name())
+		}
+	}
+	if _, ok := Get("NoSuchKernel"); ok {
+		t.Fatal("Get returned a kernel for an unknown name")
+	}
+	// Capability sanity: PB is the only masked/budgeted kernel; every
+	// kernel except the dismissed naive outer-product reuses workspaces and
+	// polls cancellation.
+	for _, k := range all {
+		caps := k.Capabilities()
+		if (caps.Masked || caps.Budgeted) && k.Name() != NamePB {
+			t.Errorf("%s claims masked/budgeted capability", k.Name())
+		}
+		if k.Name() != NameOuterHeap && (!caps.Cancellable || !caps.WorkspaceReusing) {
+			t.Errorf("%s should be cancellable and workspace-reusing: %+v", k.Name(), caps)
+		}
+	}
+}
+
+// TestEveryKernelMatchesHashBaseline is the per-algorithm equivalence
+// matrix: every registered kernel (including SPA and ColumnESC) is
+// cross-checked against the hash baseline on ER and R-MAT inputs, both
+// through a shared workspace and transiently.
+func TestEveryKernelMatchesHashBaseline(t *testing.T) {
+	type tc struct {
+		name string
+		a, b *matrix.CSR
+	}
+	var cases []tc
+	for _, seed := range []uint64{1, 42} {
+		cases = append(cases, tc{
+			name: fmt.Sprintf("ER/n512/d6/seed%d", seed),
+			a:    gen.ER(512, 6, seed),
+			b:    gen.ER(512, 6, seed+1000),
+		})
+	}
+	cases = append(cases,
+		tc{name: "RMAT/s9/ef8", a: gen.RMAT(9, 8, gen.Graph500Params, 3), b: gen.RMAT(9, 8, gen.Graph500Params, 1003)},
+		tc{name: "ER/rect", a: gen.ER(256, 4, 5), b: gen.ER(256, 4, 6)},
+	)
+	ctx := context.Background()
+	for _, c := range cases {
+		want, _, err := baseline.Hash(c.a, c.b, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFlops := matrix.FlopsCSR(c.a, c.b)
+		for _, k := range All() {
+			t.Run(c.name+"/"+k.Name(), func(t *testing.T) {
+				for _, ws := range []*Workspace{NewWorkspace(), nil} {
+					r, err := k.Multiply(ctx, ws, c.a, c.b, Opts{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !matrix.Equal(want, r.C, 1e-9) {
+						t.Fatalf("ws=%v: result differs from HashSpGEMM", ws != nil)
+					}
+					if r.Flops != wantFlops {
+						t.Errorf("flops %d, want %d", r.Flops, wantFlops)
+					}
+					if r.NNZC != want.NNZ() {
+						t.Errorf("nnzC %d, want %d", r.NNZC, want.NNZ())
+					}
+					if r.Elapsed <= 0 {
+						t.Error("non-positive Elapsed")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKernelSteadyStateAllocs: the regression the registry port is for —
+// workspace-reusing kernels (PB and the hash baseline alike) run with zero
+// steady-state allocations on a shared workspace, single-threaded.
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	a := gen.ER(400, 6, 1)
+	b := gen.ER(400, 6, 2)
+	ctx := context.Background()
+	for _, k := range All() {
+		if !k.Capabilities().WorkspaceReusing {
+			continue
+		}
+		t.Run(k.Name(), func(t *testing.T) {
+			ws := NewWorkspace()
+			opt := Opts{Threads: 1}
+			if _, err := k.Multiply(ctx, ws, a, b, opt); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := k.Multiply(ctx, ws, a, b, opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s allocated %.1f times per call, want 0", k.Name(), allocs)
+			}
+		})
+	}
+}
+
+// TestKernelCancellation: an already-canceled context aborts every kernel
+// (cancellable ones at a phase boundary, the rest at the call boundary).
+func TestKernelCancellation(t *testing.T) {
+	a := gen.ER(256, 5, 7)
+	b := gen.ER(256, 5, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, k := range All() {
+		t.Run(k.Name(), func(t *testing.T) {
+			if _, err := k.Multiply(ctx, NewWorkspace(), a, b, Opts{}); !errors.Is(err, context.Canceled) {
+				t.Fatalf("pre-canceled multiply returned %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestKernelResultPooled: on a shared workspace the Result and C alias
+// pooled memory (invalidated by the next call), while a nil workspace
+// returns caller-owned storage.
+func TestKernelResultPooled(t *testing.T) {
+	a := gen.ER(128, 4, 1)
+	b := gen.ER(128, 4, 2)
+	ctx := context.Background()
+	k, _ := Get(NameHash)
+	ws := NewWorkspace()
+	r1, err := k.Multiply(ctx, ws, a, b, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := r1.C.Clone()
+	a2 := gen.ER(128, 6, 3)
+	if _, err := k.Multiply(ctx, ws, a2, a2, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Equal(keep, r1.C, 0) {
+		t.Fatal("pooled result was not reused by the next call (aliasing contract changed?)")
+	}
+	r3, err := k.Multiply(ctx, nil, a, b, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(keep, r3.C, 0) {
+		t.Fatal("transient call differs from pooled call")
+	}
+}

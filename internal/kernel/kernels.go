@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"context"
+
+	"pbspgemm/internal/baseline"
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/matrix"
+)
+
+// Canonical kernel names, matching the paper's nomenclature (and
+// pbspgemm.Algorithm.String, which the public dispatch keys on).
+const (
+	NamePB        = "PB-SpGEMM"
+	NameHeap      = "HeapSpGEMM"
+	NameHash      = "HashSpGEMM"
+	NameHashVec   = "HashVecSpGEMM"
+	NameSPA       = "SPASpGEMM"
+	NameOuterHeap = "OuterHeapNaive"
+	NameColumnESC = "ColumnESC"
+)
+
+func init() {
+	Register(pbKernel{})
+	Register(columnKernel{name: NameHeap, fn: baseline.Heap})
+	Register(columnKernel{name: NameHash, fn: baseline.Hash})
+	Register(columnKernel{name: NameHashVec, fn: baseline.HashVec})
+	Register(columnKernel{name: NameSPA, fn: baseline.SPA})
+	Register(outerHeapKernel{})
+	Register(columnKernel{name: NameColumnESC, fn: baseline.ColumnESC})
+}
+
+// pbKernel serves PB-SpGEMM (internal/core): outer-product
+// expand-sort-compress with propagation blocking.
+type pbKernel struct{}
+
+func (pbKernel) Name() string { return NamePB }
+
+func (pbKernel) Capabilities() Capabilities {
+	return Capabilities{Masked: true, Budgeted: true, Cancellable: true, WorkspaceReusing: true}
+}
+
+func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {
+	cw := ws.coreWS()
+	var acsc *matrix.CSC
+	if cw != nil {
+		acsc = cw.CSCOf(a)
+	} else {
+		acsc = a.ToCSC()
+	}
+	c, st, err := core.Multiply(acsc, b, core.Options{
+		NBins:             opt.NBins,
+		LocalBinBytes:     opt.LocalBinBytes,
+		Threads:           opt.Threads,
+		L2CacheBytes:      opt.L2CacheBytes,
+		MemoryBudgetBytes: opt.MemoryBudgetBytes,
+		Workspace:         cw,
+		Cancel:            cancelOf(ctx),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := ws.result()
+	r.C, r.PB = c, st
+	r.Flops, r.NNZC, r.CF, r.Elapsed = st.Flops, st.NNZC, st.CF, st.Total
+	return r, nil
+}
+
+// columnKernel adapts one internal/baseline column algorithm: Gustavson
+// row-wise accumulation with the named accumulator, pooled scratch, and
+// phase-boundary cancellation.
+type columnKernel struct {
+	name string
+	fn   func(a, b *matrix.CSR, opt baseline.Options) (*matrix.CSR, *baseline.Stats, error)
+}
+
+func (k columnKernel) Name() string { return k.name }
+
+func (columnKernel) Capabilities() Capabilities {
+	return Capabilities{Cancellable: true, WorkspaceReusing: true}
+}
+
+func (k columnKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {
+	c, st, err := k.fn(a, b, baseline.Options{
+		Threads:   opt.Threads,
+		Workspace: ws.colWS(),
+		Cancel:    cancelOf(ctx),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := ws.result()
+	r.C, r.Baseline = c, st
+	r.Flops, r.NNZC, r.CF, r.Elapsed = st.Flops, st.NNZC, st.CF, st.Total
+	return r, nil
+}
+
+// outerHeapKernel serves the n-merge outer-product algorithm the paper
+// dismisses (Section II-B); registered for ablations. It has no phase
+// hooks, so cancellation is observed only at the call boundary, and its
+// merge allocates per call (only A's CSC conversion is pooled).
+type outerHeapKernel struct{}
+
+func (outerHeapKernel) Name() string { return NameOuterHeap }
+
+func (outerHeapKernel) Capabilities() Capabilities { return Capabilities{} }
+
+func (outerHeapKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {
+	if cancel := cancelOf(ctx); cancel != nil {
+		if err := cancel(); err != nil {
+			return nil, err
+		}
+	}
+	cw := ws.coreWS()
+	var acsc *matrix.CSC
+	if cw != nil {
+		acsc = cw.CSCOf(a)
+	} else {
+		acsc = a.ToCSC()
+	}
+	c, st, err := baseline.OuterHeap(acsc, b)
+	if err != nil {
+		return nil, err
+	}
+	r := ws.result()
+	r.C, r.Baseline = c, st
+	r.Flops, r.NNZC, r.CF, r.Elapsed = st.Flops, st.NNZC, st.CF, st.Total
+	return r, nil
+}

@@ -99,6 +99,64 @@ func ProductNNZ(a, b *CSR) int64 {
 	return nnz
 }
 
+// EstimateProductNNZ returns nnz(A*B) for planning purposes: exact (via the
+// Gustavson symbolic pass) when flop ≤ exactLimit, otherwise estimated from
+// a deterministic strided sample of A's rows scaled by the flop ratio.
+// sampled reports which path ran. flop must be FlopsCSR(a, b). scratch, if
+// non-nil, pools the O(cols(B)) marker across calls (grow-only); pass nil
+// for a transient one.
+func EstimateProductNNZ(a, b *CSR, flop, exactLimit int64, scratch *[]int32) (nnzC int64, sampled bool) {
+	if flop == 0 {
+		return 0, false
+	}
+	var transient []int32
+	if scratch == nil {
+		scratch = &transient
+	}
+	marker := GrowInt32(scratch, int(b.NumCols))
+	for i := range marker {
+		marker[i] = -1
+	}
+	rows := int(a.NumRows)
+	stride := 1
+	if flop > exactLimit {
+		// Sample ~512 evenly-strided rows instead of the exact full pass.
+		const maxSample = 512
+		if stride = (rows + maxSample - 1) / maxSample; stride < 1 {
+			stride = 1
+		}
+	}
+	var sampleFlops, sampleNNZ int64
+	for i := 0; i < rows; i += stride {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				sampleFlops++
+				if j := b.ColIdx[q]; marker[j] != int32(i) {
+					marker[j] = int32(i)
+					sampleNNZ++
+				}
+			}
+		}
+	}
+	if stride == 1 {
+		return sampleNNZ, false
+	}
+	if sampleFlops == 0 {
+		// The sample hit only empty rows; assume no compression (cf = 1),
+		// the conservative choice that favors the PB default.
+		return flop, true
+	}
+	est := int64(float64(sampleNNZ) * float64(flop) / float64(sampleFlops))
+	if est < 1 {
+		est = 1
+	}
+	if est > flop {
+		est = flop
+	}
+	return est, true
+}
+
 // ReferenceMultiply computes C = A*B with a simple map-based accumulator.
 // It is the oracle for correctness tests: slow, obviously correct, summing
 // products in sorted (row, col, k) order for reproducible floating point.

@@ -107,3 +107,15 @@ func PairsSorted(ps []Pair) bool {
 	}
 	return true
 }
+
+// GrowPairs returns (*buf)[:n], reallocating only when capacity is short;
+// contents are unspecified. It is the Pair counterpart of internal/matrix's
+// grow-only helpers, shared by the pooled workspaces of internal/core and
+// internal/baseline.
+func GrowPairs(buf *[]Pair, n int64) []Pair {
+	if int64(cap(*buf)) < n {
+		*buf = make([]Pair, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,87 @@
+package roofline
+
+import (
+	"sync"
+
+	"pbspgemm/internal/stream"
+)
+
+// DefaultEtaOuter is the fraction of STREAM bandwidth the outer-product ESC
+// family (PB-SpGEMM) sustains in the model. The paper's central claim
+// (Section V, Fig. 7/9) is that every PB phase streams at near-STREAM rate,
+// so the default is full efficiency.
+const DefaultEtaOuter = 1.0
+
+// DefaultEtaColumn is the sustained-bandwidth fraction of the column
+// (hash/heap) family. Column algorithms read B's rows with data-dependent,
+// partially-cached access and only reach a fraction of STREAM; 6/11 places
+// CrossoverCF at the paper's observed cf ≈ 4 boundary (conclusions 5 and 6:
+// PB wins below cf ≈ 4, hash above).
+const DefaultEtaColumn = 6.0 / 11.0
+
+// Model carries the machine and efficiency terms of the planner's roofline
+// decision: predicted GFLOPS per algorithm family = eta · beta · AI, with
+// AI from the family's exact traffic denominator (Eqs. 3 and 4).
+type Model struct {
+	// BetaGBs is the machine's sustainable memory bandwidth (STREAM Triad).
+	BetaGBs float64
+	// EtaColumn and EtaOuter scale beta per algorithm family.
+	EtaColumn, EtaOuter float64
+	// BytesPerTuple is b in the paper's AI model (16).
+	BytesPerTuple float64
+}
+
+// DefaultModel returns the paper-calibrated model at bandwidth betaGBs.
+func DefaultModel(betaGBs float64) Model {
+	return Model{
+		BetaGBs:       betaGBs,
+		EtaColumn:     DefaultEtaColumn,
+		EtaOuter:      DefaultEtaOuter,
+		BytesPerTuple: DefaultBytesPerNonzero,
+	}
+}
+
+// PredictOuter returns the modeled GFLOPS of the outer-product ESC family
+// (PB-SpGEMM) on a multiplication with the given traffic profile.
+func (m Model) PredictOuter(nnzA, nnzB, flop, nnzC int64) float64 {
+	return m.EtaOuter * Attainable(m.BetaGBs, AIOuterExact(nnzA, nnzB, flop, nnzC, m.BytesPerTuple))
+}
+
+// PredictColumn returns the modeled GFLOPS of the column (hash/heap) family.
+func (m Model) PredictColumn(nnzB, flop, nnzC int64) float64 {
+	return m.EtaColumn * Attainable(m.BetaGBs, AIColumnExact(nnzB, flop, nnzC, m.BytesPerTuple))
+}
+
+// PrefersOuter reports whether the model predicts the outer-product family
+// to be at least as fast as the column family (ties go to PB, the paper's
+// contribution and the library default).
+func (m Model) PrefersOuter(nnzA, nnzB, flop, nnzC int64) bool {
+	return m.PredictOuter(nnzA, nnzB, flop, nnzC) >= m.PredictColumn(nnzB, flop, nnzC)
+}
+
+// Crossover returns the model's crossover compression factor (see
+// CrossoverCF); with the default etas it sits at the paper's cf ≈ 4.
+func (m Model) Crossover() float64 { return CrossoverCF(m.EtaColumn, m.EtaOuter) }
+
+// calibration is the once-per-process micro-measurement of beta.
+var (
+	calibOnce sync.Once
+	calibBeta float64
+)
+
+// calibrationElems sizes the calibration arrays: 1<<21 float64 = 16 MiB per
+// array, large enough to defeat last-level caches on common parts while
+// keeping the one-shot measurement in the tens of milliseconds.
+const calibrationElems = 1 << 21
+
+// CalibrateBeta measures the machine's STREAM Triad bandwidth once per
+// process with a reduced run (see stream.QuickTriad) and caches the result;
+// it is the planner's default beta when the caller provides none. threads
+// follows the usual convention (0 = GOMAXPROCS) and only the first call's
+// value is used.
+func CalibrateBeta(threads int) float64 {
+	calibOnce.Do(func() {
+		calibBeta = stream.QuickTriad(calibrationElems, threads, 3)
+	})
+	return calibBeta
+}

@@ -1,0 +1,65 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+)
+
+// TestModelCrossoverNearFour: the default efficiencies must place the
+// family crossover at the paper's observed cf ≈ 4 boundary.
+func TestModelCrossoverNearFour(t *testing.T) {
+	m := DefaultModel(50)
+	cf := m.Crossover()
+	if cf < 3.5 || cf > 4.5 {
+		t.Fatalf("default crossover cf = %v, want ≈ 4", cf)
+	}
+}
+
+// TestModelRegimeSelection checks the decision on synthetic traffic
+// profiles on both sides of the crossover.
+func TestModelRegimeSelection(t *testing.T) {
+	m := DefaultModel(50)
+	const nnz = int64(1 << 20)
+	// cf = 1 (the ER regime): flop == nnzC, PB must win.
+	if !m.PrefersOuter(nnz, nnz, nnz, nnz) {
+		t.Fatal("model rejects PB at cf = 1")
+	}
+	// cf = 16 (well past the crossover): column family must win.
+	if m.PrefersOuter(nnz, nnz, 16*nnz, nnz) {
+		t.Fatal("model picks PB at cf = 16")
+	}
+	// The crossover itself separates the two answers monotonically.
+	cross := m.Crossover()
+	lo := int64(math.Max(1, cross*0.5)) * nnz
+	hi := int64(cross*2) * nnz
+	if !m.PrefersOuter(nnz, nnz, lo, nnz) || m.PrefersOuter(nnz, nnz, hi, nnz) {
+		t.Fatalf("decision not consistent around crossover %v", cross)
+	}
+}
+
+// TestModelPredictionsScaleWithBeta: doubling beta doubles both families'
+// predictions, leaving the decision unchanged.
+func TestModelPredictionsScaleWithBeta(t *testing.T) {
+	const nnz = int64(1 << 18)
+	m1, m2 := DefaultModel(40), DefaultModel(80)
+	p1, p2 := m1.PredictOuter(nnz, nnz, 4*nnz, nnz), m2.PredictOuter(nnz, nnz, 4*nnz, nnz)
+	if math.Abs(p2-2*p1) > 1e-12 {
+		t.Fatalf("outer prediction does not scale with beta: %v vs %v", p1, p2)
+	}
+	c1, c2 := m1.PredictColumn(nnz, 4*nnz, nnz), m2.PredictColumn(nnz, 4*nnz, nnz)
+	if math.Abs(c2-2*c1) > 1e-12 {
+		t.Fatalf("column prediction does not scale with beta: %v vs %v", c1, c2)
+	}
+}
+
+// TestCalibrateBetaOnce: the micro-calibration returns a positive bandwidth
+// and caches it (two calls, one measurement).
+func TestCalibrateBetaOnce(t *testing.T) {
+	b1 := CalibrateBeta(2)
+	if b1 <= 0 {
+		t.Fatalf("calibrated beta %v, want > 0", b1)
+	}
+	if b2 := CalibrateBeta(4); b2 != b1 {
+		t.Fatalf("calibration not cached: %v then %v", b1, b2)
+	}
+}

@@ -62,6 +62,9 @@ type Options struct {
 	N       int // elements per array; default 1<<25 (256 MiB per array set of 3)
 	Reps    int // timed repetitions; default 5 (best is reported, as STREAM does)
 	Threads int // worker goroutines; default GOMAXPROCS
+	// Kernels restricts the run to a subset (in the given order); nil runs
+	// all four in canonical order. Reduced runs serve quick calibrations.
+	Kernels []Kernel
 }
 
 func (o *Options) defaults() {
@@ -70,6 +73,9 @@ func (o *Options) defaults() {
 	}
 	if o.Reps <= 0 {
 		o.Reps = 5
+	}
+	if o.Kernels == nil {
+		o.Kernels = []Kernel{Copy, Scale, Add, Triad}
 	}
 }
 
@@ -89,10 +95,9 @@ func Run(opt Options) []Result {
 		}
 	})
 
-	kernels := []Kernel{Copy, Scale, Add, Triad}
-	results := make([]Result, 0, len(kernels))
+	results := make([]Result, 0, len(opt.Kernels))
 	const scalar = 3.0
-	for _, k := range kernels {
+	for _, k := range opt.Kernels {
 		var best, sum float64
 		for rep := 0; rep < opt.Reps; rep++ {
 			start := time.Now()
@@ -133,6 +138,23 @@ func Run(opt Options) []Result {
 		})
 	}
 	return results
+}
+
+// QuickTriad measures only the Triad kernel — the conventional headline
+// STREAM number and the beta term of the Roofline model — and returns the
+// best-of-reps bandwidth in GB/s. It is the reduced benchmark behind
+// roofline's one-shot planner calibration: a full default Run times all
+// four kernels over 256 MiB arrays, while QuickTriad over ~16 MiB arrays
+// finishes in tens of milliseconds. n <= 0 defaults to 1<<21 elements,
+// reps <= 0 to 3.
+func QuickTriad(n, threads, reps int) float64 {
+	if n <= 0 {
+		n = 1 << 21
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	return Beta(Run(Options{N: n, Reps: reps, Threads: threads, Kernels: []Kernel{Triad}}))
 }
 
 // Beta returns the bandwidth the Roofline model should use: the paper uses

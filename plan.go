@@ -1,0 +1,74 @@
+package pbspgemm
+
+import (
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/roofline"
+)
+
+// Plan records one Auto call's algorithm decision and the roofline-model
+// inputs behind it (Section II of the paper: predicted GFLOPS = eta · beta
+// · AI per algorithm family, with AI from the family's exact traffic
+// denominator). It is reported on Result.Plan so callers can audit — or
+// log and recalibrate — the planner's reasoning.
+type Plan struct {
+	// Chosen is the kernel the planner selected and ran.
+	Chosen Algorithm
+	// BetaGBs is the bandwidth the prediction used (WithBeta, or the
+	// one-shot STREAM calibration).
+	BetaGBs float64
+	// Flops is the symbolic multiplication count of the product.
+	Flops int64
+	// NNZA, NNZB are the input sizes entering the traffic model.
+	NNZA, NNZB int64
+	// EstNNZC is the exact or estimated nnz(C); Sampled reports whether it
+	// came from a strided row sample (large products) rather than the exact
+	// symbolic pass.
+	EstNNZC int64
+	Sampled bool
+	// CF is the predicted compression factor flop/nnz(C); the paper's
+	// crossover between the families sits at cf ≈ 4.
+	CF float64
+	// AIOuter, AIColumn are the modeled arithmetic intensities (flops/byte)
+	// of the outer-product (PB) and column (hash) families.
+	AIOuter, AIColumn float64
+	// PredictedOuterGFLOPS, PredictedColumnGFLOPS are eta·beta·AI per
+	// family — the numbers the decision compares.
+	PredictedOuterGFLOPS, PredictedColumnGFLOPS float64
+}
+
+// plannerExactFlopLimit bounds the exact symbolic nnz(C) pass: products up
+// to 4 Mflop (a few milliseconds of marker scanning) are counted exactly,
+// larger ones are estimated from a row sample so planning stays cheap
+// relative to the multiplication itself.
+const plannerExactFlopLimit = 4 << 20
+
+// plan runs the Auto planner: symbolic flop pass, nnz(C) estimate, roofline
+// prediction per family, pick the predicted-fastest kernel. scratch pools
+// the estimator's marker (the caller passes the checked-out workspace's
+// slot, keeping steady-state planned calls allocation-free).
+func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
+	p := &Plan{Chosen: PB, NNZA: a.NNZ(), NNZB: b.NNZ()}
+	p.Flops = flopsNoAlloc(a, b)
+	if p.Flops == 0 {
+		// Empty product: nothing to move, any kernel finishes immediately.
+		return p
+	}
+	p.EstNNZC, p.Sampled = matrix.EstimateProductNNZ(a, b, p.Flops, plannerExactFlopLimit, scratch)
+	p.CF = float64(p.Flops) / float64(p.EstNNZC)
+	beta := cfg.beta
+	if beta == 0 {
+		beta = roofline.CalibrateBeta(cfg.threads)
+	}
+	p.BetaGBs = beta
+	m := roofline.DefaultModel(beta)
+	p.AIOuter = roofline.AIOuterExact(p.NNZA, p.NNZB, p.Flops, p.EstNNZC, m.BytesPerTuple)
+	p.AIColumn = roofline.AIColumnExact(p.NNZB, p.Flops, p.EstNNZC, m.BytesPerTuple)
+	p.PredictedOuterGFLOPS = m.PredictOuter(p.NNZA, p.NNZB, p.Flops, p.EstNNZC)
+	p.PredictedColumnGFLOPS = m.PredictColumn(p.NNZB, p.Flops, p.EstNNZC)
+	if !m.PrefersOuter(p.NNZA, p.NNZB, p.Flops, p.EstNNZC) {
+		// Hash is the column family's strongest member in the paper's
+		// evaluation (and ours); it represents the family here.
+		p.Chosen = Hash
+	}
+	return p
+}

@@ -1,0 +1,196 @@
+package pbspgemm
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// plannerEngine returns an engine with a fixed beta so tests never trigger
+// the STREAM calibration (the decision is beta-invariant anyway — both
+// families scale linearly with beta — but fixing it keeps tests fast and
+// deterministic).
+func plannerEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := NewEngine(append([]Option{WithBeta(50)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// lowCFFixture is an ER product with cf ≈ 1, the regime the paper's model
+// (and Fig. 7) assigns to PB-SpGEMM.
+func lowCFFixture() (*CSR, *CSR) {
+	return NewER(1024, 4, 1), NewER(1024, 4, 2)
+}
+
+// highCFFixture is a small dense-ish ER square with cf ≈ 20, far past the
+// cf ≈ 4 crossover where hash wins (conclusions 5 and 6).
+func highCFFixture() (*CSR, *CSR) {
+	return NewER(192, 64, 3), NewER(192, 64, 4)
+}
+
+func TestAutoSelectsPBAtLowCF(t *testing.T) {
+	eng := plannerEngine(t)
+	a, b := lowCFFixture()
+	res, err := eng.Multiply(context.Background(), a, b, WithAlgorithm(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("Auto call returned no Plan")
+	}
+	if res.Plan.Chosen != PB || res.Algorithm != PB {
+		t.Fatalf("low-cf fixture chose %v (plan %v), want PB", res.Algorithm, res.Plan.Chosen)
+	}
+	if res.Plan.CF > 2 {
+		t.Fatalf("fixture cf = %v, expected ≈ 1", res.Plan.CF)
+	}
+	if res.Plan.PredictedOuterGFLOPS < res.Plan.PredictedColumnGFLOPS {
+		t.Fatal("plan contradicts its own predictions")
+	}
+	if !EqualWithin(Reference(a, b), res.C, 1e-9) {
+		t.Fatal("Auto result differs from reference")
+	}
+}
+
+func TestAutoSelectsColumnKernelAtHighCF(t *testing.T) {
+	eng := plannerEngine(t)
+	a, b := highCFFixture()
+	res, err := eng.Multiply(context.Background(), a, b, WithAlgorithm(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("Auto call returned no Plan")
+	}
+	switch res.Plan.Chosen {
+	case Heap, Hash, HashVec, SPA, ColumnESC:
+	default:
+		t.Fatalf("high-cf fixture chose %v, want a column kernel", res.Plan.Chosen)
+	}
+	if res.Plan.CF < 4 {
+		t.Fatalf("fixture cf = %v, expected past the ≈4 crossover", res.Plan.CF)
+	}
+	if !EqualWithin(Reference(a, b), res.C, 1e-9) {
+		t.Fatal("Auto result differs from reference")
+	}
+}
+
+// TestAutoBitIdenticalToChosenKernel: an Auto run must produce exactly the
+// bytes the chosen kernel produces when selected explicitly — the planner
+// adds a decision, never a different computation.
+func TestAutoBitIdenticalToChosenKernel(t *testing.T) {
+	eng := plannerEngine(t, WithThreads(2))
+	for _, fixture := range []func() (*CSR, *CSR){lowCFFixture, highCFFixture} {
+		a, b := fixture()
+		auto, err := eng.Multiply(context.Background(), a, b, WithAlgorithm(Auto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := eng.Multiply(context.Background(), a, b, WithAlgorithm(auto.Plan.Chosen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualWithin(auto.C, direct.C, 0) {
+			t.Fatalf("Auto output is not bit-identical to %v run directly", auto.Plan.Chosen)
+		}
+		if direct.Plan != nil {
+			t.Fatal("explicit algorithm selection must not report a Plan")
+		}
+	}
+}
+
+// TestAutoPlanFields: the model inputs exposed on Plan are populated and
+// self-consistent.
+func TestAutoPlanFields(t *testing.T) {
+	eng := plannerEngine(t)
+	a, b := lowCFFixture()
+	res, err := eng.Multiply(context.Background(), a, b, WithAlgorithm(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Plan
+	if p.BetaGBs != 50 {
+		t.Fatalf("plan beta %v, want the WithBeta default 50", p.BetaGBs)
+	}
+	if p.Flops != Flops(a, b) {
+		t.Fatalf("plan flops %d, want %d", p.Flops, Flops(a, b))
+	}
+	if p.NNZA != a.NNZ() || p.NNZB != b.NNZ() {
+		t.Fatal("plan input sizes wrong")
+	}
+	// This fixture is small enough for the exact symbolic pass.
+	if p.Sampled {
+		t.Fatal("small fixture should use the exact nnz(C) pass")
+	}
+	if p.EstNNZC != res.C.NNZ() {
+		t.Fatalf("exact plan nnzC %d, product has %d", p.EstNNZC, res.C.NNZ())
+	}
+	if p.AIOuter <= 0 || p.AIColumn <= 0 || p.PredictedOuterGFLOPS <= 0 || p.PredictedColumnGFLOPS <= 0 {
+		t.Fatalf("plan model outputs not populated: %+v", p)
+	}
+}
+
+// TestEngineMetricsByAlgorithm: the per-algorithm breakdown advances for
+// baseline kernels dispatched through the engine (the pre-registry engine
+// recorded nothing for them), and Auto calls are attributed to the chosen
+// kernel with AutoChosen.
+func TestEngineMetricsByAlgorithm(t *testing.T) {
+	eng := plannerEngine(t)
+	a, b := lowCFFixture()
+	ctx := context.Background()
+	if _, err := eng.Multiply(ctx, a, b, WithAlgorithm(Hash)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Multiply(ctx, a, b, WithAlgorithm(Hash)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Multiply(ctx, a, b, WithAlgorithm(Auto)); err != nil {
+		t.Fatal(err) // low-cf: planner picks PB
+	}
+	m := eng.Metrics()
+	hash := m.ByAlgorithm[Hash]
+	if hash.Calls != 2 || hash.Failures != 0 {
+		t.Fatalf("hash calls %d (%d failures), want 2 (0)", hash.Calls, hash.Failures)
+	}
+	wantFlops := 2 * Flops(a, b)
+	if hash.Flops != wantFlops {
+		t.Fatalf("hash flops %d, want %d", hash.Flops, wantFlops)
+	}
+	if hash.NNZProduced <= 0 || hash.Busy <= 0 {
+		t.Fatalf("hash counters not populated: %+v", hash)
+	}
+	pb := m.ByAlgorithm[PB]
+	if pb.Calls != 1 || pb.AutoChosen != 1 {
+		t.Fatalf("pb calls %d autoChosen %d, want 1 and 1", pb.Calls, pb.AutoChosen)
+	}
+	if hash.AutoChosen != 0 {
+		t.Fatal("explicit hash calls must not count as planner-chosen")
+	}
+	if m.Calls != 3 {
+		t.Fatalf("total calls %d, want 3", m.Calls)
+	}
+}
+
+// TestWithBetaValidationAndLegacyAuto: negative beta is rejected like every
+// option, and the deprecated struct entry point refuses Auto (it has no
+// planner).
+func TestWithBetaValidationAndLegacyAuto(t *testing.T) {
+	a := NewER(64, 3, 1)
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Multiply(context.Background(), a, a, WithBeta(-1)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("WithBeta(-1) returned %v, want ErrInvalidOption", err)
+	}
+	if _, err := Multiply(a, a, Options{Algorithm: Auto}); err == nil {
+		t.Fatal("legacy Multiply accepted Auto")
+	}
+	// Auto itself is a valid option value.
+	if err := WithAlgorithm(Auto)(&config{}); err != nil {
+		t.Fatalf("WithAlgorithm(Auto) rejected: %v", err)
+	}
+}

@@ -80,6 +80,14 @@ const (
 	// PB-SpGEMM: same ESC output formation, but without outer-product input
 	// streaming or propagation blocking.
 	ColumnESC
+	// Auto lets the Engine pick the kernel per call with the paper's
+	// roofline model (Section II): the planner runs the cheap symbolic flop
+	// pass, estimates the compression factor, and chooses the
+	// predicted-fastest family — PB in bandwidth-bound low-cf regimes, a
+	// hash column kernel past the cf ≈ 4 crossover. Engine-only (the
+	// deprecated Multiply shim rejects it); the decision and its model
+	// inputs are reported on Result.Plan.
+	Auto
 )
 
 // String returns the algorithm name as used in the paper.
@@ -99,6 +107,8 @@ func (a Algorithm) String() string {
 		return "OuterHeapNaive"
 	case ColumnESC:
 		return "ColumnESC"
+	case Auto:
+		return "Auto"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -175,6 +185,10 @@ type Result struct {
 	PB *PhaseStats
 	// Baseline holds the phase breakdown for column algorithms, else nil.
 	Baseline *BaselineStats
+	// Plan holds the roofline planner's decision and model inputs when the
+	// call ran with WithAlgorithm(Auto), else nil; Algorithm then reports
+	// the kernel the planner chose.
+	Plan *Plan
 }
 
 // GFLOPS returns the paper's performance metric for this run.
@@ -260,6 +274,8 @@ func Multiply(a, b *CSR, opt Options) (*Result, error) {
 		}
 		res.C, res.Baseline = c, st
 		res.Flops, res.CF, res.Elapsed = st.Flops, st.CF, st.Total
+	case Auto:
+		return nil, fmt.Errorf("pbspgemm: Auto algorithm selection requires an Engine (use Engine.Multiply)")
 	default:
 		return nil, fmt.Errorf("pbspgemm: unknown algorithm %v", opt.Algorithm)
 	}
