@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/gen"
+	"pbspgemm/internal/matrix"
+)
+
+// The benchmark trajectory harness: a fixed set of fixed-seed ER and R-MAT
+// regimes measured with the core engine on a pooled workspace, reported as
+// GFLOPS, per-phase GB/s and allocs/op. CI runs `bench -json bench.json` on
+// every push and uploads it as the bench-trajectory artifact, so each PR
+// leaves a comparable perf baseline behind; the committed BENCH_PR4.json is
+// the one-off local baseline the squeezed-tuple PR was validated against.
+// Regimes pin both tuple layouts on the low-cf ER workload, the squeezed
+// pipeline's headline case.
+
+// benchSchema versions the JSON so future PRs can evolve the report without
+// breaking trajectory tooling.
+const benchSchema = "pbspgemm-bench/v1"
+
+type benchPhase struct {
+	Millis float64 `json:"ms"`
+	GBs    float64 `json:"gbs,omitempty"`
+}
+
+type benchRegime struct {
+	Name        string     `json:"name"`
+	Kind        string     `json:"kind"` // ER | RMAT
+	Scale       int        `json:"scale"`
+	EdgeFactor  int        `json:"edge_factor"`
+	SeedA       uint64     `json:"seed_a"`
+	SeedB       uint64     `json:"seed_b"`
+	Layout      string     `json:"layout"`
+	Threads     int        `json:"threads"`
+	Flops       int64      `json:"flops"`
+	NNZC        int64      `json:"nnz_c"`
+	CF          float64    `json:"cf"`
+	TupleBytes  int64      `json:"tuple_bytes"`
+	NsPerOp     int64      `json:"ns_per_op"`
+	GFLOPS      float64    `json:"gflops"`
+	AllocsPerOp float64    `json:"allocs_per_op"`
+	Expand      benchPhase `json:"expand"`
+	Sort        benchPhase `json:"sort"`
+	Compress    benchPhase `json:"compress"`
+	Assemble    benchPhase `json:"assemble"`
+}
+
+type benchReport struct {
+	Schema  string        `json:"schema"`
+	GoOS    string        `json:"goos"`
+	GoArch  string        `json:"goarch"`
+	CPUs    int           `json:"cpus"`
+	Reps    int           `json:"reps"`
+	Regimes []benchRegime `json:"regimes"`
+}
+
+// benchCase is one regime's generator recipe; layouts are forced so the
+// trajectory always carries a squeezed-vs-wide pair on identical inputs.
+type benchCase struct {
+	name       string
+	kind       string
+	scale, ef  int
+	seedA      uint64
+	seedB      uint64
+	layout     core.Layout
+	threadsCap int // 0: cfg/default threads, 1: pin single-threaded
+}
+
+func benchCases() []benchCase {
+	return []benchCase{
+		// Low-cf ER, both layouts: the acceptance pair (BenchmarkMultiply's
+		// regime). Single-threaded so allocs/op asserts the pooled 0.
+		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1},
+		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1},
+		// Sparser ER (cf ≈ 1) and a denser one, auto layout, default threads.
+		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0},
+		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0},
+		// Skewed R-MAT regimes (Graph500 parameters).
+		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0},
+		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0},
+	}
+}
+
+func (c benchCase) generate() (*matrix.CSR, *matrix.CSR) {
+	if c.kind == "RMAT" {
+		return gen.RMAT(c.scale, c.ef, gen.Graph500Params, c.seedA),
+			gen.RMAT(c.scale, c.ef, gen.Graph500Params, c.seedB)
+	}
+	return gen.ERMatrix(c.scale, c.ef, c.seedA), gen.ERMatrix(c.scale, c.ef, c.seedB)
+}
+
+func runBench(cfg *config) {
+	report := benchReport{
+		Schema: benchSchema,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Reps:   cfg.reps,
+	}
+	fmt.Printf("%-20s %8s %10s %8s %8s %9s %9s %9s %7s\n",
+		"regime", "layout", "ns/op", "GFLOPS", "cf", "expand", "sort", "compress", "allocs")
+	for _, c := range benchCases() {
+		r, err := runBenchCase(cfg, c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		report.Regimes = append(report.Regimes, r)
+		fmt.Printf("%-20s %8s %10d %8.4f %8.2f %7.2fms %7.2fms %7.2fms %7.1f\n",
+			r.Name, r.Layout, r.NsPerOp, r.GFLOPS, r.CF,
+			r.Expand.Millis, r.Sort.Millis, r.Compress.Millis, r.AllocsPerOp)
+	}
+	if cfg.jsonOut != "" {
+		writeBenchReport(cfg.jsonOut, &report)
+	}
+}
+
+func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
+	a, b := c.generate()
+	acsc := a.ToCSC()
+	threads := pickThreads(cfg, c.threadsCap)
+	ws := core.NewWorkspace()
+	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout}
+
+	// Warm-up grows every pooled buffer; it also yields the shape stats.
+	_, warm, err := core.Multiply(acsc, b, opt)
+	if err != nil {
+		return benchRegime{}, err
+	}
+	flops, nnzc, cf := warm.Flops, warm.NNZC, warm.CF
+	layout, tb := warm.Layout, warm.TupleBytes
+
+	reps := cfg.reps
+	if reps < 1 {
+		reps = 1
+	}
+	var best *core.Stats
+	var mallocs uint64
+	for r := 0; r < reps; r++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		_, st, err := core.Multiply(acsc, b, opt)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return benchRegime{}, err
+		}
+		mallocs += m1.Mallocs - m0.Mallocs
+		if best == nil || st.Total < best.Total {
+			s := *st
+			best = &s
+		}
+	}
+
+	return benchRegime{
+		Name:       c.name,
+		Kind:       c.kind,
+		Scale:      c.scale,
+		EdgeFactor: c.ef,
+		SeedA:      c.seedA,
+		SeedB:      c.seedB,
+		Layout:     layout.String(),
+		Threads:    threads,
+		Flops:      flops,
+		NNZC:       nnzc,
+		CF:         cf,
+		TupleBytes: tb,
+		NsPerOp:    best.Total.Nanoseconds(),
+		GFLOPS:     best.GFLOPS(),
+		// ReadMemStats itself allocates a little on some Go versions; the
+		// engine's contribution is what trends matter for, and on the
+		// single-threaded pooled regimes it is exactly zero.
+		AllocsPerOp: float64(mallocs) / float64(reps),
+		Expand:      benchPhase{ms64(best.Expand), best.ExpandGBs()},
+		Sort:        benchPhase{ms64(best.Sort), best.SortGBs()},
+		Compress:    benchPhase{ms64(best.Compress), best.CompressGBs()},
+		Assemble:    benchPhase{Millis: ms64(best.Assemble)},
+	}, nil
+}
+
+func ms64(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func writeBenchReport(path string, report *benchReport) {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: encode report: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d regimes)\n", path, len(report.Regimes))
+}

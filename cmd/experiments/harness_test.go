@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pbspgemm"
+	"pbspgemm/internal/core"
 	"pbspgemm/internal/gen"
 )
 
@@ -75,7 +76,7 @@ func TestExperimentsListComplete(t *testing.T) {
 	}
 	for _, want := range []string{"fig3", "fig6a", "fig6b", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "table6", "table7",
-		"tables123", "planner"} {
+		"tables123", "planner", "bench"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -99,5 +100,44 @@ func TestPlannerWorkloadsCoverBothRegimes(t *testing.T) {
 	}
 	if len(plannerCandidates()) < 5 {
 		t.Fatal("planner sweep should race at least five kernels")
+	}
+}
+
+func TestBenchCaseProducesValidRegime(t *testing.T) {
+	cfg := &config{reps: 1}
+	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1}
+	r, err := runBenchCase(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flops <= 0 || r.NNZC <= 0 || r.NsPerOp <= 0 || r.GFLOPS <= 0 {
+		t.Fatalf("invalid regime: %+v", r)
+	}
+	if r.Layout != "squeezed" || r.TupleBytes != 12 {
+		t.Fatalf("small ER regime should squeeze: layout=%s bytes=%d", r.Layout, r.TupleBytes)
+	}
+	if r.Threads != 1 {
+		t.Fatalf("threadsCap=1 not honored: %d", r.Threads)
+	}
+}
+
+func TestBenchCasesFixedSeedsAndLayoutPair(t *testing.T) {
+	cases := benchCases()
+	var sq, wide bool
+	for _, c := range cases {
+		if c.seedA == 0 || c.seedB == 0 {
+			t.Fatalf("%s: seeds must be fixed and nonzero", c.name)
+		}
+		if c.kind == "ER" && c.scale == 13 {
+			switch c.layout {
+			case core.LayoutSqueezed:
+				sq = true
+			case core.LayoutWide:
+				wide = true
+			}
+		}
+	}
+	if !sq || !wide {
+		t.Fatal("trajectory must carry a squeezed/wide pair on the low-cf ER regime")
 	}
 }

@@ -9,7 +9,8 @@
 //	experiments <id> [flags]
 //
 // where <id> is one of: fig3, tables123, table5, table6, table7, fig6a,
-// fig6b, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, all.
+// fig6b, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, tallskinny,
+// ablations, planner, bench, all.
 //
 // Common flags:
 //
@@ -19,7 +20,7 @@
 //	-seed N      generator seed (default 42)
 //	-beta GB/s   override measured STREAM bandwidth in model outputs
 //	-mtxdir DIR  load real SuiteSparse .mtx files for fig11/table6
-//	-json PATH   write a machine-readable report (planner subcommand)
+//	-json PATH   write a machine-readable report (planner and bench)
 package main
 
 import (
@@ -65,6 +66,7 @@ func experimentsList() []experiment {
 		{"tallskinny", "Square x tall-skinny multiply (deferred by the paper, Sec. IV-C)", runTallSkinny},
 		{"ablations", "Design-choice ablations: blocking, local bins, partitioning, ESC", runAblations},
 		{"planner", "Auto planner regime sweep: roofline choice vs empirically fastest", runPlanner},
+		{"bench", "Benchmark trajectory: GFLOPS, per-phase GB/s, allocs/op per regime (-json)", runBench},
 	}
 }
 
@@ -82,7 +84,7 @@ func main() {
 	fs.Uint64Var(&cfg.seed, "seed", 42, "generator seed")
 	fs.Float64Var(&cfg.beta, "beta", 0, "bandwidth GB/s for model output (0 = measure)")
 	fs.StringVar(&cfg.mtxdir, "mtxdir", "", "directory with real SuiteSparse .mtx files")
-	fs.StringVar(&cfg.jsonOut, "json", "", "write a machine-readable report to this path (planner)")
+	fs.StringVar(&cfg.jsonOut, "json", "", "write a machine-readable report to this path (planner, bench)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}

@@ -25,8 +25,10 @@ import (
 // npanels >= 2 and flops > 0.
 func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	ws := e.ws
-	radix.GrowPairs(&ws.tuples, e.maxPanelFlops)
+	e.growTuples(e.maxPanelFlops)
 	ws.runs = ws.runs[:0]
+	ws.runKeys = ws.runKeys[:0]
+	ws.runVals = ws.runVals[:0]
 	ws.runStart = ws.runStart[:0]
 	ws.runBins = ws.runBins[:0]
 	matrix.GrowInt64(&ws.binOut, e.nbins)
@@ -54,7 +56,7 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 		e.appendRuns()
 		e.st.Compress += time.Since(t0)
 	}
-	ws.runStart = append(ws.runStart, int64(len(ws.runs))) // closing boundary
+	ws.runStart = append(ws.runStart, e.runLen()) // closing boundary
 	if err := e.canceled(); err != nil {
 		return nil, err
 	}
@@ -65,25 +67,24 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	e.st.Merge = time.Since(t0)
 
 	t0 = time.Now()
-	c := e.assemble(ws.merged, ws.mergedStart)
+	c := e.assemble(ws.merged, ws.mergedKeys, ws.mergedVals, ws.mergedStart)
 	e.st.Assemble = time.Since(t0)
 	return c, nil
+}
+
+// runLen is the current length of the active layout's run arena.
+func (e *engine) runLen() int64 {
+	if e.squeezed {
+		return int64(len(e.ws.runKeys))
+	}
+	return int64(len(e.ws.runs))
 }
 
 // compressPanel folds duplicate keys within each sorted bin segment of the
 // current panel. Row tallies are deferred to the merge (a row's final count
 // is only known once all panels' runs are folded).
 func (e *engine) compressPanel() {
-	bs, tuples, binOut := e.ws.binStart, e.ws.tuples, e.ws.binOut
-	if e.opt.Threads == 1 {
-		for bin := 0; bin < e.nbins; bin++ {
-			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]], 0, e.colBits, nil)
-		}
-	} else {
-		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
-			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]], 0, e.colBits, nil)
-		})
-	}
+	e.compressBins(e.ws.binOut, nil)
 }
 
 // appendRuns copies the current panel's nonempty compressed bin segments
@@ -98,9 +99,14 @@ func (e *engine) appendRuns() {
 			continue
 		}
 		ws.runBins = append(ws.runBins, int32(bin))
-		ws.runStart = append(ws.runStart, int64(len(ws.runs)))
+		ws.runStart = append(ws.runStart, e.runLen())
 		src := ws.binStart[bin]
-		ws.runs = append(ws.runs, ws.tuples[src:src+n]...)
+		if e.squeezed {
+			ws.runKeys = append(ws.runKeys, ws.tupleKeys[src:src+n]...)
+			ws.runVals = append(ws.runVals, ws.tupleVals[src:src+n]...)
+		} else {
+			ws.runs = append(ws.runs, ws.tuples[src:src+n]...)
+		}
 	}
 }
 
@@ -144,7 +150,12 @@ func (e *engine) groupRuns() {
 		}
 	}
 	e.maxRunsPerBin = maxRuns
-	radix.GrowPairs(&ws.merged, ms[e.nbins])
+	if e.squeezed {
+		radix.GrowUint32(&ws.mergedKeys, ms[e.nbins])
+		matrix.GrowFloat64(&ws.mergedVals, ms[e.nbins])
+	} else {
+		radix.GrowPairs(&ws.merged, ms[e.nbins])
+	}
 	matrix.GrowInt64(&ws.heads, e.opt.Threads*maxRuns)
 }
 
@@ -156,11 +167,19 @@ func (e *engine) mergeBins() {
 	matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
-			e.mergeBin(0, bin)
+			if e.squeezed {
+				e.mergeBinSqueezed(0, bin)
+			} else {
+				e.mergeBin(0, bin)
+			}
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
-			e.mergeBin(worker, bin)
+			if e.squeezed {
+				e.mergeBinSqueezed(worker, bin)
+			} else {
+				e.mergeBin(worker, bin)
+			}
 		})
 	}
 }
@@ -217,7 +236,7 @@ func (e *engine) mergeBin(worker, bin int) {
 		}
 	}
 	ws.binOut[bin] = dst - dstBase
-	firstRow := int32(bin) * e.rowsPerBin
+	firstRow := int32(int64(bin) << e.rowShift)
 	for i := dstBase; i < dst; i++ {
 		row := firstRow + int32(ws.merged[i].Key>>e.colBits)
 		ws.rowCounts[row+1]++

@@ -72,6 +72,17 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 		agg.Merge += st.Merge
 		agg.Assemble += st.Assemble
 		agg.Flops += st.Flops
+		// Per-band traffic already reflects each band's tuple layout; the
+		// summed ExpandBytes include the once-per-band read of B, the
+		// partitioning's NUMA trade-off.
+		agg.ExpandBytes += st.ExpandBytes
+		agg.SortBytes += st.SortBytes
+		agg.CompressBytes += st.CompressBytes
+		if p == 0 || st.TupleBytes > agg.TupleBytes {
+			// Report the widest layout any band fell back to.
+			agg.TupleBytes = st.TupleBytes
+			agg.Layout = st.Layout
+		}
 		if st.NBins > agg.NBins {
 			agg.NBins = st.NBins
 		}
@@ -104,14 +115,10 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 		}
 	}
 
-	// Traffic model: the partitioning adds (parts-1)·nnz(B) extra reads.
 	agg.NNZC = nnzc
 	if nnzc > 0 {
 		agg.CF = float64(agg.Flops) / float64(nnzc)
 	}
-	agg.ExpandBytes = matrix.BytesPerTuple * (a.NNZ() + int64(parts)*b.NNZ() + agg.Flops)
-	agg.SortBytes = matrix.BytesPerTuple * agg.Flops
-	agg.CompressBytes = matrix.BytesPerTuple * nnzc
 	agg.Total = time.Since(start)
 	return out, agg, nil
 }

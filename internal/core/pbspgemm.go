@@ -56,10 +56,54 @@ const DefaultLocalBinBytes = 512
 // on POWER9); 1 MiB is our default.
 const DefaultL2CacheBytes = 1 << 20
 
-// tupleBytes is the in-memory cost of one expanded tuple in the global bins:
-// an 8-byte packed key plus an 8-byte value. The paper's traffic model uses
-// b = 16 bytes per tuple, which matches exactly.
-const tupleBytes = 16
+// Layout identifies the expanded-tuple representation of a run. The paper's
+// Section III-D key squeezing observes that the packed key localRow<<colBits
+// | col fits 4 bytes whenever localRowBits + colBits ≤ 32; because bins make
+// localRow small, that holds for almost every real matrix, and the engine
+// then stores tuples as parallel arrays (uint32 keys + float64 values, 12
+// bytes per tuple) instead of 16-byte radix.Pairs — cutting the traffic of
+// the two dominant phases by a quarter.
+type Layout int8
+
+const (
+	// LayoutAuto (the zero value) picks per run: squeezed when the key
+	// geometry allows, wide otherwise.
+	LayoutAuto Layout = iota
+	// LayoutWide is the 16-byte AoS layout: []radix.Pair (u64 key + f64 val).
+	LayoutWide
+	// LayoutSqueezed is the 12-byte SoA layout: []uint32 keys + []float64
+	// values. Selected automatically when localRowBits + colBits ≤ 32.
+	LayoutSqueezed
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutAuto:
+		return "auto"
+	case LayoutWide:
+		return "wide"
+	case LayoutSqueezed:
+		return "squeezed"
+	}
+	return fmt.Sprintf("Layout(%d)", int8(l))
+}
+
+// Per-tuple byte costs of the two layouts — the b of the paper's traffic
+// model (Eq. 4 / Table III), now per run.
+const (
+	// WideTupleBytes is radix.Pair: an 8-byte packed key plus an 8-byte value.
+	WideTupleBytes = 16
+	// SqueezedTupleBytes is the parallel-array layout: a 4-byte key plus an
+	// 8-byte value.
+	SqueezedTupleBytes = 12
+)
+
+// tupleBytes is the conservative (wide) per-tuple cost used wherever sizing
+// must not depend on the layout decision itself: panel tiling against
+// MemoryBudgetBytes and the bin-count derivation both use it, so the bin
+// geometry — and therefore the squeeze decision it feeds — is identical for
+// both layouts.
+const tupleBytes = WideTupleBytes
 
 // Options tunes PB-SpGEMM. The zero value selects the paper's defaults.
 type Options struct {
@@ -94,6 +138,13 @@ type Options struct {
 	// phases always run to completion first, so no goroutines leak. The
 	// public API wires context.Context.Err here.
 	Cancel func() error
+	// ForceLayout pins the expanded-tuple layout, for tests, ablations and
+	// benchmarks. LayoutAuto (the zero value) squeezes whenever
+	// localRowBits + colBits ≤ 32; LayoutWide always runs 16-byte tuples;
+	// LayoutSqueezed is honored only when the key geometry allows it and
+	// falls back to wide otherwise (keys are never truncated). Stats.Layout
+	// reports the layout actually used.
+	ForceLayout Layout
 }
 
 func (o Options) withDefaults() Options {
@@ -124,9 +175,18 @@ type Stats struct {
 	NPanels int
 	CF      float64
 
-	// Traffic model (bytes), following Eq. 4 / Table III:
-	// expand reads both inputs and writes flop tuples; sort reads them back;
-	// compress writes nnz(C) tuples.
+	// Layout is the expanded-tuple layout the run used: LayoutSqueezed
+	// (12-byte u32-key parallel arrays, whenever localRowBits+colBits ≤ 32)
+	// or LayoutWide (16-byte radix.Pairs).
+	Layout Layout
+	// TupleBytes is the per-tuple byte cost of that layout (12 or 16) — the
+	// b entering the traffic model below.
+	TupleBytes int64
+
+	// Traffic model (bytes), following Eq. 4 / Table III with the per-run
+	// tuple cost: expand reads both inputs (16 B per stored nonzero) and
+	// writes flop tuples at TupleBytes each; sort reads them back; compress
+	// writes nnz(C) tuples.
 	ExpandBytes, SortBytes, CompressBytes int64
 }
 
@@ -175,8 +235,11 @@ type engine struct {
 	maxPanelFlops int64 // largest single panel's flop count
 	nbins         int
 	npanels       int
-	rowsPerBin    int32
+	rowShift      uint   // bin = row>>rowShift (shift/mask replaces division; rows per bin = 1<<rowShift)
+	rowMask       uint32 // localRow = row&rowMask
 	colBits       uint
+	squeezed      bool  // tuple layout of this run (see Layout)
+	tupleBytes    int64 // 12 (squeezed) or 16 (wide)
 	localCap      int32 // tuples per thread-private local bin
 	maxRunsPerBin int   // k of the k-way merge (budgeted path)
 
@@ -237,6 +300,12 @@ func (e *engine) run() (*matrix.CSR, error) {
 	e.st.Flops = e.flops
 	e.st.NBins = e.nbins
 	e.st.NPanels = e.npanels
+	if e.squeezed {
+		e.st.Layout = LayoutSqueezed
+	} else {
+		e.st.Layout = LayoutWide
+	}
+	e.st.TupleBytes = e.tupleBytes
 
 	if e.flops == 0 {
 		c := e.newResult(0)
@@ -258,9 +327,11 @@ func (e *engine) run() (*matrix.CSR, error) {
 		return nil, err
 	}
 	e.st.NNZC = c.NNZ()
-	e.st.ExpandBytes = matrix.BytesPerTuple * (e.a.NNZ() + e.b.NNZ() + e.flops)
-	e.st.SortBytes = matrix.BytesPerTuple * e.flops
-	e.st.CompressBytes = matrix.BytesPerTuple * e.st.NNZC
+	// Inputs are stored nonzeros at the COO cost (16 B each) regardless of
+	// layout; only the expanded tuples shrink when squeezed.
+	e.st.ExpandBytes = matrix.BytesPerTuple*(e.a.NNZ()+e.b.NNZ()) + e.tupleBytes*e.flops
+	e.st.SortBytes = e.tupleBytes * e.flops
+	e.st.CompressBytes = e.tupleBytes * e.st.NNZC
 	if e.st.NNZC > 0 {
 		e.st.CF = float64(e.st.Flops) / float64(e.st.NNZC)
 	}
@@ -274,7 +345,7 @@ func (e *engine) run() (*matrix.CSR, error) {
 func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 := time.Now()
 	e.panelPlan(0, int(e.a.NumCols))
-	radix.GrowPairs(&e.ws.tuples, e.flops)
+	e.growTuples(e.flops)
 	e.st.Symbolic += time.Since(t0)
 
 	t0 = time.Now()
@@ -294,27 +365,54 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 = time.Now()
 	binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
 	rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
-	bs, tuples := e.ws.binStart, e.ws.tuples
-	if e.opt.Threads == 1 {
-		for bin := 0; bin < e.nbins; bin++ {
-			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]],
-				int32(bin)*e.rowsPerBin, e.colBits, rowCounts)
-		}
-	} else {
-		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
-			binOut[bin] = compressBin(tuples[bs[bin]:bs[bin+1]],
-				int32(bin)*e.rowsPerBin, e.colBits, rowCounts)
-		})
-	}
+	e.compressBins(binOut, rowCounts)
 	e.st.Compress = time.Since(t0)
 	if err := e.canceled(); err != nil {
 		return nil, err
 	}
 
 	t0 = time.Now()
-	c := e.assemble(tuples, bs)
+	c := e.assemble(e.ws.tuples, e.ws.tupleKeys, e.ws.tupleVals, e.ws.binStart)
 	e.st.Assemble = time.Since(t0)
 	return c, nil
+}
+
+// growTuples sizes the expanded-tuple buffer of the active layout for n
+// tuples (the other layout's pool is left untouched).
+func (e *engine) growTuples(n int64) {
+	if e.squeezed {
+		radix.GrowUint32(&e.ws.tupleKeys, n)
+		matrix.GrowFloat64(&e.ws.tupleVals, n)
+	} else {
+		radix.GrowPairs(&e.ws.tuples, n)
+	}
+}
+
+// compressBins folds duplicates in every sorted bin of the current panel,
+// recording per-bin output counts in binOut and (when rowCounts is non-nil)
+// per-row tallies for assembly.
+func (e *engine) compressBins(binOut, rowCounts []int64) {
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			e.compressOneBin(bin, binOut, rowCounts)
+		}
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+			e.compressOneBin(bin, binOut, rowCounts)
+		})
+	}
+}
+
+func (e *engine) compressOneBin(bin int, binOut, rowCounts []int64) {
+	bs := e.ws.binStart
+	firstRow := int32(int64(bin) << e.rowShift)
+	if e.squeezed {
+		binOut[bin] = compressBinSqueezed(e.ws.tupleKeys[bs[bin]:bs[bin+1]],
+			e.ws.tupleVals[bs[bin]:bs[bin+1]], firstRow, e.colBits, rowCounts)
+	} else {
+		binOut[bin] = compressBin(e.ws.tuples[bs[bin]:bs[bin+1]],
+			firstRow, e.colBits, rowCounts)
+	}
 }
 
 // symbolic implements Algorithm 3's flop count: per-column flops from the
@@ -339,10 +437,7 @@ func (e *engine) symbolic() {
 		flops += f
 	}
 	e.flops = flops
-	e.colBits = uint(bits.Len32(uint32(e.b.NumCols)))
-	if e.colBits == 0 {
-		e.colBits = 1
-	}
+	e.colBits = colBitsFor(e.b.NumCols)
 }
 
 // planPanels tiles A's columns into contiguous panels whose expanded-tuple
@@ -379,20 +474,30 @@ func (e *engine) planPanels() {
 	e.npanels = len(ps) - 1
 }
 
-// planBins derives the bin geometry (Algorithm 3 line 6) from the largest
-// panel's flop count, so each panel's bins fit the L2 budget during sorting.
-// Bins are fixed row ranges of A, identical across panels, which is what
-// lets per-panel runs merge bin-by-bin.
-func (e *engine) planBins() {
+// binGeometry is the bin shape planBinGeometry derives: nbins bins of
+// 1<<rowShift rows each, exactly tiling [0, rows).
+type binGeometry struct {
+	nbins    int
+	rowShift uint
+}
+
+// planBinGeometry derives the bin geometry (Algorithm 3 line 6) from the
+// largest panel's flop count, so each panel's bins fit the L2 budget during
+// sorting. rowsPerBin is rounded up to a power of two so the expand hot loop
+// derives bin and local row with shift/mask instead of an integer division
+// per flop; nbins is recomputed so bins still exactly tile the rows. Sizing
+// always uses the wide 16-byte tuple cost, so the geometry (and the squeeze
+// decision it feeds) never depends on the layout it produces.
+func planBinGeometry(rows int32, maxPanelFlops int64, opt Options) binGeometry {
 	// The auto value is capped at 2048: the paper uses 1K-2K bins in
 	// practice (Section V-A) because each thread also keeps one local bin
 	// per global bin, and nbins*LocalBinBytes must stay within the cache for
 	// the expand phase to stream (Fig. 5). Callers can override with an
 	// explicit NBins.
 	const maxAutoBins = 2048
-	nbins := e.opt.NBins
+	nbins := opt.NBins
 	if nbins <= 0 {
-		nbins = int((e.maxPanelFlops*tupleBytes + int64(e.opt.L2CacheBytes) - 1) / int64(e.opt.L2CacheBytes))
+		nbins = int((maxPanelFlops*tupleBytes + int64(opt.L2CacheBytes) - 1) / int64(opt.L2CacheBytes))
 		if nbins > maxAutoBins {
 			nbins = maxAutoBins
 		}
@@ -400,42 +505,114 @@ func (e *engine) planBins() {
 	if nbins < 1 {
 		nbins = 1
 	}
-	if int64(nbins) > int64(e.a.NumRows) && e.a.NumRows > 0 {
-		nbins = int(e.a.NumRows)
+	if int64(nbins) > int64(rows) && rows > 0 {
+		nbins = int(rows)
 	}
-	rowsPerBin := (e.a.NumRows + int32(nbins) - 1) / int32(nbins)
-	if rowsPerBin < 1 {
-		rowsPerBin = 1
+	rpb := (int64(rows) + int64(nbins) - 1) / int64(nbins)
+	if rpb < 1 {
+		rpb = 1
 	}
-	// Recompute nbins from rowsPerBin so bins exactly tile [0, rows).
-	if e.a.NumRows > 0 {
-		nbins = int((e.a.NumRows + rowsPerBin - 1) / rowsPerBin)
+	shift := uint(bits.Len64(uint64(rpb - 1))) // ceil(log2(rpb))
+	rpb = int64(1) << shift
+	if rows > 0 {
+		nbins = int((int64(rows) + rpb - 1) / rpb)
 	}
-	e.nbins = nbins
-	e.rowsPerBin = rowsPerBin
+	return binGeometry{nbins: nbins, rowShift: shift}
+}
 
-	capT := int32(e.opt.LocalBinBytes / tupleBytes)
+// planBins fixes the run's bin geometry and tuple layout. Bins are fixed row
+// ranges of A, identical across panels, which is what lets per-panel runs
+// merge bin-by-bin.
+func (e *engine) planBins() {
+	g := planBinGeometry(e.a.NumRows, e.maxPanelFlops, e.opt)
+	e.nbins = g.nbins
+	e.rowShift = g.rowShift
+	e.rowMask = uint32(int64(1)<<g.rowShift - 1)
+
+	// Section III-D key squeezing: the in-bin local row id needs rowShift
+	// bits, so the packed key fits a uint32 — and the tuple the 12-byte
+	// parallel-array layout — whenever rowShift + colBits ≤ 32.
+	e.squeezed = g.rowShift+e.colBits <= 32
+	switch e.opt.ForceLayout {
+	case LayoutWide:
+		e.squeezed = false
+	case LayoutSqueezed:
+		// Best-effort: already squeezed when the geometry allows; a key that
+		// needs more than 32 bits keeps the wide layout rather than corrupt.
+	}
+	e.tupleBytes = WideTupleBytes
+	if e.squeezed {
+		e.tupleBytes = SqueezedTupleBytes
+	}
+
+	capT := int32(int64(e.opt.LocalBinBytes) / e.tupleBytes)
 	if capT < 1 {
 		capT = 1
 	}
 	e.localCap = capT
 }
 
+// PlanLayout reports the tuple layout Multiply would pick for a product with
+// rows output rows (rows of A), bCols output columns (columns of B) and the
+// given total flop count, under opt's bin and budget settings. The public
+// Auto planner uses it to model PB-SpGEMM's per-run traffic at 12 or 16
+// bytes per tuple before choosing an algorithm family.
+func PlanLayout(rows, bCols int32, flops int64, opt Options) Layout {
+	opt = opt.withDefaults()
+	if opt.ForceLayout == LayoutWide {
+		return LayoutWide
+	}
+	// A memory budget tiles the run into panels of ≈ budget/16 tuples and
+	// the bin geometry follows the largest panel (planPanels packs columns
+	// greedily to just under the budget; the one-column floor can exceed it
+	// only when a single outer product does). Mirror that here so the
+	// predicted layout matches the one a budgeted run executes.
+	maxPanelFlops := flops
+	if budgetTuples := opt.MemoryBudgetBytes / tupleBytes; opt.MemoryBudgetBytes > 0 && maxPanelFlops > budgetTuples {
+		maxPanelFlops = budgetTuples
+		if maxPanelFlops < 1 {
+			maxPanelFlops = 1
+		}
+	}
+	g := planBinGeometry(rows, maxPanelFlops, opt)
+	if g.rowShift+colBitsFor(bCols) <= 32 {
+		return LayoutSqueezed
+	}
+	return LayoutWide
+}
+
+// colBitsFor is the packed-key width of a column id for a B with bCols
+// columns (at least 1 bit, matching symbolic()).
+func colBitsFor(bCols int32) uint {
+	cb := uint(bits.Len32(uint32(bCols)))
+	if cb == 0 {
+		cb = 1
+	}
+	return cb
+}
+
 // panelPlan computes per-bin flop counts for columns [lo, hi) of A with one
 // pass over the panel's nonzeros, leaving the exclusive prefix in
 // ws.binStart and flop-balanced thread boundaries (relative to lo) in
-// ws.colBounds. Returns the panel's flop count.
+// ws.colBounds. The per-thread × per-bin counts are exact — each worker's
+// expand range is fixed by colBounds — so they are converted in place into
+// exclusive write offsets: thread t's tuples for bin b land at
+// binStart[b] + Σ_{t'<t} count(t', b). Expand then needs no atomic cursors,
+// flushes are plain copies into pre-reserved ranges, and the tuple order in
+// every bin is the sequential column order at any thread count
+// (contention-free, deterministic expand). Returns the panel's flop count.
 func (e *engine) panelPlan(lo, hi int) int64 {
 	nbins := e.nbins
 	threads := e.opt.Threads
 	binFlops := matrix.GrowInt64Zero(&e.ws.binFlops, nbins)
 	e.ws.colBounds = par.BalancedBoundariesInto(
 		e.ws.colFlops[lo:hi], threads, matrix.GrowInt(&e.ws.colBounds, threads+1))
+	var pt []int64
 	if threads == 1 {
 		e.countPanelBins(lo, hi, binFlops)
 	} else {
-		pt := matrix.GrowInt64Zero(&e.ws.perThread, threads*nbins)
-		a, b, rpb := e.a, e.b, e.rowsPerBin
+		pt = matrix.GrowInt64Zero(&e.ws.perThread, threads*nbins)
+		a, b, shift := e.a, e.b, e.rowShift
 		bounds := e.ws.colBounds
 		par.ParallelRun(threads, func(t int) {
 			local := pt[t*nbins : (t+1)*nbins]
@@ -445,7 +622,7 @@ func (e *engine) panelPlan(lo, hi int) int64 {
 					continue
 				}
 				for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-					local[a.RowIdx[p]/rpb] += bRow
+					local[uint32(a.RowIdx[p])>>shift] += bRow
 				}
 			}
 		})
@@ -456,54 +633,85 @@ func (e *engine) panelPlan(lo, hi int) int64 {
 			}
 		}
 	}
-	return par.PrefixSum(binFlops, matrix.GrowInt64(&e.ws.binStart, nbins+1))
+	total := par.PrefixSum(binFlops, matrix.GrowInt64(&e.ws.binStart, nbins+1))
+	// Exclusive per-thread write offsets, computed in place over pt (the
+	// counts are consumed as they are replaced). ws.cursors is scratch here;
+	// with one thread it is reset below to binStart and used directly as the
+	// single worker's cursor array.
+	cursors := matrix.GrowInt64(&e.ws.cursors, nbins)
+	copy(cursors, e.ws.binStart[:nbins])
+	for t := 0; t < threads && pt != nil; t++ {
+		local := pt[t*nbins : (t+1)*nbins]
+		for bin, c := range local {
+			local[bin] = cursors[bin]
+			cursors[bin] += c
+		}
+	}
+	copy(cursors, e.ws.binStart[:nbins])
+	return total
 }
 
 func (e *engine) countPanelBins(lo, hi int, binFlops []int64) {
-	a, b, rpb := e.a, e.b, e.rowsPerBin
+	a, b, shift := e.a, e.b, e.rowShift
 	for i := lo; i < hi; i++ {
 		bRow := b.RowNNZ(int32(i))
 		if bRow == 0 {
 			continue
 		}
 		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-			binFlops[a.RowIdx[p]/rpb] += bRow
+			binFlops[uint32(a.RowIdx[p])>>shift] += bRow
 		}
 	}
 }
 
 // expandPanel runs the outer-product expansion with propagation blocking
 // (Algorithm 2 lines 5–18) over the panel starting at column lo, writing
-// into ws.tuples at the offsets ws.binStart laid out. Global-bin space was
-// exactly pre-sized by panelPlan; each flush reserves a range with an atomic
-// per-bin cursor and copies the local bin in one go (the paper's MemCopy).
+// into the tuple buffer at the offsets ws.binStart laid out. Global-bin
+// space was exactly pre-sized by panelPlan, and each worker owns an
+// exclusive pre-reserved range per bin (its row of ws.perThread), so a flush
+// is a plain bulk copy (the paper's MemCopy) with no atomic reservation —
+// contention-free, and the resulting tuple order is identical at any thread
+// count.
 func (e *engine) expandPanel(lo int) {
 	threads := e.opt.Threads
 	nbins := e.nbins
-	cursors := matrix.GrowInt64(&e.ws.cursors, nbins)
-	copy(cursors, e.ws.binStart[:nbins])
-	radix.GrowPairs(&e.ws.locals, int64(threads)*int64(nbins)*int64(e.localCap))
+	localTuples := int64(threads) * int64(nbins) * int64(e.localCap)
+	if e.squeezed {
+		radix.GrowUint32(&e.ws.localKeys, localTuples)
+		matrix.GrowFloat64(&e.ws.localVals, localTuples)
+	} else {
+		radix.GrowPairs(&e.ws.locals, localTuples)
+	}
 	lens := matrix.GrowInt32(&e.ws.localLens, threads*nbins)
 	clear(lens)
 	if threads == 1 {
-		e.expandRange(0, lo)
+		// panelPlan left ws.cursors = binStart: the lone worker's cursors.
+		e.expandRange(0, lo, e.ws.cursors)
 	} else {
-		par.ParallelRun(threads, func(t int) { e.expandRange(t, lo) })
+		pt := e.ws.perThread
+		par.ParallelRun(threads, func(t int) {
+			e.expandRange(t, lo, pt[t*nbins:(t+1)*nbins])
+		})
 	}
 }
 
 // expandRange is one worker's share of expandPanel: the panel columns
-// [lo+colBounds[t], lo+colBounds[t+1]).
-func (e *engine) expandRange(t, lo int) {
+// [lo+colBounds[t], lo+colBounds[t+1]). cursors is the worker's private
+// per-bin write-position array, pre-seeded with its exclusive offsets.
+func (e *engine) expandRange(t, lo int, cursors []int64) {
+	if e.squeezed {
+		e.expandRangeSqueezed(t, lo, cursors)
+		return
+	}
 	a, b := e.a, e.b
 	nbins := int32(e.nbins)
 	capT := e.localCap
+	shift, mask, colBits := e.rowShift, e.rowMask, e.colBits
 	// Offsets in int64: threads × nbins × capT can exceed int32 range.
 	stride := int64(e.nbins) * int64(capT)
 	buf := e.ws.locals[int64(t)*stride : int64(t+1)*stride]
 	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
 	tuples := e.ws.tuples
-	var cursors atomicInt64Slice = e.ws.cursors
 
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
@@ -511,10 +719,10 @@ func (e *engine) expandRange(t, lo int) {
 			continue
 		}
 		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-			r := a.RowIdx[p]
+			r := uint32(a.RowIdx[p])
 			av := a.Val[p]
-			bin := r / e.rowsPerBin
-			localRow := uint64(r-bin*e.rowsPerBin) << e.colBits
+			bin := int32(r >> shift)
+			localRow := uint64(r&mask) << colBits
 			base := int64(bin) * int64(capT)
 			ln := lens[bin]
 			for q := bLo; q < bHi; q++ {
@@ -535,33 +743,115 @@ func (e *engine) expandRange(t, lo int) {
 	}
 }
 
-// flushLocalBin bulk-copies one thread-private local bin to its global bin,
-// reserving the destination range with an atomic cursor add.
+// flushLocalBin bulk-copies one thread-private local bin into the worker's
+// pre-reserved range of the global bin and advances its private cursor.
 func flushLocalBin(bin int32, buf []radix.Pair, lens []int32,
-	tuples []radix.Pair, cursors atomicInt64Slice, capT int32) {
+	tuples []radix.Pair, cursors []int64, capT int32) {
 
 	n := lens[bin]
 	if n == 0 {
 		return
 	}
-	off := cursors.add(int(bin), int64(n)) - int64(n)
+	off := cursors[bin]
+	cursors[bin] = off + int64(n)
 	base := int64(bin) * int64(capT)
 	copy(tuples[off:off+int64(n)], buf[base:base+int64(n)])
 	lens[bin] = 0
 }
 
+// sortSeg is one unit of sort-phase work: tuples [start, end) of the current
+// panel's buffer. arg < 0 marks a whole bin (the sorter derives its plan
+// from the keys' OR); otherwise the segment is a bucket of a partitioned
+// oversized bin and arg carries the remaining key bits (squeezed layout) or
+// the next byte index (wide layout) to recurse at.
+type sortSeg struct {
+	start, end int64
+	arg        int
+}
+
 // sortBins radix-sorts each global bin of the current panel independently.
+// On parallel runs, bins larger than sortSplitCutoff — a skewed row range
+// that would otherwise serialize the phase on one worker — are first split
+// into their top-byte buckets with the same American-flag pass a sequential
+// sort would run, and the buckets are handed to the dynamic schedule as
+// independent segments. The split is exactly the sort's own first pass, so
+// the sorted buffer is bit-identical to the single-threaded result.
 func (e *engine) sortBins() {
-	bs, tuples := e.ws.binStart, e.ws.tuples
-	if e.opt.Threads == 1 {
+	bs := e.ws.binStart
+	threads := e.opt.Threads
+	if threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
-			radix.SortPairsInPlace(tuples[bs[bin]:bs[bin+1]])
+			e.sortSeg(sortSeg{bs[bin], bs[bin+1], -1})
 		}
-	} else {
-		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
-			radix.SortPairsInPlace(tuples[bs[bin]:bs[bin+1]])
-		})
+		return
 	}
+	cutoff := e.sortSplitCutoff()
+	segs := e.ws.sortSegs[:0]
+	for bin := 0; bin < e.nbins; bin++ {
+		lo, hi := bs[bin], bs[bin+1]
+		if hi-lo < 2 {
+			continue
+		}
+		if hi-lo <= cutoff {
+			segs = append(segs, sortSeg{lo, hi, -1})
+			continue
+		}
+		if e.squeezed {
+			bounds := matrix.GrowInt64(&e.ws.partBounds, radix.MaxPartitionBuckets+1)
+			nb, rest := radix.PartitionTop32(e.ws.tupleKeys[lo:hi], e.ws.tupleVals[lo:hi], bounds)
+			for b := 0; b < nb; b++ {
+				blo, bhi := lo+bounds[b], lo+bounds[b+1]
+				if bhi-blo > 1 {
+					segs = append(segs, sortSeg{blo, bhi, rest})
+				}
+			}
+		} else {
+			bounds, next := radix.PartitionPairsTopByte(e.ws.tuples[lo:hi])
+			if next < 0 {
+				continue // the partition pass finished the bin
+			}
+			for b := 0; b < 256; b++ {
+				blo, bhi := lo+int64(bounds[b]), lo+int64(bounds[b+1])
+				if bhi-blo > 1 {
+					segs = append(segs, sortSeg{blo, bhi, next})
+				}
+			}
+		}
+	}
+	e.ws.sortSegs = segs
+	par.ForEachDynamic(len(segs), threads, func(_, i int) { e.sortSeg(segs[i]) })
+}
+
+// sortSeg sorts one segment in the active layout.
+func (e *engine) sortSeg(s sortSeg) {
+	if e.squeezed {
+		keys := e.ws.tupleKeys[s.start:s.end]
+		vals := e.ws.tupleVals[s.start:s.end]
+		if s.arg < 0 {
+			radix.SortKeys32(keys, vals)
+		} else {
+			radix.SortKeys32Bits(keys, vals, s.arg)
+		}
+		return
+	}
+	ps := e.ws.tuples[s.start:s.end]
+	if s.arg < 0 {
+		radix.SortPairsInPlace(ps)
+	} else {
+		radix.SortPairsAtByte(ps, s.arg)
+	}
+}
+
+// sortSplitCutoff is the bin size (in tuples) past which sortBins splits a
+// bin across workers: twice the L2 target a bin was sized for, so normal
+// bins never split and only genuinely skewed ones (the auto cap at 2048
+// bins, or an explicit small NBins) fan out.
+func (e *engine) sortSplitCutoff() int64 {
+	c := 2 * int64(e.opt.L2CacheBytes) / e.tupleBytes
+	if c < 4096 {
+		c = 4096
+	}
+	return c
 }
 
 // compressBin is the paper's two-pointer in-place merge (Section III-E): p1
@@ -593,13 +883,14 @@ func compressBin(tuples []radix.Pair, firstRow int32, colBits uint, rowCounts []
 	return out
 }
 
-// assemble builds canonical CSR from the compressed bins in src (the tuple
-// buffer on single-shot runs, the merged-run buffer on budgeted runs).
-// Bins hold disjoint ascending row ranges and each bin is sorted, so
-// compressed tuples are already in global CSR order; assembly is two prefix
-// sums plus one parallel unpacking copy. ws.binOut and ws.rowCounts must be
-// populated.
-func (e *engine) assemble(src []radix.Pair, srcStart []int64) *matrix.CSR {
+// assemble builds canonical CSR from the compressed bins of the active
+// layout's source buffers (the tuple buffer on single-shot runs, the
+// merged-run buffers on budgeted runs; the inactive layout's slices are
+// ignored). Bins hold disjoint ascending row ranges and each bin is sorted,
+// so compressed tuples are already in global CSR order; assembly is two
+// prefix sums plus one parallel unpacking copy. ws.binOut and ws.rowCounts
+// must be populated.
+func (e *engine) assemble(wide []radix.Pair, keys []uint32, vals []float64, srcStart []int64) *matrix.CSR {
 	binOut := e.ws.binOut
 	binOutStart := matrix.GrowInt64(&e.ws.binOutStart, e.nbins+1)
 	nnzc := par.PrefixSum(binOut, binOutStart)
@@ -613,11 +904,19 @@ func (e *engine) assemble(src []radix.Pair, srcStart []int64) *matrix.CSR {
 	colMask := uint64(1)<<e.colBits - 1
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
-			unpackBin(c, src, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
+			if e.squeezed {
+				unpackBinSqueezed(c, keys, vals, srcStart[bin], binOutStart[bin], binOut[bin], uint32(colMask))
+			} else {
+				unpackBin(c, wide, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
+			}
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
-			unpackBin(c, src, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
+			if e.squeezed {
+				unpackBinSqueezed(c, keys, vals, srcStart[bin], binOutStart[bin], binOut[bin], uint32(colMask))
+			} else {
+				unpackBin(c, wide, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
+			}
 		})
 	}
 	return c

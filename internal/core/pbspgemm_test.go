@@ -220,15 +220,28 @@ func TestStatsBytesModel(t *testing.T) {
 	a := gen.ER(256, 4, 5)
 	b := gen.ER(256, 4, 6)
 	_, st := multiplyCSR(t, a, b, Options{})
-	wantExpand := matrix.BytesPerTuple * (a.NNZ() + b.NNZ() + st.Flops)
+	// Small square ER: the key geometry always allows squeezing, so the
+	// traffic model must run at 12 bytes per expanded tuple.
+	if st.Layout != LayoutSqueezed || st.TupleBytes != SqueezedTupleBytes {
+		t.Fatalf("layout = %v tupleBytes = %d, want squeezed/12", st.Layout, st.TupleBytes)
+	}
+	wantExpand := matrix.BytesPerTuple*(a.NNZ()+b.NNZ()) + st.TupleBytes*st.Flops
 	if st.ExpandBytes != wantExpand {
 		t.Errorf("ExpandBytes = %d, want %d", st.ExpandBytes, wantExpand)
 	}
-	if st.SortBytes != matrix.BytesPerTuple*st.Flops {
-		t.Errorf("SortBytes = %d, want %d", st.SortBytes, matrix.BytesPerTuple*st.Flops)
+	if st.SortBytes != st.TupleBytes*st.Flops {
+		t.Errorf("SortBytes = %d, want %d", st.SortBytes, st.TupleBytes*st.Flops)
 	}
-	if st.CompressBytes != matrix.BytesPerTuple*st.NNZC {
-		t.Errorf("CompressBytes = %d, want %d", st.CompressBytes, matrix.BytesPerTuple*st.NNZC)
+	if st.CompressBytes != st.TupleBytes*st.NNZC {
+		t.Errorf("CompressBytes = %d, want %d", st.CompressBytes, st.TupleBytes*st.NNZC)
+	}
+	// The forced wide layout must report the paper's original 16-byte model.
+	_, stw := multiplyCSR(t, a, b, Options{ForceLayout: LayoutWide})
+	if stw.Layout != LayoutWide || stw.TupleBytes != WideTupleBytes {
+		t.Fatalf("forced wide: layout = %v tupleBytes = %d", stw.Layout, stw.TupleBytes)
+	}
+	if stw.SortBytes != matrix.BytesPerTuple*stw.Flops {
+		t.Errorf("wide SortBytes = %d, want %d", stw.SortBytes, matrix.BytesPerTuple*stw.Flops)
 	}
 	if st.GFLOPS() <= 0 || st.ExpandGBs() <= 0 || st.SortGBs() <= 0 || st.CompressGBs() <= 0 {
 		t.Error("expected positive throughput metrics")

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"pbspgemm/internal/matrix"
+)
+
+// This file is the squeezed-layout half of the pipeline (Section III-D key
+// squeezing taken to its storage conclusion): whenever the packed key
+// localRow<<colBits | col fits a uint32 — localRowBits + colBits ≤ 32, true
+// for almost every real matrix because bins keep localRow small — expanded
+// tuples live as parallel arrays (ws.tupleKeys []uint32 + ws.tupleVals
+// []float64), 12 bytes per tuple instead of radix.Pair's 16. Expand writes,
+// sort counting passes and compress all move a quarter less memory in the
+// two phases that dominate PB-SpGEMM's traffic. Control flow mirrors the
+// wide functions in pbspgemm.go/panels.go one for one; only the element
+// accesses differ.
+
+// expandRangeSqueezed is expandRange over the squeezed layout: same column
+// walk, same propagation blocking, writing the 4-byte key and 8-byte value
+// into split local bins and flushing each with two bulk copies into the
+// worker's pre-reserved exclusive range.
+func (e *engine) expandRangeSqueezed(t, lo int, cursors []int64) {
+	a, b := e.a, e.b
+	nbins := int32(e.nbins)
+	capT := e.localCap
+	shift, mask, colBits := e.rowShift, e.rowMask, e.colBits
+	stride := int64(e.nbins) * int64(capT)
+	bufK := e.ws.localKeys[int64(t)*stride : int64(t+1)*stride]
+	bufV := e.ws.localVals[int64(t)*stride : int64(t+1)*stride]
+	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
+	keys, vals := e.ws.tupleKeys, e.ws.tupleVals
+
+	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
+		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+		if bLo == bHi {
+			continue
+		}
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			r := uint32(a.RowIdx[p])
+			av := a.Val[p]
+			bin := int32(r >> shift)
+			localRow := (r & mask) << colBits
+			base := int64(bin) * int64(capT)
+			ln := lens[bin]
+			for q := bLo; q < bHi; q++ {
+				if ln == capT {
+					lens[bin] = ln
+					flushLocalBinSqueezed(bin, bufK, bufV, lens, keys, vals, cursors, capT)
+					ln = 0
+				}
+				bufK[base+int64(ln)] = localRow | uint32(b.ColIdx[q])
+				bufV[base+int64(ln)] = av * b.Val[q]
+				ln++
+			}
+			lens[bin] = ln
+		}
+	}
+	for bin := int32(0); bin < nbins; bin++ {
+		flushLocalBinSqueezed(bin, bufK, bufV, lens, keys, vals, cursors, capT)
+	}
+}
+
+// flushLocalBinSqueezed bulk-copies one split local bin into the worker's
+// pre-reserved range of the global bin and advances its private cursor.
+func flushLocalBinSqueezed(bin int32, bufK []uint32, bufV []float64, lens []int32,
+	keys []uint32, vals []float64, cursors []int64, capT int32) {
+
+	n := lens[bin]
+	if n == 0 {
+		return
+	}
+	off := cursors[bin]
+	cursors[bin] = off + int64(n)
+	base := int64(bin) * int64(capT)
+	copy(keys[off:off+int64(n)], bufK[base:base+int64(n)])
+	copy(vals[off:off+int64(n)], bufV[base:base+int64(n)])
+	lens[bin] = 0
+}
+
+// compressBinSqueezed is the paper's two-pointer in-place merge over the
+// split layout; see compressBin for the contract.
+func compressBinSqueezed(keys []uint32, vals []float64, firstRow int32, colBits uint, rowCounts []int64) int64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	p2 := 0
+	for p1 := 1; p1 < len(keys); p1++ {
+		if keys[p1] == keys[p2] {
+			vals[p2] += vals[p1]
+			continue
+		}
+		p2++
+		keys[p2] = keys[p1]
+		vals[p2] = vals[p1]
+	}
+	out := int64(p2 + 1)
+	if rowCounts != nil {
+		for i := int64(0); i < out; i++ {
+			row := firstRow + int32(keys[i]>>colBits)
+			rowCounts[row+1]++
+		}
+	}
+	return out
+}
+
+func unpackBinSqueezed(c *matrix.CSR, keys []uint32, vals []float64, srcOff, dstOff, n int64, colMask uint32) {
+	for j := int64(0); j < n; j++ {
+		c.ColIdx[dstOff+j] = int32(keys[srcOff+j] & colMask)
+		c.Val[dstOff+j] = vals[srcOff+j]
+	}
+}
+
+// mergeBinSqueezed is mergeBin over the split run arena; see mergeBin for
+// the merge invariants (runs individually duplicate-free, compare against
+// the last written tuple).
+func (e *engine) mergeBinSqueezed(worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dstBase := ws.mergedStart[bin]
+	dst := dstBase
+
+	switch k {
+	case 0:
+		ws.binOut[bin] = 0
+		return
+	case 1:
+		r := group[0]
+		n := ws.runStart[r+1] - ws.runStart[r]
+		copy(ws.mergedKeys[dst:dst+n], ws.runKeys[ws.runStart[r]:ws.runStart[r+1]])
+		copy(ws.mergedVals[dst:dst+n], ws.runVals[ws.runStart[r]:ws.runStart[r+1]])
+		dst += n
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		for {
+			best := -1
+			var bestKey uint32
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue // run exhausted
+				}
+				if key := ws.runKeys[h]; best < 0 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			h := heads[best]
+			heads[best]++
+			if dst > dstBase && ws.mergedKeys[dst-1] == ws.runKeys[h] {
+				ws.mergedVals[dst-1] += ws.runVals[h]
+			} else {
+				ws.mergedKeys[dst] = ws.runKeys[h]
+				ws.mergedVals[dst] = ws.runVals[h]
+				dst++
+			}
+		}
+	}
+	ws.binOut[bin] = dst - dstBase
+	firstRow := int32(int64(bin) << e.rowShift)
+	for i := dstBase; i < dst; i++ {
+		row := firstRow + int32(ws.mergedKeys[i]>>e.colBits)
+		ws.rowCounts[row+1]++
+	}
+}

@@ -16,14 +16,24 @@ import (
 // workspace memory and are invalidated by the next call that uses the same
 // workspace; Clone the CSR to keep it.
 type Workspace struct {
-	// tuples is the expanded-tuple buffer for one column panel — the flops×16
-	// byte allocation the unbudgeted single-shot algorithm makes per call.
-	tuples []radix.Pair
+	// tuples is the wide-layout expanded-tuple buffer for one column panel —
+	// the flops×16 byte allocation the unbudgeted single-shot algorithm
+	// makes per call. tupleKeys/tupleVals are its squeezed-layout
+	// counterpart (flops×12 bytes as parallel arrays); a run grows only the
+	// buffers of the layout it picked.
+	tuples    []radix.Pair
+	tupleKeys []uint32
+	tupleVals []float64
 
 	// Budgeted-path buffers: compressed per-(panel,bin) sorted runs, their
-	// metadata, and the per-bin merged output.
+	// metadata, and the per-bin merged output — per layout, like the tuple
+	// buffer.
 	runs        []radix.Pair
+	runKeys     []uint32
+	runVals     []float64
 	merged      []radix.Pair
+	mergedKeys  []uint32
+	mergedVals  []float64
 	runStart    []int64 // run i occupies runs[runStart[i]:runStart[i+1]]
 	runBins     []int32 // global bin of run i
 	runIdx      []int32 // run ids grouped by bin
@@ -32,9 +42,12 @@ type Workspace struct {
 	heads       []int64 // k-way merge cursors, threads × maxRunsPerBin
 
 	// Plan and phase scratch.
-	colFlops    []int64
-	binFlops    []int64
-	perThread   []int64 // threads × nbins symbolic accumulators
+	colFlops []int64
+	binFlops []int64
+	// perThread holds the exact per-thread × per-bin tuple counts of the
+	// current panel, converted in place into each worker's exclusive write
+	// offsets (and then consumed as its private expand cursors).
+	perThread   []int64
 	binStart    []int64
 	panelStart  []int // panel boundaries over A's columns, npanels+1
 	colBounds   []int // thread boundaries over the current panel's columns
@@ -42,9 +55,14 @@ type Workspace struct {
 	binOut      []int64
 	binOutStart []int64
 	rowCounts   []int64
+	sortSegs   []sortSeg // sort-phase work list (skewed bins split)
+	partBounds []int64   // bucket boundaries of one oversized-bin partition
 
-	// Propagation-blocking local bins, flattened threads × nbins × capTuples.
+	// Propagation-blocking local bins, flattened threads × nbins × capTuples,
+	// per layout.
 	locals    []radix.Pair
+	localKeys []uint32
+	localVals []float64
 	localLens []int32
 
 	// Pooled result storage (used only for shared workspaces).
@@ -77,8 +95,15 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 func (ws *Workspace) Reset() { *ws = Workspace{} }
 
 // TupleCapBytes reports the current capacity of the pooled expanded-tuple
-// buffer in bytes — the high-water mark MemoryBudgetBytes bounds.
-func (ws *Workspace) TupleCapBytes() int64 { return int64(cap(ws.tuples)) * tupleBytes }
+// buffers in bytes, summed over both layouts' pools: MemoryBudgetBytes
+// bounds each run's active pool, but a workspace reused across layouts
+// (wide-geometry products mixed with squeezed ones) holds both, and this
+// reports the memory actually resident.
+func (ws *Workspace) TupleCapBytes() int64 {
+	wide := int64(cap(ws.tuples)) * WideTupleBytes
+	sq := int64(cap(ws.tupleKeys))*4 + int64(cap(ws.tupleVals))*8
+	return wide + sq
+}
 
 // CSCOf converts a into the workspace's pooled CSC storage. The result
 // aliases workspace memory and is invalidated by the next CSCOf call.

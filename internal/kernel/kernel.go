@@ -30,6 +30,13 @@ type Capabilities struct {
 	// WorkspaceReusing kernels run with zero steady-state allocations on a
 	// shared Workspace.
 	WorkspaceReusing bool
+	// SqueezedTuples kernels shrink expanded tuples to 12 bytes (a uint32
+	// key and a float64 value in parallel arrays) whenever the run's bin
+	// geometry keeps localRowBits + colBits ≤ 32, and report the layout used
+	// on their stats. The planner models such kernels' tuple traffic at the
+	// per-run cost (12 or 16 bytes); column kernels never move expanded
+	// tuples and keep the paper's 16-byte model.
+	SqueezedTuples bool
 }
 
 // Opts is the per-call tuning a kernel receives. Kernels ignore fields

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pbspgemm/internal/baseline"
+	"pbspgemm/internal/core"
 	"pbspgemm/internal/gen"
 	"pbspgemm/internal/matrix"
 )
@@ -31,17 +32,22 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("NoSuchKernel"); ok {
 		t.Fatal("Get returned a kernel for an unknown name")
 	}
-	// Capability sanity: PB is the only masked/budgeted kernel; every
-	// kernel except the dismissed naive outer-product reuses workspaces and
-	// polls cancellation.
+	// Capability sanity: PB is the only masked/budgeted/squeezed-tuple
+	// kernel (column kernels never move expanded tuples, so their modeled
+	// costs must stay at the paper's 16 bytes); every kernel except the
+	// dismissed naive outer-product reuses workspaces and polls
+	// cancellation.
 	for _, k := range all {
 		caps := k.Capabilities()
-		if (caps.Masked || caps.Budgeted) && k.Name() != NamePB {
-			t.Errorf("%s claims masked/budgeted capability", k.Name())
+		if (caps.Masked || caps.Budgeted || caps.SqueezedTuples) && k.Name() != NamePB {
+			t.Errorf("%s claims masked/budgeted/squeezed capability", k.Name())
 		}
 		if k.Name() != NameOuterHeap && (!caps.Cancellable || !caps.WorkspaceReusing) {
 			t.Errorf("%s should be cancellable and workspace-reusing: %+v", k.Name(), caps)
 		}
+	}
+	if pb, _ := Get(NamePB); !pb.Capabilities().SqueezedTuples {
+		t.Error("PB kernel must declare the squeezed tuple layout")
 	}
 }
 
@@ -91,6 +97,14 @@ func TestEveryKernelMatchesHashBaseline(t *testing.T) {
 					}
 					if r.Elapsed <= 0 {
 						t.Error("non-positive Elapsed")
+					}
+					// Pin the squeezed path: every fixture here has a small
+					// key geometry, so the PB kernel must have run — and
+					// report — the 12-byte layout.
+					if k.Name() == NamePB {
+						if r.PB == nil || r.PB.Layout != core.LayoutSqueezed || r.PB.TupleBytes != core.SqueezedTupleBytes {
+							t.Fatalf("PB run did not report the squeezed layout: %+v", r.PB)
+						}
 					}
 				}
 			})

@@ -1,0 +1,194 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randKeys32(n int, mask uint32, seed int64) ([]uint32, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.Uint32() & mask
+		vals[i] = float64(keys[i]) + 0.25 // value derivable from key
+	}
+	return keys, vals
+}
+
+func TestSortKeys32MatchesStdlib(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		mask uint32
+	}{
+		{0, 0xffffffff}, {1, 0xffffffff}, {2, 0xffffffff},
+		{31, 0xffffffff}, {32, 0xffffffff}, {33, 0xffffffff},
+		{1000, 0xffffffff}, {1000, 0xff}, {1000, 0xffff}, {4096, 0x3ff},
+	} {
+		keys, vals := randKeys32(tc.n, tc.mask, int64(tc.n)^int64(tc.mask))
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortKeys32(keys, vals)
+		if !Keys32Sorted(keys) {
+			t.Fatalf("n=%d mask=%x: not sorted", tc.n, tc.mask)
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("n=%d mask=%x: key[%d] = %d, want %d", tc.n, tc.mask, i, keys[i], want[i])
+			}
+			if vals[i] != float64(keys[i])+0.25 {
+				t.Fatalf("n=%d mask=%x: payload detached from key at %d", tc.n, tc.mask, i)
+			}
+		}
+	}
+}
+
+func TestSortKeys32AllEqual(t *testing.T) {
+	keys := make([]uint32, 500)
+	vals := make([]float64, 500)
+	for i := range keys {
+		keys[i] = 0xdeadbe
+		vals[i] = float64(i)
+	}
+	SortKeys32(keys, vals)
+	for i := range vals {
+		// Equal keys: the deterministic sorter must not scramble payloads
+		// (every pass sees one bucket and descends without permuting).
+		if vals[i] != float64(i) {
+			t.Fatalf("payload %d moved under all-equal keys", i)
+		}
+	}
+}
+
+func TestSortKeys32MismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	SortKeys32(make([]uint32, 3), make([]float64, 2))
+}
+
+// TestPartitionTop32Equivalence: partition + per-bucket SortKeys32Bits must
+// produce bit-identical arrays to a single SortKeys32 call, including
+// payload order under duplicate keys.
+func TestPartitionTop32Equivalence(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		mask uint32
+	}{
+		{50000, 0xffffffff}, {50000, 0xffff}, {5000, 0x7},
+		{5000, 0xff00}, {257, 0xffffffff}, {4096, 0x1}, {100000, 0x3fffff},
+	} {
+		keys, vals := randKeys32(tc.n, tc.mask, 7)
+		r := rand.New(rand.NewSource(99))
+		for i := range vals {
+			vals[i] = r.Float64() // payloads unrelated to keys: order matters
+		}
+		wantK := append([]uint32(nil), keys...)
+		wantV := append([]float64(nil), vals...)
+		SortKeys32(wantK, wantV)
+
+		bounds := make([]int64, MaxPartitionBuckets+1)
+		nb, rest := PartitionTop32(keys, vals, bounds)
+		for b := 0; b < nb; b++ {
+			lo, hi := bounds[b], bounds[b+1]
+			if hi-lo > 1 {
+				SortKeys32Bits(keys[lo:hi], vals[lo:hi], rest)
+			}
+		}
+		for i := range keys {
+			if keys[i] != wantK[i] || vals[i] != wantV[i] {
+				t.Fatalf("mask=%x: partitioned sort diverges from plain sort at %d", tc.mask, i)
+			}
+		}
+	}
+}
+
+// TestPartitionPairsTopByteEquivalence mirrors the split-sort equivalence
+// for the wide AoS layout.
+func TestPartitionPairsTopByteEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, mask := range []uint64{0xffffffffffff, 0xffff, 0x3} {
+		ps := make([]Pair, 5000)
+		for i := range ps {
+			ps[i] = Pair{Key: r.Uint64() & mask, Val: r.Float64()}
+		}
+		want := append([]Pair(nil), ps...)
+		SortPairsInPlace(want)
+
+		bounds, next := PartitionPairsTopByte(ps)
+		if next >= 0 {
+			for b := 0; b < 256; b++ {
+				lo, hi := bounds[b], bounds[b+1]
+				if hi-lo > 1 {
+					SortPairsAtByte(ps[lo:hi], next)
+				}
+			}
+		}
+		for i := range ps {
+			if ps[i] != want[i] {
+				t.Fatalf("mask=%x: partitioned pair sort diverges at %d", mask, i)
+			}
+		}
+	}
+}
+
+func TestPartitionTop32Degenerate(t *testing.T) {
+	bounds := make([]int64, MaxPartitionBuckets+1)
+	// All keys equal: nothing to do.
+	keys := []uint32{7, 7, 7, 7}
+	vals := []float64{1, 2, 3, 4}
+	if nb, _ := PartitionTop32(keys, vals, bounds); nb != 0 {
+		t.Fatalf("uniform keys: nbuckets = %d, want 0", nb)
+	}
+	// Keys within one digit: the splitting pass consumes the last digit and
+	// fully sorts the slice, leaving no bucket work.
+	keys = []uint32{3, 1, 2, 0}
+	vals = []float64{3, 1, 2, 0}
+	if nb, _ := PartitionTop32(keys, vals, bounds); nb != 0 {
+		t.Fatalf("single-digit split: nbuckets = %d, want 0", nb)
+	}
+	if !Keys32Sorted(keys) {
+		t.Fatalf("single-digit split left keys unsorted: %v", keys)
+	}
+	// Short and empty slices.
+	if nb, _ := PartitionTop32(nil, nil, bounds); nb != 0 {
+		t.Fatal("nil slice: want 0 buckets")
+	}
+	if nb, _ := PartitionTop32([]uint32{5}, []float64{5}, bounds); nb != 0 {
+		t.Fatal("one element: want 0 buckets")
+	}
+}
+
+func TestGrowUint32(t *testing.T) {
+	var buf []uint32
+	s := GrowUint32(&buf, 100)
+	if len(s) != 100 {
+		t.Fatalf("len %d", len(s))
+	}
+	p := &s[0]
+	s2 := GrowUint32(&buf, 50)
+	if len(s2) != 50 || &s2[0] != p {
+		t.Fatal("shrink reallocated")
+	}
+	s3 := GrowUint32(&buf, 200)
+	if len(s3) != 200 {
+		t.Fatal("grow failed")
+	}
+}
+
+func BenchmarkSortKeys32_64K(b *testing.B) {
+	const n = 64 << 10
+	keys, vals := randKeys32(n, 0x3fffff, 5) // squeezed 22-bit keys
+	work := make([]uint32, n)
+	workV := make([]float64, n)
+	b.SetBytes(n * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, keys)
+		copy(workV, vals)
+		SortKeys32(work, workV)
+	}
+}

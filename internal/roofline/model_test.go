@@ -37,6 +37,39 @@ func TestModelRegimeSelection(t *testing.T) {
 	}
 }
 
+// TestModelPerRunTupleBytes: the outer family's per-run tuple cost moves
+// the crossover. The default (squeezed, 12 B) sits at the paper's cf ≈ 4;
+// forcing the wide 16-byte cost drops the effective outer efficiency and
+// the crossover with it, so the column family wins from a lower cf.
+func TestModelPerRunTupleBytes(t *testing.T) {
+	sq := DefaultModel(50)
+	wide := DefaultModel(50)
+	wide.BytesPerTupleOuter = wide.BytesPerTuple
+	if sq.OuterBytes() != SqueezedBytesPerNonzero || wide.OuterBytes() != DefaultBytesPerNonzero {
+		t.Fatalf("OuterBytes: squeezed %v wide %v", sq.OuterBytes(), wide.OuterBytes())
+	}
+	if wide.Crossover() >= sq.Crossover() {
+		t.Fatalf("wide crossover %v not below squeezed crossover %v", wide.Crossover(), sq.Crossover())
+	}
+	const nnz = int64(1 << 20)
+	// Same traffic profile: the squeezed model must predict strictly more
+	// outer GFLOPS (less bytes moved), identical column GFLOPS.
+	if sq.PredictOuter(nnz, nnz, 2*nnz, nnz) <= wide.PredictOuter(nnz, nnz, 2*nnz, nnz) {
+		t.Fatal("squeezed outer prediction not above wide")
+	}
+	if sq.PredictColumn(nnz, 2*nnz, nnz) != wide.PredictColumn(nnz, 2*nnz, nnz) {
+		t.Fatal("column prediction must not depend on the outer layout")
+	}
+	// At cf = 2 (below every crossover) the squeezed outer family wins; the
+	// wide one, with its crossover pushed under 2, loses the same product.
+	if !sq.PrefersOuter(nnz, nnz, 2*nnz, nnz) {
+		t.Fatal("squeezed model rejects PB at cf = 2")
+	}
+	if wide.PrefersOuter(nnz, nnz, 8*nnz, nnz) {
+		t.Fatal("wide model picks PB at cf = 8")
+	}
+}
+
 // TestModelPredictionsScaleWithBeta: doubling beta doubles both families'
 // predictions, leaving the decision unchanged.
 func TestModelPredictionsScaleWithBeta(t *testing.T) {

@@ -13,6 +13,12 @@ import (
 // (4-byte row id, 4-byte col id, 8-byte value in COO).
 const DefaultBytesPerNonzero = float64(matrix.BytesPerTuple)
 
+// SqueezedBytesPerNonzero is b for the squeezed tuple layout of Section
+// III-D: the packed (localRow, col) key fits 4 bytes whenever
+// localRowBits + colBits ≤ 32, so a tuple costs 12 bytes (u32 key + f64
+// value in parallel arrays) instead of 16.
+const SqueezedBytesPerNonzero = 12.0
+
 // AIUpper is Eq. 1: the best-case arithmetic intensity when every matrix is
 // read or written exactly once, AI <= cf/b (flops/byte).
 func AIUpper(cf, b float64) float64 {

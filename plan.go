@@ -1,6 +1,8 @@
 package pbspgemm
 
 import (
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/kernel"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/roofline"
 )
@@ -26,8 +28,17 @@ type Plan struct {
 	EstNNZC int64
 	Sampled bool
 	// CF is the predicted compression factor flop/nnz(C); the paper's
-	// crossover between the families sits at cf ≈ 4.
+	// crossover between the families sits at cf ≈ 4 (higher when the outer
+	// family runs squeezed — cheaper tuples widen PB's winning range).
 	CF float64
+	// OuterTupleBytes is the per-tuple byte cost the outer-family (PB)
+	// prediction used: 12 when the kernel's squeezed 12-byte layout applies
+	// to this product's bin geometry, 16 otherwise. The column family's
+	// model always uses 16 (column kernels never move expanded tuples).
+	OuterTupleBytes float64
+	// SqueezedOuter reports whether the outer family was modeled (and, if
+	// chosen, will run) with the squeezed tuple layout.
+	SqueezedOuter bool
 	// AIOuter, AIColumn are the modeled arithmetic intensities (flops/byte)
 	// of the outer-product (PB) and column (hash) families.
 	AIOuter, AIColumn float64
@@ -61,7 +72,28 @@ func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
 	}
 	p.BetaGBs = beta
 	m := roofline.DefaultModel(beta)
-	p.AIOuter = roofline.AIOuterExact(p.NNZA, p.NNZB, p.Flops, p.EstNNZC, m.BytesPerTuple)
+	// Per-run tuple cost for the outer family: DefaultModel assumes the
+	// squeezed 12-byte layout (the common case). When the PB kernel cannot
+	// squeeze this product — it lacks the capability, or the bin geometry
+	// puts localRowBits + colBits past 32 — its expanded tuples move the
+	// full 16 bytes, the effective outer efficiency drops by 12/16, and the
+	// predicted crossover the decision below uses slides down accordingly.
+	// Column kernels never move expanded tuples; their model is unaffected.
+	p.SqueezedOuter = false
+	if k, ok := kernel.Get(PB.String()); ok && k.Capabilities().SqueezedTuples {
+		layout := core.PlanLayout(a.NumRows, b.NumCols, p.Flops, core.Options{
+			NBins:             cfg.nbins,
+			L2CacheBytes:      cfg.l2Cache,
+			Threads:           cfg.threads,
+			MemoryBudgetBytes: cfg.budget,
+		})
+		p.SqueezedOuter = layout == core.LayoutSqueezed
+	}
+	if !p.SqueezedOuter {
+		m.BytesPerTupleOuter = m.BytesPerTuple
+	}
+	p.OuterTupleBytes = m.OuterBytes()
+	p.AIOuter = roofline.AIOuterExact(p.NNZA, p.NNZB, p.Flops, p.EstNNZC, m.OuterBytes())
 	p.AIColumn = roofline.AIColumnExact(p.NNZB, p.Flops, p.EstNNZC, m.BytesPerTuple)
 	p.PredictedOuterGFLOPS = m.PredictOuter(p.NNZA, p.NNZB, p.Flops, p.EstNNZC)
 	p.PredictedColumnGFLOPS = m.PredictColumn(p.NNZB, p.Flops, p.EstNNZC)

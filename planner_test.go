@@ -131,6 +131,15 @@ func TestAutoPlanFields(t *testing.T) {
 	if p.AIOuter <= 0 || p.AIColumn <= 0 || p.PredictedOuterGFLOPS <= 0 || p.PredictedColumnGFLOPS <= 0 {
 		t.Fatalf("plan model outputs not populated: %+v", p)
 	}
+	// This fixture's geometry squeezes (small square ER), so the planner
+	// must have modeled the outer family at 12 bytes per tuple — and the
+	// executed PB run must report the same layout on its stats.
+	if !p.SqueezedOuter || p.OuterTupleBytes != 12 {
+		t.Fatalf("plan layout: squeezed=%v bytes=%v, want true/12", p.SqueezedOuter, p.OuterTupleBytes)
+	}
+	if res.PB == nil || res.PB.Layout != LayoutSqueezed || res.PB.TupleBytes != 12 {
+		t.Fatalf("executed PB stats do not report the squeezed layout: %+v", res.PB)
+	}
 }
 
 // TestEngineMetricsByAlgorithm: the per-algorithm breakdown advances for

@@ -164,7 +164,24 @@ type Workspace = core.Workspace
 func NewWorkspace() *Workspace { return core.NewWorkspace() }
 
 // PhaseStats is the per-phase timing/traffic breakdown of a PB-SpGEMM run.
+// Its Layout and TupleBytes fields report the expanded-tuple layout the run
+// used (see TupleLayout).
 type PhaseStats = core.Stats
+
+// TupleLayout identifies the expanded-tuple representation of a PB-SpGEMM
+// run (PhaseStats.Layout): the paper's 16-byte wide COO tuples, or the
+// Section III-D squeezed 12-byte layout (uint32 key + float64 value in
+// parallel arrays) the engine selects whenever localRowBits + colBits ≤ 32
+// — which, because bins keep local row ids small, is almost every real
+// matrix. Plan.OuterTupleBytes reports which cost the Auto planner assumed.
+type TupleLayout = core.Layout
+
+const (
+	// LayoutWide is the 16-byte key+value tuple layout.
+	LayoutWide = core.LayoutWide
+	// LayoutSqueezed is the 12-byte u32-key parallel-array layout.
+	LayoutSqueezed = core.LayoutSqueezed
+)
 
 // BaselineStats is the two-phase breakdown of a column SpGEMM run.
 type BaselineStats = baseline.Stats
