@@ -14,16 +14,19 @@ import (
 
 // The benchmark trajectory harness: a fixed set of fixed-seed ER and R-MAT
 // regimes measured with the core engine on a pooled workspace, reported as
-// GFLOPS, per-phase GB/s and allocs/op. CI runs `bench -json bench.json` on
-// every push and uploads it as the bench-trajectory artifact, so each PR
-// leaves a comparable perf baseline behind; the committed BENCH_PR4.json is
-// the one-off local baseline the squeezed-tuple PR was validated against.
-// Regimes pin both tuple layouts on the low-cf ER workload, the squeezed
-// pipeline's headline case.
+// GFLOPS, per-phase GB/s and allocs/op. CI runs `bench -json bench.json
+// -gate` on every push and uploads it as the bench-trajectory artifact, so
+// each PR leaves a comparable perf baseline behind; the committed
+// BENCH_PR4.json / BENCH_PR5.json are the one-off local baselines the
+// squeezed-tuple and fused-pipeline PRs were validated against. Regimes pin
+// both tuple layouts on the low-cf ER workload (the squeezed pipeline's
+// headline case) and fused-vs-unfused on the high-cf R-MAT workload (the
+// fused pipeline's): -gate fails the run if fused ns/op regresses past
+// unfused there, or if any single-threaded pooled regime allocates.
 
 // benchSchema versions the JSON so future PRs can evolve the report without
-// breaking trajectory tooling.
-const benchSchema = "pbspgemm-bench/v1"
+// breaking trajectory tooling. v2 adds the fused field and the fuse phase.
+const benchSchema = "pbspgemm-bench/v2"
 
 type benchPhase struct {
 	Millis float64 `json:"ms"`
@@ -38,6 +41,8 @@ type benchRegime struct {
 	SeedA       uint64     `json:"seed_a"`
 	SeedB       uint64     `json:"seed_b"`
 	Layout      string     `json:"layout"`
+	Fused       bool       `json:"fused"`
+	BudgetBytes int64      `json:"budget_bytes,omitempty"`
 	Threads     int        `json:"threads"`
 	Flops       int64      `json:"flops"`
 	NNZC        int64      `json:"nnz_c"`
@@ -47,6 +52,7 @@ type benchRegime struct {
 	GFLOPS      float64    `json:"gflops"`
 	AllocsPerOp float64    `json:"allocs_per_op"`
 	Expand      benchPhase `json:"expand"`
+	Fuse        benchPhase `json:"fuse"`
 	Sort        benchPhase `json:"sort"`
 	Compress    benchPhase `json:"compress"`
 	Assemble    benchPhase `json:"assemble"`
@@ -61,8 +67,9 @@ type benchReport struct {
 	Regimes []benchRegime `json:"regimes"`
 }
 
-// benchCase is one regime's generator recipe; layouts are forced so the
-// trajectory always carries a squeezed-vs-wide pair on identical inputs.
+// benchCase is one regime's generator recipe; layouts and fusion are forced
+// so the trajectory always carries squeezed-vs-wide and fused-vs-unfused
+// pairs on identical inputs.
 type benchCase struct {
 	name       string
 	kind       string
@@ -70,21 +77,48 @@ type benchCase struct {
 	seedA      uint64
 	seedB      uint64
 	layout     core.Layout
-	threadsCap int // 0: cfg/default threads, 1: pin single-threaded
+	threadsCap int   // 0: cfg/default threads, 1: pin single-threaded
+	unfused    bool  // run the three-pass PR 4 pipeline instead of fused
+	budget     int64 // MemoryBudgetBytes; >0 exercises the panel/merge path
 }
+
+// The names the -gate check keys on (see gateBench).
+const (
+	gateFusedRegime   = "rmat-highcf-fused"
+	gateUnfusedRegime = "rmat-highcf-unfused"
+)
 
 func benchCases() []benchCase {
 	return []benchCase{
-		// Low-cf ER, both layouts: the acceptance pair (BenchmarkMultiply's
-		// regime). Single-threaded so allocs/op asserts the pooled 0.
-		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1},
-		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1},
+		// Low-cf ER, both layouts: the PR 4 acceptance pair
+		// (BenchmarkMultiply's regime). Single-threaded so allocs/op asserts
+		// the pooled 0.
+		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0},
+		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0},
+		// High-cf R-MAT (cf ≈ 4.6, past the crossover — the regime where the
+		// compress pass the fusion removes carries the most bytes relative
+		// to output): the PR 5 fused-vs-unfused acceptance pair, plus the
+		// same pair on the wide layout so the allocs/op gate covers both
+		// layouts under fusion. Single-threaded, pooled.
+		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0},
+		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0},
+		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0},
+		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0},
+		// The same high-cf input through the memory-budgeted panel path, so
+		// both fused merge strategies stay visible in the trajectory: a
+		// shallow budget (~3 panels, run counts within fusedEmitMergeMaxRuns)
+		// exercises the merge that emits straight into the final CSR, a deep
+		// one (~8 panels) the intermediate-buffer fallback.
+		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20},
+		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20},
+		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20},
+		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20},
 		// Sparser ER (cf ≈ 1) and a denser one, auto layout, default threads.
-		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0},
-		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0},
+		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0},
+		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0},
 		// Skewed R-MAT regimes (Graph500 parameters).
-		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0},
-		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0},
+		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0},
+		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0},
 	}
 }
 
@@ -104,8 +138,8 @@ func runBench(cfg *config) {
 		CPUs:   runtime.NumCPU(),
 		Reps:   cfg.reps,
 	}
-	fmt.Printf("%-20s %8s %10s %8s %8s %9s %9s %9s %7s\n",
-		"regime", "layout", "ns/op", "GFLOPS", "cf", "expand", "sort", "compress", "allocs")
+	fmt.Printf("%-25s %8s %6s %10s %8s %8s %9s %9s %7s\n",
+		"regime", "layout", "fused", "ns/op", "GFLOPS", "cf", "expand", "fuse|sort", "allocs")
 	for _, c := range benchCases() {
 		r, err := runBenchCase(cfg, c)
 		if err != nil {
@@ -113,13 +147,59 @@ func runBench(cfg *config) {
 			os.Exit(1)
 		}
 		report.Regimes = append(report.Regimes, r)
-		fmt.Printf("%-20s %8s %10d %8.4f %8.2f %7.2fms %7.2fms %7.2fms %7.1f\n",
-			r.Name, r.Layout, r.NsPerOp, r.GFLOPS, r.CF,
-			r.Expand.Millis, r.Sort.Millis, r.Compress.Millis, r.AllocsPerOp)
+		phase := r.Fuse.Millis
+		if !r.Fused {
+			phase = r.Sort.Millis + r.Compress.Millis
+		}
+		fmt.Printf("%-25s %8s %6v %10d %8.4f %8.2f %7.2fms %7.2fms %7.1f\n",
+			r.Name, r.Layout, r.Fused, r.NsPerOp, r.GFLOPS, r.CF,
+			r.Expand.Millis, phase, r.AllocsPerOp)
 	}
 	if cfg.jsonOut != "" {
 		writeBenchReport(cfg.jsonOut, &report)
 	}
+	if cfg.gate {
+		gateBench(&report)
+	}
+}
+
+// gateBench is the CI regression gate: on the high-cf R-MAT acceptance pair
+// the fused pipeline must not be slower than the unfused PR 4 path, and
+// every single-threaded pooled regime (both layouts, fused and unfused)
+// must run allocation-free in steady state.
+func gateBench(report *benchReport) {
+	byName := make(map[string]*benchRegime, len(report.Regimes))
+	for i := range report.Regimes {
+		byName[report.Regimes[i].Name] = &report.Regimes[i]
+	}
+	fused, unfused := byName[gateFusedRegime], byName[gateUnfusedRegime]
+	if fused == nil || unfused == nil {
+		fmt.Fprintln(os.Stderr, "bench gate: acceptance regimes missing from the run")
+		os.Exit(1)
+	}
+	failed := false
+	// 5% headroom over "≤" so shared-runner jitter can't flake the gate;
+	// the measured fused margin is ~15-20%, so a real regression still
+	// trips it.
+	if float64(fused.NsPerOp) > 1.05*float64(unfused.NsPerOp) {
+		fmt.Fprintf(os.Stderr, "bench gate: FUSED REGRESSION on %s: fused %d ns/op > unfused %d ns/op\n",
+			gateFusedRegime, fused.NsPerOp, unfused.NsPerOp)
+		failed = true
+	} else {
+		fmt.Printf("bench gate: fused %d ns/op ≤ unfused %d ns/op (%.1f%% faster)\n",
+			fused.NsPerOp, unfused.NsPerOp,
+			100*(1-float64(fused.NsPerOp)/float64(unfused.NsPerOp)))
+	}
+	for _, r := range report.Regimes {
+		if r.Threads == 1 && r.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "bench gate: %s allocated %.1f/op, want 0\n", r.Name, r.AllocsPerOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("bench gate: all single-threaded pooled regimes at 0 allocs/op")
 }
 
 func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
@@ -127,7 +207,7 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 	acsc := a.ToCSC()
 	threads := pickThreads(cfg, c.threadsCap)
 	ws := core.NewWorkspace()
-	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout}
+	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout, DisableFusion: c.unfused, MemoryBudgetBytes: c.budget}
 
 	// Warm-up grows every pooled buffer; it also yields the shape stats.
 	_, warm, err := core.Multiply(acsc, b, opt)
@@ -159,25 +239,28 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 	}
 
 	return benchRegime{
-		Name:       c.name,
-		Kind:       c.kind,
-		Scale:      c.scale,
-		EdgeFactor: c.ef,
-		SeedA:      c.seedA,
-		SeedB:      c.seedB,
-		Layout:     layout.String(),
-		Threads:    threads,
-		Flops:      flops,
-		NNZC:       nnzc,
-		CF:         cf,
-		TupleBytes: tb,
-		NsPerOp:    best.Total.Nanoseconds(),
-		GFLOPS:     best.GFLOPS(),
+		Name:        c.name,
+		Kind:        c.kind,
+		Scale:       c.scale,
+		EdgeFactor:  c.ef,
+		SeedA:       c.seedA,
+		SeedB:       c.seedB,
+		Layout:      layout.String(),
+		Fused:       !c.unfused,
+		BudgetBytes: c.budget,
+		Threads:     threads,
+		Flops:       flops,
+		NNZC:        nnzc,
+		CF:          cf,
+		TupleBytes:  tb,
+		NsPerOp:     best.Total.Nanoseconds(),
+		GFLOPS:      best.GFLOPS(),
 		// ReadMemStats itself allocates a little on some Go versions; the
 		// engine's contribution is what trends matter for, and on the
 		// single-threaded pooled regimes it is exactly zero.
 		AllocsPerOp: float64(mallocs) / float64(reps),
 		Expand:      benchPhase{ms64(best.Expand), best.ExpandGBs()},
+		Fuse:        benchPhase{ms64(best.Fuse), best.FuseGBs()},
 		Sort:        benchPhase{ms64(best.Sort), best.SortGBs()},
 		Compress:    benchPhase{ms64(best.Compress), best.CompressGBs()},
 		Assemble:    benchPhase{Millis: ms64(best.Assemble)},

@@ -86,13 +86,18 @@ func runAblations(cfg *config) {
 	b := gen.ERMatrix(scale, 8, cfg.seed+1)
 	fmt.Printf("workload: ER scale %d, ef 8\n\n", scale)
 
-	tb := metrics.NewTable("Ablations (best of reps)", "variant", "time (ms)", "GFLOPS", "expand GB/s", "sort GB/s")
+	tb := metrics.NewTable("Ablations (best of reps)", "variant", "time (ms)", "GFLOPS", "expand GB/s", "sort|fuse GB/s")
 	addPB := func(name string, opt pbspgemm.Options) {
 		res := bestRun(cfg, a, b, opt)
 		st := res.PB
-		tb.AddRow(name, ms(res.Elapsed), res.GFLOPS(), st.ExpandGBs(), st.SortGBs())
+		sortGBs := st.SortGBs()
+		if st.Fused {
+			sortGBs = st.FuseGBs()
+		}
+		tb.AddRow(name, ms(res.Elapsed), res.GFLOPS(), st.ExpandGBs(), sortGBs)
 	}
-	addPB("PB (paper defaults)", pbspgemm.Options{})
+	addPB("PB (fused default)", pbspgemm.Options{})
+	addPB("PB (unfused three-pass)", pbspgemm.Options{DisableFusion: true})
 	addPB("no blocking (nbins=1)", pbspgemm.Options{NBins: 1})
 	addPB("no local bins (1-tuple)", pbspgemm.Options{LocalBinBytes: 16})
 	addPB("tiny cache budget (64 KiB)", pbspgemm.Options{L2CacheBytes: 64 << 10})
@@ -103,7 +108,7 @@ func runAblations(cfg *config) {
 		os.Exit(1)
 	}
 	tb.AddRow("partitioned (2 bands)", ms(partRes.Elapsed), partRes.GFLOPS(),
-		partRes.PB.ExpandGBs(), partRes.PB.SortGBs())
+		partRes.PB.ExpandGBs(), partRes.PB.FuseGBs())
 
 	escRes := bestRun(cfg, a, b, pbspgemm.Options{Algorithm: pbspgemm.ColumnESC})
 	tb.AddRow("column ESC (no outer product)", ms(escRes.Elapsed), escRes.GFLOPS(), "-", "-")

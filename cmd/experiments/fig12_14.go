@@ -83,7 +83,9 @@ func runFig13(cfg *config) {
 			fmt.Sprintf("Fig. 13 — PB phase breakdown, %s scale %d ef 16 (ms)", in.name, scale),
 			"threads", "symbolic", "expand", "sort", "compress", "assemble", "total")
 		for _, t := range threadSteps() {
-			res := bestRun(cfg, in.m, in.m, pbspgemm.Options{Algorithm: pbspgemm.PB, Threads: t})
+			// Paper pipeline (three phases) so the sort/compress columns
+			// carry the paper's meaning; the fused default folds them.
+			res := bestRun(cfg, in.m, in.m, pbspgemm.Options{Algorithm: pbspgemm.PB, Threads: t, DisableFusion: true})
 			st := res.PB
 			tb.AddRow(t, ms(st.Symbolic), ms(st.Expand), ms(st.Sort),
 				ms(st.Compress), ms(st.Assemble), ms(st.Total))
@@ -116,7 +118,10 @@ func runFig14(cfg *config) {
 		for _, scale := range scales {
 			a := kind.generate(scale, 16, cfg.seed)
 			b := kind.generate(scale, 16, cfg.seed+1)
-			pb := bestRun(cfg, a, b, pbspgemm.Options{Algorithm: pbspgemm.PB})
+			// The NUMA model pushes the paper's per-phase traffic through
+			// the Table VII topology; run the three-phase pipeline so the
+			// sort/compress terms exist.
+			pb := bestRun(cfg, a, b, pbspgemm.Options{Algorithm: pbspgemm.PB, DisableFusion: true})
 			st := pb.PB
 
 			phases := []numa.PhaseTraffic{

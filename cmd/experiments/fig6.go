@@ -66,7 +66,9 @@ func runFig6b(cfg *config) {
 	tb := metrics.NewTable("Fig. 6b — bandwidth vs number of bins",
 		"nbins", "expand GB/s", "sort GB/s (mem)", "sort GB/s (shuffle)", "total (ms)")
 	for _, nbins := range []int{1, 16, 64, 256, 1024, 2048, 4096, 16384} {
-		st := pbBest(cfg, a, b, core.Options{NBins: nbins})
+		// Fig. 6b reports sort-phase bandwidth; run the three-phase
+		// pipeline so the phase exists separately.
+		st := pbBest(cfg, a, b, core.Options{NBins: nbins, DisableFusion: true})
 		shuffle := 4 * float64(st.SortBytes)
 		sortShuffleGBs := 0.0
 		if st.Sort > 0 {

@@ -61,7 +61,10 @@ func perfSweep(cfg *config, kind matrixKind, profile machineProfile) {
 			var pbRes *pbspgemm.Result
 			var gflops []float64
 			for _, alg := range kernelAlgos() {
-				res := bestRun(cfg, a, b, pbspgemm.Options{Algorithm: alg})
+				// The paper's figures measure the three-phase pipeline;
+				// DisableFusion keeps the per-phase sort/compress bandwidth
+				// rows meaningful (the fused default reports one Fuse phase).
+				res := bestRun(cfg, a, b, pbspgemm.Options{Algorithm: alg, DisableFusion: true})
 				gflops = append(gflops, res.GFLOPS())
 				if alg == pbspgemm.PB {
 					pbRes = res

@@ -105,7 +105,7 @@ func TestPlannerWorkloadsCoverBothRegimes(t *testing.T) {
 
 func TestBenchCaseProducesValidRegime(t *testing.T) {
 	cfg := &config{reps: 1}
-	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1}
+	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0}
 	r, err := runBenchCase(cfg, c)
 	if err != nil {
 		t.Fatal(err)
@@ -139,5 +139,40 @@ func TestBenchCasesFixedSeedsAndLayoutPair(t *testing.T) {
 	}
 	if !sq || !wide {
 		t.Fatal("trajectory must carry a squeezed/wide pair on the low-cf ER regime")
+	}
+}
+
+// TestBenchCasesCarryFusedPairs: the trajectory must pin fused-vs-unfused
+// on the same high-cf R-MAT input, single-threaded (so the allocs gate
+// bites), in both layouts, and the -gate names must resolve.
+func TestBenchCasesCarryFusedPairs(t *testing.T) {
+	byName := map[string]benchCase{}
+	for _, c := range benchCases() {
+		byName[c.name] = c
+	}
+	f, okF := byName[gateFusedRegime]
+	u, okU := byName[gateUnfusedRegime]
+	if !okF || !okU {
+		t.Fatalf("gate regimes missing: fused=%v unfused=%v", okF, okU)
+	}
+	if f.unfused || !u.unfused {
+		t.Fatal("gate pair fusion flags wrong")
+	}
+	if f.kind != "RMAT" || u.kind != "RMAT" {
+		t.Fatal("gate pair must be the R-MAT regime")
+	}
+	pair := [2]benchCase{f, u}
+	for _, c := range pair {
+		if c.threadsCap != 1 {
+			t.Fatalf("%s: gate regimes must pin Threads=1 for the allocs gate", c.name)
+		}
+	}
+	if f.scale != u.scale || f.ef != u.ef || f.seedA != u.seedA || f.seedB != u.seedB || f.layout != u.layout {
+		t.Fatal("gate pair must share identical inputs and layout")
+	}
+	wf, okWF := byName["rmat-highcf-wide-fused"]
+	wu, okWU := byName["rmat-highcf-wide-unfused"]
+	if !okWF || !okWU || wf.layout != core.LayoutWide || wu.layout != core.LayoutWide {
+		t.Fatal("trajectory must carry the wide-layout fused pair too")
 	}
 }

@@ -21,6 +21,7 @@
 //	-beta GB/s   override measured STREAM bandwidth in model outputs
 //	-mtxdir DIR  load real SuiteSparse .mtx files for fig11/table6
 //	-json PATH   write a machine-readable report (planner and bench)
+//	-gate        bench: fail on fused-vs-unfused or steady-state alloc regressions
 package main
 
 import (
@@ -38,6 +39,7 @@ type config struct {
 	beta    float64 // 0 = measure with STREAM
 	mtxdir  string
 	jsonOut string // planner: write the machine-readable report here
+	gate    bool   // bench: fail on fused-vs-unfused or allocs regression
 }
 
 type experiment struct {
@@ -85,6 +87,7 @@ func main() {
 	fs.Float64Var(&cfg.beta, "beta", 0, "bandwidth GB/s for model output (0 = measure)")
 	fs.StringVar(&cfg.mtxdir, "mtxdir", "", "directory with real SuiteSparse .mtx files")
 	fs.StringVar(&cfg.jsonOut, "json", "", "write a machine-readable report to this path (planner, bench)")
+	fs.BoolVar(&cfg.gate, "gate", false, "bench: exit nonzero if the fused pipeline is slower than unfused on the high-cf regime or a pooled regime allocates")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}

@@ -35,8 +35,10 @@ func main() {
 	fmt.Printf("\nPB-SpGEMM: %d flops, nnz(C)=%d, cf=%.2f\n", res.Flops, res.C.NNZ(), res.CF)
 	fmt.Printf("  total %v  =>  %.3f GFLOPS\n", res.Elapsed, res.GFLOPS())
 	fmt.Printf("  expand  %8v  %6.2f GB/s\n", st.Expand, st.ExpandGBs())
-	fmt.Printf("  sort    %8v  %6.2f GB/s (%d bins)\n", st.Sort, st.SortGBs(), st.NBins)
-	fmt.Printf("  compress%8v  %6.2f GB/s\n", st.Compress, st.CompressGBs())
+	// The default pipeline fuses sort, compress and assembly counting into
+	// one pass per bin (see the README's "fused pipeline" section).
+	fmt.Printf("  fuse    %8v  %6.2f GB/s (%d bins)\n", st.Fuse, st.FuseGBs(), st.NBins)
+	fmt.Printf("  assemble%8v\n", st.Assemble)
 
 	// The same multiplication with the strongest column baseline, selected
 	// per call with a functional option.

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/par"
+	"pbspgemm/internal/radix"
+)
+
+// This file is the fused sort→compress→assemble pipeline (the engine's
+// default since PR 5; Options.DisableFusion restores the three-pass PR 4
+// path for ablations). Two fusions remove the passes that re-read the
+// dominant data structure from DRAM:
+//
+//   - The sort's last digit pass folds equal keys as buckets complete
+//     (radix.SortKeys32Fused / radix.SortPairsFused): the two-pointer
+//     compress — a full cold re-read of the sorted tuple buffer plus an
+//     nnz-sized write — disappears into the sort epilogue, where the leaf
+//     being folded is still cache-resident. The fused phase also tallies
+//     per-row output counts in the same breath, so assemble has exact
+//     per-bin offsets the moment sorting ends (sort-and-count), and a
+//     parallel prefix then fixes the row pointers.
+//   - On budgeted runs with shallow per-bin run counts the k-way merge
+//     emits masked column ids and folded values directly into the final CSR
+//     slices instead of an intermediate merged-run buffer: a cheap key-only
+//     counting walk first makes the per-bin output offsets exact, then the
+//     emitting walk writes each bin into its final slot — the merged
+//     intermediate (one full write plus one full read of nnz tuples) never
+//     exists. Deep merges (many panels) keep the intermediate: two
+//     O(k)-per-tuple select-min walks cost more than the buffer they save
+//     past a few runs per bin (fusedEmitMergeMaxRuns).
+//
+// Both fusions are bit-identical to the unfused path: the fused sorts run
+// exactly the unfused digit plan and fold in compress order, and the
+// emitting merge folds in exactly mergeBin's order (FuzzFusedVsUnfused and
+// TestFusedMatchesUnfusedBitIdentical pin this).
+//
+// The phase is scheduled with work stealing (par.WorkSteal) rather than a
+// static or counter-dynamic bin assignment: a worker that meets an oversized
+// skewed bin runs the sort's own first partition pass and hands the buckets
+// to the other workers as spawned tasks, so a single hot R-MAT bin no longer
+// serializes the phase tail behind one worker. Split bins cannot fold inside
+// buckets safely in isolation (a bucket boundary may cut through a row, and
+// rows of one bin share rowCounts entries), so the worker finishing a split
+// bin's last bucket folds the whole — now sorted — bin with the classic
+// two-pointer compress, which is bit-identical to the fused whole-bin sort.
+
+// sortTask is one unit of sort-phase work for the work-stealing scheduler: a
+// whole bin, or (bucket=true) one top-digit bucket of a partitioned
+// oversized bin, with arg carrying the remaining key bits (squeezed) or next
+// byte index (wide) to sort at.
+type sortTask struct {
+	bin        int32
+	bucket     bool
+	start, end int64
+	arg        int
+}
+
+// runSortPhase executes the sort phase over the current panel's bins: fused
+// (sort+fold+tally, filling binOut and, when non-nil, rowCounts) or unfused
+// (sort only; compressBins runs separately). Threads==1 runs the bins
+// sequentially with no scheduler, allocation-free.
+func (e *engine) runSortPhase(fused bool, binOut, rowCounts []int64) {
+	threads := e.opt.Threads
+	bs := e.ws.binStart
+	if threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			if fused {
+				e.fuseWholeBin(bin, binOut, rowCounts)
+			} else {
+				e.sortSeg(sortSeg{bs[bin], bs[bin+1], -1})
+			}
+		}
+		return
+	}
+	cutoff := e.sortSplitCutoff()
+	pending := matrix.GrowInt32(&e.ws.binPending, e.nbins)
+	var partBounds []int64
+	if e.squeezed {
+		partBounds = matrix.GrowInt64(&e.ws.partBounds, threads*(radix.MaxPartitionBuckets+1))
+	}
+	seeds := e.ws.sortTasks[:0]
+	for bin := 0; bin < e.nbins; bin++ {
+		lo, hi := bs[bin], bs[bin+1]
+		if !fused && hi-lo < 2 {
+			continue // nothing to sort, and compressBins owns binOut
+		}
+		seeds = append(seeds, sortTask{bin: int32(bin), start: lo, end: hi})
+	}
+	e.ws.sortTasks = seeds
+	par.WorkSteal(threads, seeds, func(worker int, t sortTask, spawn func(sortTask)) {
+		e.runSortTask(worker, t, spawn, fused, cutoff, pending, partBounds, binOut, rowCounts)
+	})
+}
+
+// runSortTask executes one work-stealing task; see runSortPhase.
+func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
+	fused bool, cutoff int64, pending []int32, partBounds []int64, binOut, rowCounts []int64) {
+
+	bin := int(t.bin)
+	if t.bucket {
+		e.sortSeg(sortSeg{t.start, t.end, t.arg})
+		if fused && atomic.AddInt32(&pending[bin], -1) == 0 {
+			// Last bucket of a split bin: the bin is fully sorted — fold it.
+			e.compressOneBin(bin, binOut, rowCounts)
+		}
+		return
+	}
+	if t.end-t.start <= cutoff {
+		if fused {
+			e.fuseWholeBin(bin, binOut, rowCounts)
+		} else {
+			e.sortSeg(sortSeg{t.start, t.end, -1})
+		}
+		return
+	}
+
+	// Oversized skewed bin: run the sort's own first partition pass here and
+	// spawn the buckets; idle workers steal them, so neither the partition
+	// nor the bucket sorts serialize the phase.
+	lo, hi := t.start, t.end
+	nspawn := 0
+	if e.squeezed {
+		stride := radix.MaxPartitionBuckets + 1
+		bounds := partBounds[worker*stride : (worker+1)*stride]
+		nb, rest := radix.PartitionTop32(e.ws.tupleKeys[lo:hi], e.ws.tupleVals[lo:hi], bounds)
+		for b := 0; b < nb; b++ {
+			if bounds[b+1]-bounds[b] > 1 {
+				nspawn++
+			}
+		}
+		if nspawn > 0 {
+			if fused {
+				// Published to bucket tasks through the spawn below.
+				atomic.StoreInt32(&pending[bin], int32(nspawn))
+			}
+			for b := 0; b < nb; b++ {
+				blo, bhi := lo+bounds[b], lo+bounds[b+1]
+				if bhi-blo > 1 {
+					spawn(sortTask{bin: t.bin, bucket: true, start: blo, end: bhi, arg: rest})
+				}
+			}
+		}
+	} else {
+		bounds, next := radix.PartitionPairsTopByte(e.ws.tuples[lo:hi])
+		if next >= 0 {
+			for b := 0; b < 256; b++ {
+				if bounds[b+1]-bounds[b] > 1 {
+					nspawn++
+				}
+			}
+		}
+		if nspawn > 0 {
+			if fused {
+				atomic.StoreInt32(&pending[bin], int32(nspawn))
+			}
+			for b := 0; b < 256; b++ {
+				blo, bhi := lo+int64(bounds[b]), lo+int64(bounds[b+1])
+				if bhi-blo > 1 {
+					spawn(sortTask{bin: t.bin, bucket: true, start: blo, end: bhi, arg: next})
+				}
+			}
+		}
+	}
+	if nspawn == 0 && fused {
+		// The partition pass alone finished the bin: fold it now.
+		e.compressOneBin(bin, binOut, rowCounts)
+	}
+}
+
+// fuseWholeBin runs the fused sort+fold over one bin and tallies its row
+// counts (when rowCounts is non-nil; the budgeted path defers tallies to the
+// merge). The folded prefix lands at the bin's own binStart offset, exactly
+// where compressBin would leave it.
+func (e *engine) fuseWholeBin(bin int, binOut, rowCounts []int64) {
+	bs := e.ws.binStart
+	lo, hi := bs[bin], bs[bin+1]
+	var n int64
+	if e.squeezed {
+		n = radix.SortKeys32Fused(e.ws.tupleKeys[lo:hi], e.ws.tupleVals[lo:hi])
+	} else {
+		n = radix.SortPairsFused(e.ws.tuples[lo:hi])
+	}
+	binOut[bin] = n
+	if rowCounts == nil {
+		return
+	}
+	firstRow := int32(int64(bin) << e.rowShift)
+	if e.squeezed {
+		for _, k := range e.ws.tupleKeys[lo : lo+n] {
+			rowCounts[firstRow+int32(k>>e.colBits)+1]++
+		}
+	} else {
+		ps := e.ws.tuples[lo : lo+n]
+		for i := range ps {
+			rowCounts[firstRow+int32(ps[i].Key>>e.colBits)+1]++
+		}
+	}
+}
+
+// countMergeBins is the counting half of the fused k-way merge: per bin, a
+// key-only walk over the bin's runs counts the exact merged output size and
+// tallies per-row counts, without writing a tuple. With the counts exact, a
+// prefix sum gives every bin its final CSR slot before any value moves.
+func (e *engine) countMergeBins() {
+	matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			e.countMergeBin(0, bin)
+		}
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			e.countMergeBin(worker, bin)
+		})
+	}
+}
+
+func (e *engine) countMergeBin(worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	firstRow := int32(int64(bin) << e.rowShift)
+	rowCounts := ws.rowCounts
+	var n int64
+	switch k {
+	case 0:
+	case 1:
+		// Runs are individually duplicate-free: the count is the run length.
+		r := group[0]
+		n = ws.runStart[r+1] - ws.runStart[r]
+		if e.squeezed {
+			for _, key := range ws.runKeys[ws.runStart[r]:ws.runStart[r+1]] {
+				rowCounts[firstRow+int32(key>>e.colBits)+1]++
+			}
+		} else {
+			for i := ws.runStart[r]; i < ws.runStart[r+1]; i++ {
+				rowCounts[firstRow+int32(ws.runs[i].Key>>e.colBits)+1]++
+			}
+		}
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		if e.squeezed {
+			var last uint32
+			for {
+				best := -1
+				var bestKey uint32
+				for i, r := range group {
+					h := heads[i]
+					if h == ws.runStart[r+1] {
+						continue // run exhausted
+					}
+					if key := ws.runKeys[h]; best < 0 || key < bestKey {
+						best, bestKey = i, key
+					}
+				}
+				if best < 0 {
+					break
+				}
+				heads[best]++
+				if n == 0 || bestKey != last {
+					n++
+					last = bestKey
+					rowCounts[firstRow+int32(bestKey>>e.colBits)+1]++
+				}
+			}
+		} else {
+			var last uint64
+			for {
+				best := -1
+				var bestKey uint64
+				for i, r := range group {
+					h := heads[i]
+					if h == ws.runStart[r+1] {
+						continue
+					}
+					if key := ws.runs[h].Key; best < 0 || key < bestKey {
+						best, bestKey = i, key
+					}
+				}
+				if best < 0 {
+					break
+				}
+				heads[best]++
+				if n == 0 || bestKey != last {
+					n++
+					last = bestKey
+					rowCounts[firstRow+int32(bestKey>>e.colBits)+1]++
+				}
+			}
+		}
+	}
+	ws.binOut[bin] = n
+}
+
+// emitMergeBins is the emitting half of the fused k-way merge: each bin
+// re-walks its runs and writes masked column ids and folded values directly
+// into its pre-computed slice of the final CSR — same walk, same fold order
+// as the unfused mergeBin, so the values are bit-identical.
+func (e *engine) emitMergeBins(c *matrix.CSR, binOutStart []int64) {
+	if e.opt.Threads == 1 {
+		for bin := 0; bin < e.nbins; bin++ {
+			e.emitMergeBin(c, binOutStart, 0, bin)
+		}
+	} else {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			e.emitMergeBin(c, binOutStart, worker, bin)
+		})
+	}
+}
+
+func (e *engine) emitMergeBin(c *matrix.CSR, binOutStart []int64, worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dst := binOutStart[bin]
+	colMask := uint64(1)<<e.colBits - 1
+	switch k {
+	case 0:
+	case 1:
+		r := group[0]
+		s := ws.runStart[r]
+		n := ws.runStart[r+1] - s
+		if e.squeezed {
+			cm := uint32(colMask)
+			for j := int64(0); j < n; j++ {
+				c.ColIdx[dst+j] = int32(ws.runKeys[s+j] & cm)
+				c.Val[dst+j] = ws.runVals[s+j]
+			}
+		} else {
+			for j := int64(0); j < n; j++ {
+				c.ColIdx[dst+j] = int32(ws.runs[s+j].Key & colMask)
+				c.Val[dst+j] = ws.runs[s+j].Val
+			}
+		}
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		var emitted int64
+		if e.squeezed {
+			cm := uint32(colMask)
+			var last uint32
+			for {
+				best := -1
+				var bestKey uint32
+				for i, r := range group {
+					h := heads[i]
+					if h == ws.runStart[r+1] {
+						continue
+					}
+					if key := ws.runKeys[h]; best < 0 || key < bestKey {
+						best, bestKey = i, key
+					}
+				}
+				if best < 0 {
+					break
+				}
+				v := ws.runVals[heads[best]]
+				heads[best]++
+				if emitted > 0 && bestKey == last {
+					c.Val[dst+emitted-1] += v
+				} else {
+					c.ColIdx[dst+emitted] = int32(bestKey & cm)
+					c.Val[dst+emitted] = v
+					emitted++
+					last = bestKey
+				}
+			}
+		} else {
+			var last uint64
+			for {
+				best := -1
+				var bestKey uint64
+				for i, r := range group {
+					h := heads[i]
+					if h == ws.runStart[r+1] {
+						continue
+					}
+					if key := ws.runs[h].Key; best < 0 || key < bestKey {
+						best, bestKey = i, key
+					}
+				}
+				if best < 0 {
+					break
+				}
+				v := ws.runs[heads[best]].Val
+				heads[best]++
+				if emitted > 0 && bestKey == last {
+					c.Val[dst+emitted-1] += v
+				} else {
+					c.ColIdx[dst+emitted] = int32(bestKey & colMask)
+					c.Val[dst+emitted] = v
+					emitted++
+					last = bestKey
+				}
+			}
+		}
+	}
+}

@@ -47,14 +47,24 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 		e.expandPanel(lo)
 		e.st.Expand += time.Since(t0)
 
-		t0 = time.Now()
-		e.sortBins()
-		e.st.Sort += time.Since(t0)
+		if e.fused {
+			// Fused sort+fold; row tallies wait for the merge, when final
+			// per-row counts are known. appendRuns reads the folded
+			// prefixes exactly where compressPanel would leave them.
+			t0 = time.Now()
+			e.runSortPhase(true, ws.binOut, nil)
+			e.appendRuns()
+			e.st.Fuse += time.Since(t0)
+		} else {
+			t0 = time.Now()
+			e.runSortPhase(false, nil, nil)
+			e.st.Sort += time.Since(t0)
 
-		t0 = time.Now()
-		e.compressPanel()
-		e.appendRuns()
-		e.st.Compress += time.Since(t0)
+			t0 = time.Now()
+			e.compressPanel()
+			e.appendRuns()
+			e.st.Compress += time.Since(t0)
+		}
 	}
 	ws.runStart = append(ws.runStart, e.runLen()) // closing boundary
 	if err := e.canceled(); err != nil {
@@ -63,12 +73,60 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 
 	t0 := time.Now()
 	e.groupRuns()
-	e.mergeBins()
 	e.st.Merge = time.Since(t0)
+	if e.emitMerge {
+		return e.mergeIntoCSR()
+	}
+
+	// Classic merge through the intermediate buffer — the unfused path, and
+	// the fused fallback when the per-bin run count is deep (see
+	// fusedEmitMergeMaxRuns).
+	t0 = time.Now()
+	e.mergeBins()
+	e.st.Merge += time.Since(t0)
 
 	t0 = time.Now()
 	c := e.assemble(ws.merged, ws.mergedKeys, ws.mergedVals, ws.mergedStart)
 	e.st.Assemble = time.Since(t0)
+	return c, nil
+}
+
+// fusedEmitMergeMaxRuns bounds the per-bin run count (the k of the k-way
+// merge) up to which the fused merge emits directly into the final CSR. The
+// emit-merge runs the O(k)-per-tuple select-min walk twice (count, then
+// emit) to learn exact output offsets; the classic merge walks once but
+// writes and re-reads the merged intermediate (~2 extra memory ops per
+// tuple). The walks' comparison cost scales with k while the buffer cost
+// does not, so past a few runs per bin the intermediate is the cheaper
+// trade (measured crossover ≈ 3-4 on the bench trajectory's budgeted
+// regimes).
+const fusedEmitMergeMaxRuns = 3
+
+// mergeIntoCSR is the fused budgeted epilogue for shallow merges: a
+// key-only counting merge makes every bin's output size (and the row
+// counts) exact, prefix sums fix the bin offsets and row pointers, and the
+// emitting merge then writes each bin's folded tuples directly into its
+// final slice of the result CSR — the intermediate merged-run buffer of the
+// unfused path never exists. groupRuns has already run.
+func (e *engine) mergeIntoCSR() (*matrix.CSR, error) {
+	ws := e.ws
+	t0 := time.Now()
+	e.countMergeBins()
+	e.st.Merge += time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
+
+	t0 = time.Now()
+	binOutStart := matrix.GrowInt64(&ws.binOutStart, e.nbins+1)
+	nnzc := par.PrefixSum(ws.binOut, binOutStart)
+	c := e.newResult(nnzc)
+	par.PrefixSumParallel(ws.rowCounts[1:int(e.a.NumRows)+1], c.RowPtr, e.opt.Threads)
+	e.st.Assemble = time.Since(t0)
+
+	t0 = time.Now()
+	e.emitMergeBins(c, binOutStart)
+	e.st.Merge += time.Since(t0)
 	return c, nil
 }
 
@@ -113,7 +171,11 @@ func (e *engine) appendRuns() {
 // groupRuns counting-sorts run ids by bin (runs were appended panel-major)
 // and lays out the merged-output offsets: bin b's merge writes into
 // merged[mergedStart[b]:mergedStart[b+1]], sized by the bin's total run
-// length (the no-folding upper bound).
+// length (the no-folding upper bound). Fused runs with shallow per-bin run
+// counts skip the merged buffers entirely — their merge emits into the
+// final CSR (mergeIntoCSR) — and only need the run grouping and the
+// per-worker merge heads; deep fused merges fall back to the intermediate
+// (see fusedEmitMergeMaxRuns).
 func (e *engine) groupRuns() {
 	ws := e.ws
 	nruns := len(ws.runBins)
@@ -150,11 +212,14 @@ func (e *engine) groupRuns() {
 		}
 	}
 	e.maxRunsPerBin = maxRuns
-	if e.squeezed {
-		radix.GrowUint32(&ws.mergedKeys, ms[e.nbins])
-		matrix.GrowFloat64(&ws.mergedVals, ms[e.nbins])
-	} else {
-		radix.GrowPairs(&ws.merged, ms[e.nbins])
+	e.emitMerge = e.fused && maxRuns <= fusedEmitMergeMaxRuns
+	if !e.emitMerge {
+		if e.squeezed {
+			radix.GrowUint32(&ws.mergedKeys, ms[e.nbins])
+			matrix.GrowFloat64(&ws.mergedVals, ms[e.nbins])
+		} else {
+			radix.GrowPairs(&ws.merged, ms[e.nbins])
+		}
 	}
 	matrix.GrowInt64(&ws.heads, e.opt.Threads*maxRuns)
 }

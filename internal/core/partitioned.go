@@ -69,15 +69,18 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 		agg.Expand += st.Expand
 		agg.Sort += st.Sort
 		agg.Compress += st.Compress
+		agg.Fuse += st.Fuse
 		agg.Merge += st.Merge
 		agg.Assemble += st.Assemble
 		agg.Flops += st.Flops
+		agg.Fused = st.Fused // uniform: all bands share opt
 		// Per-band traffic already reflects each band's tuple layout; the
 		// summed ExpandBytes include the once-per-band read of B, the
 		// partitioning's NUMA trade-off.
 		agg.ExpandBytes += st.ExpandBytes
 		agg.SortBytes += st.SortBytes
 		agg.CompressBytes += st.CompressBytes
+		agg.FusedBytes += st.FusedBytes
 		if p == 0 || st.TupleBytes > agg.TupleBytes {
 			// Report the widest layout any band fell back to.
 			agg.TupleBytes = st.TupleBytes

@@ -145,6 +145,13 @@ type Options struct {
 	// falls back to wide otherwise (keys are never truncated). Stats.Layout
 	// reports the layout actually used.
 	ForceLayout Layout
+	// DisableFusion runs the three-pass sort → compress → assemble pipeline
+	// instead of the default fused one (the sort's last pass folds equal
+	// keys and the budgeted merge emits straight into the final CSR; see
+	// fused.go). Output is bit-identical either way; the switch exists for
+	// ablations, equivalence tests and benchmarks. Stats.Fused reports the
+	// mode actually run.
+	DisableFusion bool
 }
 
 func (o Options) withDefaults() Options {
@@ -162,8 +169,14 @@ func (o Options) withDefaults() Options {
 // (Table III), from which sustained bandwidth per phase is derived.
 type Stats struct {
 	Symbolic, Expand, Sort, Compress, Assemble time.Duration
+	// Fuse is the fused sort+fold phase (default pipeline): it subsumes Sort
+	// and Compress, which stay zero on fused runs. Unfused runs
+	// (Options.DisableFusion) leave Fuse zero and report Sort/Compress as
+	// before.
+	Fuse time.Duration
 	// Merge is the time spent k-way merging per-bin runs; nonzero only on
-	// budgeted (multi-panel) runs.
+	// budgeted (multi-panel) runs. On fused runs it covers both the counting
+	// and the emitting walk of the merge-into-CSR.
 	Merge time.Duration
 	Total time.Duration
 
@@ -182,12 +195,21 @@ type Stats struct {
 	// TupleBytes is the per-tuple byte cost of that layout (12 or 16) — the
 	// b entering the traffic model below.
 	TupleBytes int64
+	// Fused reports whether the run used the fused pipeline (the default;
+	// see Options.DisableFusion). Fused runs account the sort/compress
+	// traffic under Fuse/FusedBytes instead of Sort/Compress.
+	Fused bool
 
 	// Traffic model (bytes), following Eq. 4 / Table III with the per-run
 	// tuple cost: expand reads both inputs (16 B per stored nonzero) and
-	// writes flop tuples at TupleBytes each; sort reads them back; compress
-	// writes nnz(C) tuples.
-	ExpandBytes, SortBytes, CompressBytes int64
+	// writes flop tuples at TupleBytes each. Unfused runs then charge the
+	// sort's read-back (SortBytes) and the compress write (CompressBytes);
+	// fused runs charge only FusedBytes = TupleBytes·flop — the single
+	// read-back of the expanded tuples — because folding happens in the
+	// sort's cache-resident last pass and the compress write never goes to
+	// memory as a separate sweep. The per-field split keeps measured GB/s
+	// honest per phase; zero fields belong to the mode not run.
+	ExpandBytes, SortBytes, CompressBytes, FusedBytes int64
 }
 
 // ExpandGBs returns the expand-phase sustained bandwidth in GB/s.
@@ -199,9 +221,13 @@ func (s *Stats) SortGBs() float64 { return gbs(s.SortBytes, s.Sort) }
 // CompressGBs returns the compress-phase sustained bandwidth in GB/s.
 func (s *Stats) CompressGBs() float64 { return gbs(s.CompressBytes, s.Compress) }
 
+// FuseGBs returns the fused sort+fold phase's sustained bandwidth in GB/s
+// (zero on unfused runs).
+func (s *Stats) FuseGBs() float64 { return gbs(s.FusedBytes, s.Fuse) }
+
 // OverallGBs returns total modeled traffic divided by total time.
 func (s *Stats) OverallGBs() float64 {
-	return gbs(s.ExpandBytes+s.SortBytes+s.CompressBytes, s.Total)
+	return gbs(s.ExpandBytes+s.SortBytes+s.CompressBytes+s.FusedBytes, s.Total)
 }
 
 // GFLOPS returns the end-to-end performance in the paper's metric.
@@ -239,6 +265,8 @@ type engine struct {
 	rowMask       uint32 // localRow = row&rowMask
 	colBits       uint
 	squeezed      bool  // tuple layout of this run (see Layout)
+	fused         bool  // fused sort→compress→assemble pipeline (see fused.go)
+	emitMerge     bool  // budgeted fused merge emits into the final CSR (shallow k)
 	tupleBytes    int64 // 12 (squeezed) or 16 (wide)
 	localCap      int32 // tuples per thread-private local bin
 	maxRunsPerBin int   // k of the k-way merge (budgeted path)
@@ -293,6 +321,7 @@ func (e *engine) run() (*matrix.CSR, error) {
 	totalStart := time.Now()
 
 	t0 := time.Now()
+	e.fused = !e.opt.DisableFusion
 	e.symbolic()
 	e.planPanels()
 	e.planBins()
@@ -300,6 +329,7 @@ func (e *engine) run() (*matrix.CSR, error) {
 	e.st.Flops = e.flops
 	e.st.NBins = e.nbins
 	e.st.NPanels = e.npanels
+	e.st.Fused = e.fused
 	if e.squeezed {
 		e.st.Layout = LayoutSqueezed
 	} else {
@@ -330,8 +360,12 @@ func (e *engine) run() (*matrix.CSR, error) {
 	// Inputs are stored nonzeros at the COO cost (16 B each) regardless of
 	// layout; only the expanded tuples shrink when squeezed.
 	e.st.ExpandBytes = matrix.BytesPerTuple*(e.a.NNZ()+e.b.NNZ()) + e.tupleBytes*e.flops
-	e.st.SortBytes = e.tupleBytes * e.flops
-	e.st.CompressBytes = e.tupleBytes * e.st.NNZC
+	if e.fused {
+		e.st.FusedBytes = e.tupleBytes * e.flops
+	} else {
+		e.st.SortBytes = e.tupleBytes * e.flops
+		e.st.CompressBytes = e.tupleBytes * e.st.NNZC
+	}
 	if e.st.NNZC > 0 {
 		e.st.CF = float64(e.st.Flops) / float64(e.st.NNZC)
 	}
@@ -340,8 +374,9 @@ func (e *engine) run() (*matrix.CSR, error) {
 }
 
 // runSingleShot is the paper's algorithm: one panel covering all of A's
-// columns, compress directly tallying row counts, assemble from the tuple
-// buffer.
+// columns, assemble from the tuple buffer. The default fused pipeline sorts,
+// folds and counts each bin in one pass (fused.go); the unfused path keeps
+// the paper's separate sort and compress phases.
 func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 := time.Now()
 	e.panelPlan(0, int(e.a.NumCols))
@@ -355,20 +390,31 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 		return nil, err
 	}
 
-	t0 = time.Now()
-	e.sortBins()
-	e.st.Sort = time.Since(t0)
-	if err := e.canceled(); err != nil {
-		return nil, err
-	}
+	if e.fused {
+		t0 = time.Now()
+		binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
+		rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
+		e.runSortPhase(true, binOut, rowCounts)
+		e.st.Fuse = time.Since(t0)
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
+	} else {
+		t0 = time.Now()
+		e.runSortPhase(false, nil, nil)
+		e.st.Sort = time.Since(t0)
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 
-	t0 = time.Now()
-	binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
-	rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
-	e.compressBins(binOut, rowCounts)
-	e.st.Compress = time.Since(t0)
-	if err := e.canceled(); err != nil {
-		return nil, err
+		t0 = time.Now()
+		binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
+		rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
+		e.compressBins(binOut, rowCounts)
+		e.st.Compress = time.Since(t0)
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 	}
 
 	t0 = time.Now()
@@ -763,63 +809,14 @@ func flushLocalBin(bin int32, buf []radix.Pair, lens []int32,
 // panel's buffer. arg < 0 marks a whole bin (the sorter derives its plan
 // from the keys' OR); otherwise the segment is a bucket of a partitioned
 // oversized bin and arg carries the remaining key bits (squeezed layout) or
-// the next byte index (wide layout) to recurse at.
+// the next byte index (wide layout) to recurse at. The sort phase itself —
+// fused or not — is scheduled by runSortPhase (fused.go) over a
+// work-stealing queue, so oversized skewed bins are partitioned by whichever
+// worker meets them and their buckets spread across the pool, instead of
+// the partition passes serializing up front.
 type sortSeg struct {
 	start, end int64
 	arg        int
-}
-
-// sortBins radix-sorts each global bin of the current panel independently.
-// On parallel runs, bins larger than sortSplitCutoff — a skewed row range
-// that would otherwise serialize the phase on one worker — are first split
-// into their top-byte buckets with the same American-flag pass a sequential
-// sort would run, and the buckets are handed to the dynamic schedule as
-// independent segments. The split is exactly the sort's own first pass, so
-// the sorted buffer is bit-identical to the single-threaded result.
-func (e *engine) sortBins() {
-	bs := e.ws.binStart
-	threads := e.opt.Threads
-	if threads == 1 {
-		for bin := 0; bin < e.nbins; bin++ {
-			e.sortSeg(sortSeg{bs[bin], bs[bin+1], -1})
-		}
-		return
-	}
-	cutoff := e.sortSplitCutoff()
-	segs := e.ws.sortSegs[:0]
-	for bin := 0; bin < e.nbins; bin++ {
-		lo, hi := bs[bin], bs[bin+1]
-		if hi-lo < 2 {
-			continue
-		}
-		if hi-lo <= cutoff {
-			segs = append(segs, sortSeg{lo, hi, -1})
-			continue
-		}
-		if e.squeezed {
-			bounds := matrix.GrowInt64(&e.ws.partBounds, radix.MaxPartitionBuckets+1)
-			nb, rest := radix.PartitionTop32(e.ws.tupleKeys[lo:hi], e.ws.tupleVals[lo:hi], bounds)
-			for b := 0; b < nb; b++ {
-				blo, bhi := lo+bounds[b], lo+bounds[b+1]
-				if bhi-blo > 1 {
-					segs = append(segs, sortSeg{blo, bhi, rest})
-				}
-			}
-		} else {
-			bounds, next := radix.PartitionPairsTopByte(e.ws.tuples[lo:hi])
-			if next < 0 {
-				continue // the partition pass finished the bin
-			}
-			for b := 0; b < 256; b++ {
-				blo, bhi := lo+int64(bounds[b]), lo+int64(bounds[b+1])
-				if bhi-blo > 1 {
-					segs = append(segs, sortSeg{blo, bhi, next})
-				}
-			}
-		}
-	}
-	e.ws.sortSegs = segs
-	par.ForEachDynamic(len(segs), threads, func(_, i int) { e.sortSeg(segs[i]) })
 }
 
 // sortSeg sorts one segment in the active layout.
@@ -842,16 +839,27 @@ func (e *engine) sortSeg(s sortSeg) {
 	}
 }
 
-// sortSplitCutoff is the bin size (in tuples) past which sortBins splits a
-// bin across workers: twice the L2 target a bin was sized for, so normal
-// bins never split and only genuinely skewed ones (the auto cap at 2048
-// bins, or an explicit small NBins) fan out.
-func (e *engine) sortSplitCutoff() int64 {
-	c := 2 * int64(e.opt.L2CacheBytes) / e.tupleBytes
+// sortSplitCutoffTuples is the bin size (in tuples) past which the sort
+// phase splits a bin across workers: twice the L2 cache budget a bin was
+// sized for, measured at the run's post-squeeze per-tuple cost — 12 bytes
+// when the layout squeezed, 16 wide — so "twice the cache" means the same
+// number of resident BYTES for both layouts, not the same tuple count.
+// Normal bins never split and only genuinely skewed ones (the auto cap at
+// 2048 bins, or an explicit small NBins) fan out. A pure function of the
+// two sizes so tests can pin the split decision per layout
+// (TestSortSplitCutoffPerLayout).
+func sortSplitCutoffTuples(tupleBytes, l2CacheBytes int64) int64 {
+	c := 2 * l2CacheBytes / tupleBytes
 	if c < 4096 {
 		c = 4096
 	}
 	return c
+}
+
+func (e *engine) sortSplitCutoff() int64 {
+	// e.tupleBytes is the run's actual layout cost (planBins), never the
+	// layout-independent sizing constant tupleBytes.
+	return sortSplitCutoffTuples(e.tupleBytes, int64(e.opt.L2CacheBytes))
 }
 
 // compressBin is the paper's two-pointer in-place merge (Section III-E): p1
@@ -896,11 +904,10 @@ func (e *engine) assemble(wide []radix.Pair, keys []uint32, vals []float64, srcS
 	nnzc := par.PrefixSum(binOut, binOutStart)
 
 	c := e.newResult(nnzc)
-	rowCounts := e.ws.rowCounts
-	c.RowPtr[0] = 0
-	for i := int32(0); i < e.a.NumRows; i++ {
-		c.RowPtr[i+1] = c.RowPtr[i] + rowCounts[i+1]
-	}
+	// rowCounts[1:] holds per-row output counts; the parallel prefix turns
+	// them into row pointers (identical to the sequential scan — integer
+	// sums — and worth it on million-row outputs).
+	par.PrefixSumParallel(e.ws.rowCounts[1:int(e.a.NumRows)+1], c.RowPtr, e.opt.Threads)
 	colMask := uint64(1)<<e.colBits - 1
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {

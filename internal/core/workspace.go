@@ -55,8 +55,9 @@ type Workspace struct {
 	binOut      []int64
 	binOutStart []int64
 	rowCounts   []int64
-	sortSegs   []sortSeg // sort-phase work list (skewed bins split)
-	partBounds []int64   // bucket boundaries of one oversized-bin partition
+	sortTasks   []sortTask // sort-phase work-stealing seeds (one per bin)
+	binPending  []int32    // split bins' outstanding bucket counts (atomic)
+	partBounds  []int64    // per-worker oversized-bin partition boundaries
 
 	// Propagation-blocking local bins, flattened threads × nbins × capTuples,
 	// per layout.

@@ -37,6 +37,12 @@ type Capabilities struct {
 	// per-run cost (12 or 16 bytes); column kernels never move expanded
 	// tuples and keep the paper's 16-byte model.
 	SqueezedTuples bool
+	// FusedCompress kernels run the fused sort→compress→assemble pipeline
+	// by default: the sort's last pass folds duplicates in cache and the
+	// budgeted merge emits into the final CSR, so the planner models their
+	// tuple traffic with the fused roofline bound (one fewer per-tuple term
+	// in the denominator; roofline.AIOuterFusedExact).
+	FusedCompress bool
 }
 
 // Opts is the per-call tuning a kernel receives. Kernels ignore fields

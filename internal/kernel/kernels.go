@@ -37,7 +37,8 @@ type pbKernel struct{}
 func (pbKernel) Name() string { return NamePB }
 
 func (pbKernel) Capabilities() Capabilities {
-	return Capabilities{Masked: true, Budgeted: true, Cancellable: true, WorkspaceReusing: true, SqueezedTuples: true}
+	return Capabilities{Masked: true, Budgeted: true, Cancellable: true,
+		WorkspaceReusing: true, SqueezedTuples: true, FusedCompress: true}
 }
 
 func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultThreads returns the degree of parallelism to use when a caller
@@ -167,6 +168,161 @@ func PrefixSum(counts []int64, out []int64) int64 {
 		out[i+1] = acc
 	}
 	return acc
+}
+
+// prefixSumParallelCutoff is the input size below which the two-pass parallel
+// prefix sum loses to the sequential scan's single pass.
+const prefixSumParallelCutoff = 1 << 15
+
+// PrefixSumParallel is PrefixSum split over workers with the classic two-pass
+// scheme: per-range totals first, then each range rescans with its exclusive
+// offset. Integer addition is associative, so the result is identical to the
+// sequential PrefixSum at any thread count; small inputs (or one thread) fall
+// back to it outright. The fused assemble uses this to fix the output row
+// pointers once the per-bin counts are exact.
+func PrefixSumParallel(counts, out []int64, threads int) int64 {
+	n := len(counts)
+	threads = DefaultThreads(threads)
+	if threads <= 1 || n < prefixSumParallelCutoff {
+		return PrefixSum(counts, out)
+	}
+	if threads > n {
+		threads = n
+	}
+	sums := make([]int64, threads)
+	ForRanges(n, threads, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		sums[w] = s
+	})
+	var total int64
+	for w, s := range sums {
+		sums[w] = total // exclusive offset of range w
+		total += s
+	}
+	out[0] = 0
+	ForRanges(n, threads, func(w, lo, hi int) {
+		acc := sums[w]
+		for i := lo; i < hi; i++ {
+			acc += counts[i]
+			out[i+1] = acc
+		}
+	})
+	return total
+}
+
+// wsDeque is one worker's task deque: the owner pushes and pops at the tail
+// (LIFO, cache-friendly for freshly spawned work), thieves take from the head
+// (FIFO — the oldest, typically largest, task). A plain mutex suffices: tasks
+// here are bin sorts, large enough that lock traffic is noise.
+type wsDeque[T any] struct {
+	mu  sync.Mutex
+	buf []T
+}
+
+func (d *wsDeque[T]) push(t T) {
+	d.mu.Lock()
+	d.buf = append(d.buf, t)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque[T]) popTail() (t T, ok bool) {
+	d.mu.Lock()
+	if n := len(d.buf); n > 0 {
+		t, ok = d.buf[n-1], true
+		d.buf = d.buf[:n-1]
+	}
+	d.mu.Unlock()
+	return t, ok
+}
+
+func (d *wsDeque[T]) stealHead() (t T, ok bool) {
+	d.mu.Lock()
+	if len(d.buf) > 0 {
+		t, ok = d.buf[0], true
+		d.buf = d.buf[1:]
+	}
+	d.mu.Unlock()
+	return t, ok
+}
+
+// WorkSteal runs a dynamically growing task set over a fixed pool of workers
+// with per-worker deques: fn may spawn follow-up tasks (a partitioned
+// oversized bin hands out its buckets), which land on the spawning worker's
+// own deque; idle workers steal from the others. Unlike ForEachDynamic's
+// shared counter, splitting work mid-task needs no second scheduling pass —
+// the sort phase uses this so one skewed bin's partition and bucket sorts
+// spread across workers instead of serializing its tail. The call returns
+// when every task, including every spawned one, has completed. fn must not
+// retain spawn beyond its own invocation. Task execution order is
+// unspecified; callers needing determinism must make tasks commutative
+// (disjoint output ranges, as bins are).
+func WorkSteal[T any](threads int, seeds []T, fn func(worker int, task T, spawn func(T))) {
+	threads = DefaultThreads(threads)
+	if len(seeds) == 0 {
+		return
+	}
+	if threads <= 1 {
+		// Sequential: a LIFO stack, exactly the owner's deque discipline.
+		stack := append(make([]T, 0, 2*len(seeds)), seeds...)
+		spawn := func(t T) { stack = append(stack, t) }
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			fn(0, t, spawn)
+		}
+		return
+	}
+	deques := make([]wsDeque[T], threads)
+	for i, s := range seeds {
+		d := &deques[i%threads]
+		d.buf = append(d.buf, s)
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(seeds)))
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer wg.Done()
+			self := &deques[t]
+			spawn := func(nt T) {
+				pending.Add(1)
+				self.push(nt)
+			}
+			idle := 0
+			for {
+				task, ok := self.popTail()
+				for i := 1; !ok && i < threads; i++ {
+					task, ok = deques[(t+i)%threads].stealHead()
+				}
+				if ok {
+					idle = 0
+					fn(t, task, spawn)
+					if pending.Add(-1) == 0 {
+						return
+					}
+					continue
+				}
+				if pending.Load() == 0 {
+					return
+				}
+				// Tasks are in flight on other workers and may yet spawn.
+				// Yield first (a spawn usually lands within a few rounds),
+				// then back off to sleeping so an idle tail behind one long
+				// task doesn't burn the other cores' cycles hammering the
+				// deque mutexes.
+				if idle++; idle < 64 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
 }
 
 // ParallelRun invokes fn(worker) on exactly threads workers and waits.

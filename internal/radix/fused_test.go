@@ -1,0 +1,187 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// compressRef is the reference two-pointer compress the fused sorts must
+// reproduce bit for bit: fold equal keys left to right over sorted input.
+func compressRef(keys []uint32, vals []float64) ([]uint32, []float64) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	outK := []uint32{keys[0]}
+	outV := []float64{vals[0]}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == outK[len(outK)-1] {
+			outV[len(outV)-1] += vals[i]
+			continue
+		}
+		outK = append(outK, keys[i])
+		outV = append(outV, vals[i])
+	}
+	return outK, outV
+}
+
+// fusedCase generates one random (keys, vals) slice with heavy duplication.
+func fusedCase(r *rand.Rand, n int, keyRange uint32) ([]uint32, []float64) {
+	keys := make([]uint32, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		if keyRange > 0 {
+			keys[i] = uint32(r.Int63()) % keyRange
+		}
+		vals[i] = r.NormFloat64()
+	}
+	return keys, vals
+}
+
+// TestSortKeys32FusedMatchesSortThenCompress: the fused sort's prefix must be
+// bit-identical (values included — same fold order) to SortKeys32 followed by
+// the reference compress, across sizes straddling the insertion cutoff and
+// key ranges from all-duplicates to all-distinct.
+func TestSortKeys32FusedMatchesSortThenCompress(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 31, 32, 33, 100, 1000, 20000} {
+		for _, kr := range []uint32{0, 1, 2, 7, 100, 1 << 10, 1 << 22, 0xffffffff} {
+			keys, vals := fusedCase(r, n, kr)
+			refK := append([]uint32(nil), keys...)
+			refV := append([]float64(nil), vals...)
+			SortKeys32(refK, refV)
+			wantK, wantV := compressRef(refK, refV)
+
+			got := SortKeys32Fused(keys, vals)
+			if got != int64(len(wantK)) {
+				t.Fatalf("n=%d kr=%d: fused len %d, want %d", n, kr, got, len(wantK))
+			}
+			for i := int64(0); i < got; i++ {
+				if keys[i] != wantK[i] || vals[i] != wantV[i] {
+					t.Fatalf("n=%d kr=%d: tuple %d = (%d,%v), want (%d,%v)",
+						n, kr, i, keys[i], vals[i], wantK[i], wantV[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortPairsFusedMatchesSortThenCompress is the wide-layout mirror.
+func TestSortPairsFusedMatchesSortThenCompress(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 3, 31, 32, 33, 100, 1000, 20000} {
+		for _, kr := range []uint64{0, 1, 2, 7, 100, 1 << 10, 1 << 22, 1 << 40} {
+			ps := make([]Pair, n)
+			for i := range ps {
+				var k uint64
+				if kr > 0 {
+					k = uint64(r.Int63()) % kr
+				}
+				ps[i] = Pair{Key: k, Val: r.NormFloat64()}
+			}
+			ref := append([]Pair(nil), ps...)
+			SortPairsInPlace(ref)
+			var want []Pair
+			for _, p := range ref {
+				if len(want) > 0 && want[len(want)-1].Key == p.Key {
+					want[len(want)-1].Val += p.Val
+					continue
+				}
+				want = append(want, p)
+			}
+
+			got := SortPairsFused(ps)
+			if got != int64(len(want)) {
+				t.Fatalf("n=%d kr=%d: fused len %d, want %d", n, kr, got, len(want))
+			}
+			for i := int64(0); i < got; i++ {
+				if ps[i] != want[i] {
+					t.Fatalf("n=%d kr=%d: tuple %d = %+v, want %+v", n, kr, i, ps[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedAfterPartition: a slice split with PartitionTop32, with each
+// bucket sorted unfused and the whole slice then compress-folded, must equal
+// the whole-slice fused sort — the invariant the engine's oversized-bin path
+// relies on.
+func TestFusedAfterPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	keys, vals := fusedCase(r, 50000, 1<<18)
+	splitK := append([]uint32(nil), keys...)
+	splitV := append([]float64(nil), vals...)
+
+	bounds := make([]int64, MaxPartitionBuckets+1)
+	nb, rest := PartitionTop32(splitK, splitV, bounds)
+	if nb == 0 {
+		t.Fatal("partition produced no buckets on a 18-bit key range")
+	}
+	for b := 0; b < nb; b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		SortKeys32Bits(splitK[lo:hi], splitV[lo:hi], rest)
+	}
+	wantK, wantV := compressRef(splitK, splitV)
+
+	got := SortKeys32Fused(keys, vals)
+	if got != int64(len(wantK)) {
+		t.Fatalf("fused len %d, want %d", got, len(wantK))
+	}
+	for i := int64(0); i < got; i++ {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("tuple %d: (%d,%v), want (%d,%v)", i, keys[i], vals[i], wantK[i], wantV[i])
+		}
+	}
+}
+
+// TestSortKeys32FusedAllocs: the fused sort must not touch the heap.
+func TestSortKeys32FusedAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	keys, vals := fusedCase(r, 4096, 1<<20)
+	work := make([]uint32, len(keys))
+	workV := make([]float64, len(vals))
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(work, keys)
+		copy(workV, vals)
+		SortKeys32Fused(work, workV)
+	})
+	if allocs != 0 {
+		t.Fatalf("SortKeys32Fused allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSortFused(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	const n = 64 << 10
+	keys, vals := fusedCase(r, n, 1<<14) // heavy duplication: cf ≈ 4
+	b.Run("fused", func(b *testing.B) {
+		wk := make([]uint32, n)
+		wv := make([]float64, n)
+		b.SetBytes(n * 12)
+		for i := 0; i < b.N; i++ {
+			copy(wk, keys)
+			copy(wv, vals)
+			SortKeys32Fused(wk, wv)
+		}
+	})
+	b.Run("sort-then-compress", func(b *testing.B) {
+		wk := make([]uint32, n)
+		wv := make([]float64, n)
+		b.SetBytes(n * 12)
+		for i := 0; i < b.N; i++ {
+			copy(wk, keys)
+			copy(wv, vals)
+			SortKeys32(wk, wv)
+			p2 := 0
+			for p1 := 1; p1 < n; p1++ {
+				if wk[p1] == wk[p2] {
+					wv[p2] += wv[p1]
+					continue
+				}
+				p2++
+				wk[p2] = wk[p1]
+				wv[p2] = wv[p1]
+			}
+		}
+	})
+}

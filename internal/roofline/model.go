@@ -33,6 +33,21 @@ const DefaultEtaOuter = 1.0
 // better can override with their own Model.
 const DefaultEtaColumn = 8.0 / 11.0
 
+// DefaultEtaColumnFused is the column-family efficiency calibrated against
+// the FUSED outer bound (AIOuterFusedLower), which the engine's default
+// pipeline realizes: with the compress term dropped, the outer AI rises, so
+// keeping the measured crossover at the paper's cf ≈ 4 requires a higher
+// column efficiency. Solving etaOuter·AIOuterFused(4, 12) =
+// etaCol·AIColumn(4, 16) with etaOuter = 1:
+//
+//	1·(2+4)·16 = etaCol·(2+2·4)·12  ⇒  etaCol = 96/120 = 4/5.
+//
+// The same caveat as DefaultEtaColumn applies to unsqueezable products: at
+// the wide 16-byte outer cost the fused crossover drops to
+// 2·(4/5−1)/(1−8/5) = 2/3, so wide-geometry products route to the column
+// family at every practical cf.
+const DefaultEtaColumnFused = 4.0 / 5.0
+
 // Model carries the machine and efficiency terms of the planner's roofline
 // decision: predicted GFLOPS per algorithm family = eta · beta · AI, with
 // AI from the family's exact traffic denominator (Eqs. 3 and 4).
@@ -51,6 +66,12 @@ type Model struct {
 	// crossover tracks the traffic the run will actually move. Zero means
 	// BytesPerTuple.
 	BytesPerTupleOuter float64
+	// FusedOuter models the outer family with the fused pipeline's traffic
+	// (AIOuterFusedExact: the compress term dropped from Eq. 4's
+	// denominator). It must be paired with an EtaColumn calibrated against
+	// that bound — DefaultEtaColumnFused — which DefaultModel does; an
+	// unfused ablation uses UnfusedModel.
+	FusedOuter bool
 }
 
 // OuterBytes is the per-tuple byte cost the outer-family predictions use.
@@ -62,26 +83,43 @@ func (m Model) OuterBytes() float64 {
 }
 
 // DefaultModel returns the paper-calibrated model at bandwidth betaGBs. The
-// outer family defaults to the squeezed 12-byte tuple cost — the layout
-// PB-SpGEMM picks for almost every real matrix; callers modeling a product
-// whose key geometry forces wide tuples set BytesPerTupleOuter to
-// BytesPerTuple (the Auto planner does this from the kernel's declared
-// capability and the product's bin geometry).
+// outer family defaults to the engine's default execution: the fused
+// pipeline over squeezed 12-byte tuples — the layout PB-SpGEMM picks for
+// almost every real matrix; callers modeling a product whose key geometry
+// forces wide tuples set BytesPerTupleOuter to BytesPerTuple (the Auto
+// planner does this from the kernel's declared capability and the product's
+// bin geometry), and callers modeling the unfused three-pass ablation use
+// UnfusedModel.
 func DefaultModel(betaGBs float64) Model {
 	return Model{
 		BetaGBs:            betaGBs,
-		EtaColumn:          DefaultEtaColumn,
+		EtaColumn:          DefaultEtaColumnFused,
 		EtaOuter:           DefaultEtaOuter,
 		BytesPerTuple:      DefaultBytesPerNonzero,
 		BytesPerTupleOuter: SqueezedBytesPerNonzero,
+		FusedOuter:         true,
 	}
+}
+
+// UnfusedModel is DefaultModel calibrated for the unfused three-pass
+// pipeline (Options.DisableFusion): the outer family keeps Eq. 4's full
+// denominator and the column efficiency returns to the PR 4 calibration —
+// both crossovers sit at the paper's cf ≈ 4 against their respective
+// bounds.
+func UnfusedModel(betaGBs float64) Model {
+	m := DefaultModel(betaGBs)
+	m.EtaColumn = DefaultEtaColumn
+	m.FusedOuter = false
+	return m
 }
 
 // PredictOuter returns the modeled GFLOPS of the outer-product ESC family
 // (PB-SpGEMM) on a multiplication with the given traffic profile, at the
-// family's per-run tuple cost (see OuterBytes).
+// family's per-run tuple cost (see OuterBytes) and the family's pipeline
+// (fused by default: AIOuterFusedExact's denominator drops the compress
+// term).
 //
-// The per-tuple cost is applied uniformly to Eq. 4's whole denominator,
+// The per-tuple cost is applied uniformly to the whole denominator,
 // including the nnzA+nnzB input reads that the engine's Stats charge at the
 // 16-byte COO cost regardless of layout. That is intentional: the etas are
 // calibrated against this uniform-cost family of bounds (the crossover
@@ -89,6 +127,9 @@ func DefaultModel(betaGBs float64) Model {
 // discrepancy is absorbed by the calibration rather than double-counted.
 // Stats report the split accounting; the model is a calibrated bound.
 func (m Model) PredictOuter(nnzA, nnzB, flop, nnzC int64) float64 {
+	if m.FusedOuter {
+		return m.EtaOuter * Attainable(m.BetaGBs, AIOuterFusedExact(nnzA, nnzB, flop, m.OuterBytes()))
+	}
 	return m.EtaOuter * Attainable(m.BetaGBs, AIOuterExact(nnzA, nnzB, flop, nnzC, m.OuterBytes()))
 }
 
@@ -105,15 +146,18 @@ func (m Model) PrefersOuter(nnzA, nnzB, flop, nnzC int64) bool {
 }
 
 // Crossover returns the model's crossover compression factor (see
-// CrossoverCF); with the default etas it sits at the paper's cf ≈ 4. A
-// squeezed outer-family tuple cost (BytesPerTupleOuter < BytesPerTuple)
-// acts like a higher outer efficiency — it scales the outer AI by
-// BytesPerTuple/OuterBytes — and pushes the crossover up, widening the
-// cf range where PB wins.
+// CrossoverCF / CrossoverCFFused, by pipeline); with the default etas both
+// calibrations sit at the paper's cf ≈ 4. A squeezed outer-family tuple
+// cost (BytesPerTupleOuter < BytesPerTuple) acts like a higher outer
+// efficiency — it scales the outer AI by BytesPerTuple/OuterBytes — and
+// pushes the crossover up, widening the cf range where PB wins.
 func (m Model) Crossover() float64 {
 	etaOuter := m.EtaOuter
 	if ob := m.OuterBytes(); ob > 0 && m.BytesPerTuple > 0 {
 		etaOuter *= m.BytesPerTuple / ob
+	}
+	if m.FusedOuter {
+		return CrossoverCFFused(m.EtaColumn, etaOuter)
 	}
 	return CrossoverCF(m.EtaColumn, etaOuter)
 }

@@ -96,3 +96,63 @@ func TestCalibrateBetaOnce(t *testing.T) {
 		t.Fatalf("calibration not cached: %v then %v", b1, b2)
 	}
 }
+
+// TestFusedModelCalibration pins the fused re-derivation: the default
+// (fused) model's crossover sits exactly at the paper's cf = 4 with the
+// squeezed tuple cost, the unfused ablation model stays at ≈ 4 against its
+// own bound, and the fused outer prediction strictly exceeds the unfused
+// one on the same profile (its denominator dropped the compress term).
+func TestFusedModelCalibration(t *testing.T) {
+	fused := DefaultModel(50)
+	if !fused.FusedOuter || fused.EtaColumn != DefaultEtaColumnFused {
+		t.Fatalf("DefaultModel not fused-calibrated: %+v", fused)
+	}
+	if cf := fused.Crossover(); math.Abs(cf-4) > 1e-12 {
+		t.Fatalf("fused crossover = %v, want exactly 4", cf)
+	}
+	unfused := UnfusedModel(50)
+	if unfused.FusedOuter || unfused.EtaColumn != DefaultEtaColumn {
+		t.Fatalf("UnfusedModel misconfigured: %+v", unfused)
+	}
+	if cf := unfused.Crossover(); cf < 3.5 || cf > 4.5 {
+		t.Fatalf("unfused crossover = %v, want ≈ 4", cf)
+	}
+	const nnz = int64(1 << 20)
+	pf, pu := fused.PredictOuter(nnz, nnz, 4*nnz, nnz), unfused.PredictOuter(nnz, nnz, 4*nnz, nnz)
+	if pf <= pu {
+		t.Fatalf("fused outer prediction %v not above unfused %v", pf, pu)
+	}
+	// Column predictions share AIColumnExact; only the calibration differs.
+	cf, cu := fused.PredictColumn(nnz, 4*nnz, nnz), unfused.PredictColumn(nnz, 4*nnz, nnz)
+	if cf <= cu {
+		t.Fatalf("fused-calibrated column eta %v not above unfused %v", cf, cu)
+	}
+	// At the crossover profile (cf=4, nnzA=nnzB=nnzC) the fused families tie.
+	if d := fused.PredictOuter(nnz, nnz, 4*nnz, nnz) - fused.PredictColumn(nnz, 4*nnz, nnz); math.Abs(d) > 1e-9 {
+		t.Fatalf("families do not tie at cf=4: diff %v", d)
+	}
+}
+
+// TestAIOuterFusedBounds: the fused exact AI must exceed the unfused one
+// (one fewer denominator term) and match the closed-form lower bound on the
+// symmetric profile it was derived from.
+func TestAIOuterFusedBounds(t *testing.T) {
+	const nnz = int64(1 << 16)
+	for _, cf := range []int64{1, 2, 4, 16} {
+		exactF := AIOuterFusedExact(nnz, nnz, cf*nnz, 12)
+		exactU := AIOuterExact(nnz, nnz, cf*nnz, nnz, 12)
+		if exactF <= exactU {
+			t.Fatalf("cf=%d: fused AI %v not above unfused %v", cf, exactF, exactU)
+		}
+		lower := AIOuterFusedLower(float64(cf), 12)
+		if exactF < lower {
+			t.Fatalf("cf=%d: exact fused AI %v below its lower bound %v", cf, exactF, lower)
+		}
+	}
+	if AIOuterFusedLower(0, 12) != 0 || AIOuterFusedLower(4, 0) != 0 {
+		t.Fatal("degenerate fused lower bounds must be 0")
+	}
+	if AIOuterFusedExact(0, 0, 0, 12) != 0 {
+		t.Fatal("empty product fused AI must be 0")
+	}
+}

@@ -39,6 +39,12 @@ type Plan struct {
 	// SqueezedOuter reports whether the outer family was modeled (and, if
 	// chosen, will run) with the squeezed tuple layout.
 	SqueezedOuter bool
+	// FusedOuter reports whether the outer family was modeled with the
+	// fused sort→compress→assemble pipeline (the PB kernel's default; its
+	// roofline denominator drops the compress term, and the column
+	// efficiency is recalibrated so the crossover stays at cf ≈ 4 — see
+	// roofline.DefaultEtaColumnFused).
+	FusedOuter bool
 	// AIOuter, AIColumn are the modeled arithmetic intensities (flops/byte)
 	// of the outer-product (PB) and column (hash) families.
 	AIOuter, AIColumn float64
@@ -72,28 +78,42 @@ func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
 	}
 	p.BetaGBs = beta
 	m := roofline.DefaultModel(beta)
-	// Per-run tuple cost for the outer family: DefaultModel assumes the
-	// squeezed 12-byte layout (the common case). When the PB kernel cannot
-	// squeeze this product — it lacks the capability, or the bin geometry
-	// puts localRowBits + colBits past 32 — its expanded tuples move the
-	// full 16 bytes, the effective outer efficiency drops by 12/16, and the
-	// predicted crossover the decision below uses slides down accordingly.
-	// Column kernels never move expanded tuples; their model is unaffected.
-	p.SqueezedOuter = false
-	if k, ok := kernel.Get(PB.String()); ok && k.Capabilities().SqueezedTuples {
-		layout := core.PlanLayout(a.NumRows, b.NumCols, p.Flops, core.Options{
-			NBins:             cfg.nbins,
-			L2CacheBytes:      cfg.l2Cache,
-			Threads:           cfg.threads,
-			MemoryBudgetBytes: cfg.budget,
-		})
-		p.SqueezedOuter = layout == core.LayoutSqueezed
+	// Per-run tuple cost and pipeline for the outer family: DefaultModel
+	// assumes the squeezed 12-byte layout under the fused pipeline (the
+	// engine default). When the PB kernel cannot squeeze this product — it
+	// lacks the capability, or the bin geometry puts localRowBits + colBits
+	// past 32 — its expanded tuples move the full 16 bytes, the effective
+	// outer efficiency drops by 12/16, and the predicted crossover the
+	// decision below uses slides down accordingly. A kernel without the
+	// fused-compress capability is modeled with the PR 4 three-pass bound
+	// (UnfusedModel's calibration). Column kernels never move expanded
+	// tuples; their model is unaffected by either.
+	p.SqueezedOuter, p.FusedOuter = false, false
+	if k, ok := kernel.Get(PB.String()); ok {
+		caps := k.Capabilities()
+		p.FusedOuter = caps.FusedCompress
+		if caps.SqueezedTuples {
+			layout := core.PlanLayout(a.NumRows, b.NumCols, p.Flops, core.Options{
+				NBins:             cfg.nbins,
+				L2CacheBytes:      cfg.l2Cache,
+				Threads:           cfg.threads,
+				MemoryBudgetBytes: cfg.budget,
+			})
+			p.SqueezedOuter = layout == core.LayoutSqueezed
+		}
+	}
+	if !p.FusedOuter {
+		m = roofline.UnfusedModel(beta)
 	}
 	if !p.SqueezedOuter {
 		m.BytesPerTupleOuter = m.BytesPerTuple
 	}
 	p.OuterTupleBytes = m.OuterBytes()
-	p.AIOuter = roofline.AIOuterExact(p.NNZA, p.NNZB, p.Flops, p.EstNNZC, m.OuterBytes())
+	if p.FusedOuter {
+		p.AIOuter = roofline.AIOuterFusedExact(p.NNZA, p.NNZB, p.Flops, m.OuterBytes())
+	} else {
+		p.AIOuter = roofline.AIOuterExact(p.NNZA, p.NNZB, p.Flops, p.EstNNZC, m.OuterBytes())
+	}
 	p.AIColumn = roofline.AIColumnExact(p.NNZB, p.Flops, p.EstNNZC, m.BytesPerTuple)
 	p.PredictedOuterGFLOPS = m.PredictOuter(p.NNZA, p.NNZB, p.Flops, p.EstNNZC)
 	p.PredictedColumnGFLOPS = m.PredictColumn(p.NNZB, p.Flops, p.EstNNZC)

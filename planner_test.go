@@ -140,6 +140,15 @@ func TestAutoPlanFields(t *testing.T) {
 	if res.PB == nil || res.PB.Layout != LayoutSqueezed || res.PB.TupleBytes != 12 {
 		t.Fatalf("executed PB stats do not report the squeezed layout: %+v", res.PB)
 	}
+	// The PB kernel declares the fused pipeline, so the planner must have
+	// modeled the outer family with the fused bound — and the executed run
+	// must report fused on its stats.
+	if !p.FusedOuter {
+		t.Fatalf("plan did not model the fused outer pipeline: %+v", p)
+	}
+	if !res.PB.Fused || res.PB.Fuse <= 0 || res.PB.FusedBytes <= 0 {
+		t.Fatalf("executed PB stats do not report the fused phase: %+v", res.PB)
+	}
 }
 
 // TestEngineMetricsByAlgorithm: the per-algorithm breakdown advances for

@@ -152,6 +152,13 @@ type Options struct {
 	// returned Result.C then aliases workspace memory and is invalidated by
 	// the next Multiply using the same workspace — Clone it to keep it.
 	Workspace *Workspace
+	// DisableFusion runs PB with the paper's separate sort → compress →
+	// assemble phases instead of the default fused pipeline (PB only; see
+	// the README's "fused pipeline" section). Output is bit-identical; the
+	// switch exists for ablations and for reproducing the paper's
+	// per-phase sort/compress measurements, which a fused run reports
+	// under the single Fuse phase instead.
+	DisableFusion bool
 }
 
 // Workspace pools PB-SpGEMM's buffers (tuple arena, local bins, plan and
@@ -257,6 +264,7 @@ func Multiply(a, b *CSR, opt Options) (*Result, error) {
 			L2CacheBytes:      opt.L2CacheBytes,
 			MemoryBudgetBytes: opt.MemoryBudgetBytes,
 			Workspace:         opt.Workspace,
+			DisableFusion:     opt.DisableFusion,
 		})
 		if err != nil {
 			return nil, err
@@ -326,6 +334,7 @@ func MultiplyPartitioned(a, b *CSR, parts int, opt Options) (*Result, error) {
 		L2CacheBytes:      opt.L2CacheBytes,
 		MemoryBudgetBytes: opt.MemoryBudgetBytes,
 		Workspace:         opt.Workspace,
+		DisableFusion:     opt.DisableFusion,
 	})
 	if err != nil {
 		return nil, err
