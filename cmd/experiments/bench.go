@@ -25,8 +25,10 @@ import (
 // unfused there, or if any single-threaded pooled regime allocates.
 
 // benchSchema versions the JSON so future PRs can evolve the report without
-// breaking trajectory tooling. v2 adds the fused field and the fuse phase.
-const benchSchema = "pbspgemm-bench/v2"
+// breaking trajectory tooling. v2 adds the fused field and the fuse phase;
+// v3 adds the mode field and the pattern (4 B) and float32-narrow (8 B)
+// regimes.
+const benchSchema = "pbspgemm-bench/v3"
 
 type benchPhase struct {
 	Millis float64 `json:"ms"`
@@ -41,6 +43,7 @@ type benchRegime struct {
 	SeedA       uint64     `json:"seed_a"`
 	SeedB       uint64     `json:"seed_b"`
 	Layout      string     `json:"layout"`
+	Mode        string     `json:"mode,omitempty"` // "" (float64) | pattern | f32
 	Fused       bool       `json:"fused"`
 	BudgetBytes int64      `json:"budget_bytes,omitempty"`
 	Threads     int        `json:"threads"`
@@ -77,15 +80,19 @@ type benchCase struct {
 	seedA      uint64
 	seedB      uint64
 	layout     core.Layout
-	threadsCap int   // 0: cfg/default threads, 1: pin single-threaded
-	unfused    bool  // run the three-pass PR 4 pipeline instead of fused
-	budget     int64 // MemoryBudgetBytes; >0 exercises the panel/merge path
+	threadsCap int    // 0: cfg/default threads, 1: pin single-threaded
+	unfused    bool   // run the three-pass PR 4 pipeline instead of fused
+	budget     int64  // MemoryBudgetBytes; >0 exercises the panel/merge path
+	mode       string // "" core.Multiply | "pattern" 4 B key-only | "f32" 8 B narrow
 }
 
-// The names the -gate check keys on (see gateBench).
+// The names the -gate check keys on (see gateBench). The pattern regime runs
+// the same R-MAT input as the squeezed-float64 acceptance pair, so
+// gateFusedRegime doubles as its 12-byte comparator.
 const (
 	gateFusedRegime   = "rmat-highcf-fused"
 	gateUnfusedRegime = "rmat-highcf-unfused"
+	gatePatternRegime = "rmat-highcf-pattern"
 )
 
 func benchCases() []benchCase {
@@ -93,32 +100,41 @@ func benchCases() []benchCase {
 		// Low-cf ER, both layouts: the PR 4 acceptance pair
 		// (BenchmarkMultiply's regime). Single-threaded so allocs/op asserts
 		// the pooled 0.
-		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0},
-		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0},
+		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0, ""},
+		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0, ""},
 		// High-cf R-MAT (cf ≈ 4.6, past the crossover — the regime where the
 		// compress pass the fusion removes carries the most bytes relative
 		// to output): the PR 5 fused-vs-unfused acceptance pair, plus the
 		// same pair on the wide layout so the allocs/op gate covers both
 		// layouts under fusion. Single-threaded, pooled.
-		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0},
-		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0},
-		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0},
-		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0},
+		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0, ""},
+		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0, ""},
+		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0, ""},
+		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0, ""},
+		// The Boolean/structural regime: the 4-byte pattern layout on the same
+		// high-cf input as the squeezed acceptance pair (its 12-byte
+		// comparator), and on the low-cf ER input. The 8-byte float32 narrow
+		// layout on both workloads. All single-threaded pooled, so the 0
+		// allocs/op gate covers every layout.
+		{gatePatternRegime, "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "pattern"},
+		{"er-lowcf-pattern", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "pattern"},
+		{"rmat-highcf-f32", "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "f32"},
+		{"er-lowcf-f32", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "f32"},
 		// The same high-cf input through the memory-budgeted panel path, so
 		// both fused merge strategies stay visible in the trajectory: a
 		// shallow budget (~3 panels, run counts within fusedEmitMergeMaxRuns)
 		// exercises the merge that emits straight into the final CSR, a deep
 		// one (~8 panels) the intermediate-buffer fallback.
-		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20},
-		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20},
-		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20},
-		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20},
+		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20, ""},
+		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20, ""},
+		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20, ""},
+		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20, ""},
 		// Sparser ER (cf ≈ 1) and a denser one, auto layout, default threads.
-		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0},
-		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0},
+		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0, ""},
+		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0, ""},
 		// Skewed R-MAT regimes (Graph500 parameters).
-		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0},
-		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0},
+		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0, ""},
+		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0, ""},
 	}
 }
 
@@ -164,8 +180,10 @@ func runBench(cfg *config) {
 }
 
 // gateBench is the CI regression gate: on the high-cf R-MAT acceptance pair
-// the fused pipeline must not be slower than the unfused PR 4 path, and
-// every single-threaded pooled regime (both layouts, fused and unfused)
+// the fused pipeline must not be slower than the unfused PR 4 path, the
+// 4-byte pattern layout must beat the 12-byte squeezed float64 pipeline on
+// the same input by at least 10% (the Boolean-regime acceptance bar), and
+// every single-threaded pooled regime (all layouts, fused and unfused)
 // must run allocation-free in steady state.
 func gateBench(report *benchReport) {
 	byName := make(map[string]*benchRegime, len(report.Regimes))
@@ -173,7 +191,8 @@ func gateBench(report *benchReport) {
 		byName[report.Regimes[i].Name] = &report.Regimes[i]
 	}
 	fused, unfused := byName[gateFusedRegime], byName[gateUnfusedRegime]
-	if fused == nil || unfused == nil {
+	pattern := byName[gatePatternRegime]
+	if fused == nil || unfused == nil || pattern == nil {
 		fmt.Fprintln(os.Stderr, "bench gate: acceptance regimes missing from the run")
 		os.Exit(1)
 	}
@@ -189,6 +208,18 @@ func gateBench(report *benchReport) {
 		fmt.Printf("bench gate: fused %d ns/op ≤ unfused %d ns/op (%.1f%% faster)\n",
 			fused.NsPerOp, unfused.NsPerOp,
 			100*(1-float64(fused.NsPerOp)/float64(unfused.NsPerOp)))
+	}
+	// The pattern tuple is a third the squeezed size, so every phase moves a
+	// third the bytes; the measured margin is well past the 10% bar, which
+	// leaves shared-runner jitter room below it.
+	if float64(pattern.NsPerOp) > 0.90*float64(fused.NsPerOp) {
+		fmt.Fprintf(os.Stderr, "bench gate: PATTERN REGRESSION on %s: pattern %d ns/op > 0.90 × squeezed %d ns/op\n",
+			gatePatternRegime, pattern.NsPerOp, fused.NsPerOp)
+		failed = true
+	} else {
+		fmt.Printf("bench gate: pattern %d ns/op ≤ 0.90 × squeezed %d ns/op (%.1f%% faster)\n",
+			pattern.NsPerOp, fused.NsPerOp,
+			100*(1-float64(pattern.NsPerOp)/float64(fused.NsPerOp)))
 	}
 	for _, r := range report.Regimes {
 		if r.Threads == 1 && r.AllocsPerOp != 0 {
@@ -209,8 +240,35 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 	ws := core.NewWorkspace()
 	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout, DisableFusion: c.unfused, MemoryBudgetBytes: c.budget}
 
+	// The f32 regimes carry value planes out of band; convert once, outside
+	// the measured loop.
+	var af32, bf32 []float32
+	if c.mode == "f32" {
+		af32 = make([]float32, len(acsc.Val))
+		for i, v := range acsc.Val {
+			af32[i] = float32(v)
+		}
+		bf32 = make([]float32, len(b.Val))
+		for i, v := range b.Val {
+			bf32[i] = float32(v)
+		}
+	}
+	run := func() (*core.Stats, error) {
+		switch c.mode {
+		case "pattern":
+			_, st, err := core.MultiplyPattern(acsc, b, opt)
+			return st, err
+		case "f32":
+			_, _, st, err := core.MultiplyNarrow(acsc, af32, b, bf32, opt)
+			return st, err
+		default:
+			_, st, err := core.Multiply(acsc, b, opt)
+			return st, err
+		}
+	}
+
 	// Warm-up grows every pooled buffer; it also yields the shape stats.
-	_, warm, err := core.Multiply(acsc, b, opt)
+	warm, err := run()
 	if err != nil {
 		return benchRegime{}, err
 	}
@@ -226,7 +284,7 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 	for r := 0; r < reps; r++ {
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
-		_, st, err := core.Multiply(acsc, b, opt)
+		st, err := run()
 		runtime.ReadMemStats(&m1)
 		if err != nil {
 			return benchRegime{}, err
@@ -246,6 +304,7 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 		SeedA:       c.seedA,
 		SeedB:       c.seedB,
 		Layout:      layout.String(),
+		Mode:        c.mode,
 		Fused:       !c.unfused,
 		BudgetBytes: c.budget,
 		Threads:     threads,

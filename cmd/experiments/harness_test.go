@@ -105,7 +105,7 @@ func TestPlannerWorkloadsCoverBothRegimes(t *testing.T) {
 
 func TestBenchCaseProducesValidRegime(t *testing.T) {
 	cfg := &config{reps: 1}
-	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0}
+	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0, ""}
 	r, err := runBenchCase(cfg, c)
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +118,19 @@ func TestBenchCaseProducesValidRegime(t *testing.T) {
 	}
 	if r.Threads != 1 {
 		t.Fatalf("threadsCap=1 not honored: %d", r.Threads)
+	}
+	// The typed-mode dispatches land on their dedicated layouts.
+	c.name, c.mode = "er-test-pattern", "pattern"
+	if r, err = runBenchCase(cfg, c); err != nil {
+		t.Fatal(err)
+	} else if r.Layout != "pattern" || r.TupleBytes != 4 || r.Mode != "pattern" {
+		t.Fatalf("pattern regime: layout=%s bytes=%d mode=%s", r.Layout, r.TupleBytes, r.Mode)
+	}
+	c.name, c.mode = "er-test-f32", "f32"
+	if r, err = runBenchCase(cfg, c); err != nil {
+		t.Fatal(err)
+	} else if r.Layout != "narrow" || r.TupleBytes != 8 || r.Mode != "f32" {
+		t.Fatalf("f32 regime: layout=%s bytes=%d mode=%s", r.Layout, r.TupleBytes, r.Mode)
 	}
 }
 
@@ -174,5 +187,18 @@ func TestBenchCasesCarryFusedPairs(t *testing.T) {
 	wu, okWU := byName["rmat-highcf-wide-unfused"]
 	if !okWF || !okWU || wf.layout != core.LayoutWide || wu.layout != core.LayoutWide {
 		t.Fatal("trajectory must carry the wide-layout fused pair too")
+	}
+	// The Boolean-regime gate compares the pattern layout against the
+	// squeezed fused regime, so the two must share identical inputs and
+	// single-threaded pooling.
+	p, okP := byName[gatePatternRegime]
+	if !okP || p.mode != "pattern" {
+		t.Fatal("gate pattern regime missing or not pattern-mode")
+	}
+	if p.threadsCap != 1 || p.unfused || p.budget != 0 {
+		t.Fatalf("%s must be single-threaded, fused, unbudgeted", p.name)
+	}
+	if p.scale != f.scale || p.ef != f.ef || p.seedA != f.seedA || p.seedB != f.seedB {
+		t.Fatal("pattern gate regime must share the squeezed comparator's input")
 	}
 }

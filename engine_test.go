@@ -148,6 +148,31 @@ func TestEngineContextCancellation(t *testing.T) {
 	}
 }
 
+// TestWithSemiringPlanReporting: the public option surfaces the typed
+// fast-path dispatch — Boolean rides the 4-byte pattern layout, while a
+// semiring with no typed kernel reports a reasoned generic fallback.
+func TestWithSemiringPlanReporting(t *testing.T) {
+	a := NewER(256, 4, 1)
+	b := NewER(256, 4, 2)
+	var p SemiringPlan
+	if _, err := MultiplyOver(Boolean(),
+		MatrixOf(a, func(float64) bool { return true }).ToCSC(),
+		MatrixOf(b, func(float64) bool { return true }),
+		WithSemiringPlan(&p)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FastPath || p.Layout != LayoutPattern {
+		t.Fatalf("boolean plan = %+v, want pattern fast path", p)
+	}
+	if _, err := MultiplyOver(MinPlus(), Float64Matrix(a).ToCSC(), Float64Matrix(b),
+		WithSemiringPlan(&p)); err != nil {
+		t.Fatal(err)
+	}
+	if p.FastPath || p.Reason == "" {
+		t.Fatalf("min-plus plan = %+v, want reasoned fallback", p)
+	}
+}
+
 func TestEngineCancellationNoGoroutineLeak(t *testing.T) {
 	eng, err := NewEngine()
 	if err != nil {

@@ -32,6 +32,10 @@ type Graph struct {
 
 	boolOnce sync.Once
 	boolAdj  *pbspgemm.ColMatrix[bool]
+
+	intOnce sync.Once
+	intAdjC *pbspgemm.ColMatrix[int32]
+	intAdjR *pbspgemm.Matrix[int32]
 }
 
 // FromAdjacency builds a Graph from an arbitrary sparse matrix by
@@ -90,50 +94,80 @@ func noMask(opts []pbspgemm.Option) []pbspgemm.Option {
 	return append(out, pbspgemm.WithMask(nil))
 }
 
-// maskedSquare computes A²⟨A⟩ — the 2-path counts restricted to positions
-// that close an edge — via the masked multiply, so the full A² is never
-// formed. The trailing WithMask(g.Adj) outranks any stray caller mask
-// (per-call options take precedence over the positional mask argument).
-func (g *Graph) maskedSquare(opts []pbspgemm.Option) (*pbspgemm.CSR, error) {
-	o := make([]pbspgemm.Option, 0, len(opts)+1)
-	o = append(o, opts...)
-	o = append(o, pbspgemm.WithMask(g.Adj))
-	return pbspgemm.MultiplyMasked(g.Adj, g.Adj, g.Adj, o...)
+// intAdjacency lazily builds the all-ones int32 view of the adjacency that
+// the triangle kernels multiply over the ArithmeticInt32 semiring — the
+// 8-byte narrow tuple layout's fast path — built once per graph like the
+// boolean view.
+func (g *Graph) intAdjacency() (*pbspgemm.ColMatrix[int32], *pbspgemm.Matrix[int32]) {
+	g.intOnce.Do(func() {
+		g.intAdjR = pbspgemm.MatrixOf(g.Adj, func(float64) int32 { return 1 })
+		g.intAdjC = g.intAdjR.ToCSC()
+	})
+	return g.intAdjC, g.intAdjR
+}
+
+// maskedSquareRowSums returns the per-vertex row sums of A²⟨A⟩ — the 2-path
+// counts restricted to positions that close an edge. A² runs over the int32
+// arithmetic semiring, which dispatches onto the 8-byte narrow tuple layout
+// whenever the packed keys fit 32 bits; the mask is then applied by a
+// per-row sorted-merge intersect of A² against A, so only the masked counts
+// are ever summed. Counts are exact (integer semiring, no rounding).
+func (g *Graph) maskedSquareRowSums(opts []pbspgemm.Option) ([]int64, error) {
+	ac, ar := g.intAdjacency()
+	sq, err := pbspgemm.MultiplyOver(pbspgemm.ArithmeticInt32(), ac, ar, noMask(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]int64, g.Adj.NumRows)
+	for v := int32(0); v < g.Adj.NumRows; v++ {
+		p, pEnd := g.Adj.RowPtr[v], g.Adj.RowPtr[v+1]
+		q, qEnd := sq.RowPtr[v], sq.RowPtr[v+1]
+		var sum int64
+		for p < pEnd && q < qEnd {
+			switch ca, cs := g.Adj.ColIdx[p], sq.ColIdx[q]; {
+			case ca == cs:
+				sum += int64(sq.Val[q])
+				p++
+				q++
+			case ca < cs:
+				p++
+			default:
+				q++
+			}
+		}
+		sums[v] = sum
+	}
+	return sums, nil
 }
 
 // Triangles counts the triangles of g as sum(A²⟨A⟩)/6 (the paper's
 // triangle-counting citation [2] is exactly this masked-square
-// formulation). The mask is applied inside the multiplication: only 2-path
-// counts that land on an edge are ever materialized.
+// formulation). A² multiplies over the exact int32 semiring on the narrow
+// tuple fast path; the mask lands as a sorted intersect per row.
 func (g *Graph) Triangles(opts ...pbspgemm.Option) (int64, error) {
-	c, err := g.maskedSquare(opts)
+	sums, err := g.maskedSquareRowSums(opts)
 	if err != nil {
 		return 0, err
 	}
-	var mass float64
-	for _, v := range c.Val {
-		mass += v
+	var mass int64
+	for _, s := range sums {
+		mass += s
 	}
-	return int64(mass+0.5) / 6, nil
+	return mass / 6, nil
 }
 
 // PerVertexTriangles returns the number of triangles through each vertex:
 // t(v) = row-sum of A²⟨A⟩ at v, halved (each triangle at v is counted once
 // per neighbour direction).
 func (g *Graph) PerVertexTriangles(opts ...pbspgemm.Option) ([]int64, error) {
-	c, err := g.maskedSquare(opts)
+	sums, err := g.maskedSquareRowSums(opts)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, c.NumRows)
-	for i := int32(0); i < c.NumRows; i++ {
-		var sum float64
-		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
-			sum += c.Val[p]
-		}
-		out[i] = int64(sum+0.5) / 2
+	for v := range sums {
+		sums[v] /= 2
 	}
-	return out, nil
+	return sums, nil
 }
 
 // ClusteringCoefficients returns the local clustering coefficient of every

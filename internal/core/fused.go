@@ -69,17 +69,14 @@ func (e *engine) runSortPhase(fused bool, binOut, rowCounts []int64) {
 			if fused {
 				e.fuseWholeBin(bin, binOut, rowCounts)
 			} else {
-				e.sortSeg(sortSeg{bs[bin], bs[bin+1], -1})
+				e.lay.sortSeg(e, sortSeg{bs[bin], bs[bin+1], -1})
 			}
 		}
 		return
 	}
 	cutoff := e.sortSplitCutoff()
 	pending := matrix.GrowInt32(&e.ws.binPending, e.nbins)
-	var partBounds []int64
-	if e.squeezed {
-		partBounds = matrix.GrowInt64(&e.ws.partBounds, threads*(radix.MaxPartitionBuckets+1))
-	}
+	partBounds := matrix.GrowInt64(&e.ws.partBounds, threads*(radix.MaxPartitionBuckets+1))
 	seeds := e.ws.sortTasks[:0]
 	for bin := 0; bin < e.nbins; bin++ {
 		lo, hi := bs[bin], bs[bin+1]
@@ -100,7 +97,7 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 
 	bin := int(t.bin)
 	if t.bucket {
-		e.sortSeg(sortSeg{t.start, t.end, t.arg})
+		e.lay.sortSeg(e, sortSeg{t.start, t.end, t.arg})
 		if fused && atomic.AddInt32(&pending[bin], -1) == 0 {
 			// Last bucket of a split bin: the bin is fully sorted — fold it.
 			e.compressOneBin(bin, binOut, rowCounts)
@@ -111,55 +108,35 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 		if fused {
 			e.fuseWholeBin(bin, binOut, rowCounts)
 		} else {
-			e.sortSeg(sortSeg{t.start, t.end, -1})
+			e.lay.sortSeg(e, sortSeg{t.start, t.end, -1})
 		}
 		return
 	}
 
 	// Oversized skewed bin: run the sort's own first partition pass here and
 	// spawn the buckets; idle workers steal them, so neither the partition
-	// nor the bucket sorts serialize the phase.
+	// nor the bucket sorts serialize the phase. The layout provides the pass
+	// (PartitionTop32 / PartitionTop32Pattern / PartitionPairsTopByte); zero
+	// buckets means the pass alone finished the range.
 	lo, hi := t.start, t.end
+	stride := radix.MaxPartitionBuckets + 1
+	bounds := partBounds[worker*stride : (worker+1)*stride]
+	nb, arg := e.lay.partitionTop(e, lo, hi, bounds)
 	nspawn := 0
-	if e.squeezed {
-		stride := radix.MaxPartitionBuckets + 1
-		bounds := partBounds[worker*stride : (worker+1)*stride]
-		nb, rest := radix.PartitionTop32(e.ws.tupleKeys[lo:hi], e.ws.tupleVals[lo:hi], bounds)
+	for b := 0; b < nb; b++ {
+		if bounds[b+1]-bounds[b] > 1 {
+			nspawn++
+		}
+	}
+	if nspawn > 0 {
+		if fused {
+			// Published to bucket tasks through the spawn below.
+			atomic.StoreInt32(&pending[bin], int32(nspawn))
+		}
 		for b := 0; b < nb; b++ {
-			if bounds[b+1]-bounds[b] > 1 {
-				nspawn++
-			}
-		}
-		if nspawn > 0 {
-			if fused {
-				// Published to bucket tasks through the spawn below.
-				atomic.StoreInt32(&pending[bin], int32(nspawn))
-			}
-			for b := 0; b < nb; b++ {
-				blo, bhi := lo+bounds[b], lo+bounds[b+1]
-				if bhi-blo > 1 {
-					spawn(sortTask{bin: t.bin, bucket: true, start: blo, end: bhi, arg: rest})
-				}
-			}
-		}
-	} else {
-		bounds, next := radix.PartitionPairsTopByte(e.ws.tuples[lo:hi])
-		if next >= 0 {
-			for b := 0; b < 256; b++ {
-				if bounds[b+1]-bounds[b] > 1 {
-					nspawn++
-				}
-			}
-		}
-		if nspawn > 0 {
-			if fused {
-				atomic.StoreInt32(&pending[bin], int32(nspawn))
-			}
-			for b := 0; b < 256; b++ {
-				blo, bhi := lo+int64(bounds[b]), lo+int64(bounds[b+1])
-				if bhi-blo > 1 {
-					spawn(sortTask{bin: t.bin, bucket: true, start: blo, end: bhi, arg: next})
-				}
+			blo, bhi := lo+bounds[b], lo+bounds[b+1]
+			if bhi-blo > 1 {
+				spawn(sortTask{bin: t.bin, bucket: true, start: blo, end: bhi, arg: arg})
 			}
 		}
 	}
@@ -176,27 +153,9 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 func (e *engine) fuseWholeBin(bin int, binOut, rowCounts []int64) {
 	bs := e.ws.binStart
 	lo, hi := bs[bin], bs[bin+1]
-	var n int64
-	if e.squeezed {
-		n = radix.SortKeys32Fused(e.ws.tupleKeys[lo:hi], e.ws.tupleVals[lo:hi])
-	} else {
-		n = radix.SortPairsFused(e.ws.tuples[lo:hi])
-	}
+	n := e.lay.fuseBin(e, lo, hi)
 	binOut[bin] = n
-	if rowCounts == nil {
-		return
-	}
-	firstRow := int32(int64(bin) << e.rowShift)
-	if e.squeezed {
-		for _, k := range e.ws.tupleKeys[lo : lo+n] {
-			rowCounts[firstRow+int32(k>>e.colBits)+1]++
-		}
-	} else {
-		ps := e.ws.tuples[lo : lo+n]
-		for i := range ps {
-			rowCounts[firstRow+int32(ps[i].Key>>e.colBits)+1]++
-		}
-	}
+	e.tallyRows(lo, n, rowCounts, bin)
 }
 
 // countMergeBins is the counting half of the fused k-way merge: per bin, a
@@ -229,7 +188,7 @@ func (e *engine) countMergeBin(worker, bin int) {
 		// Runs are individually duplicate-free: the count is the run length.
 		r := group[0]
 		n = ws.runStart[r+1] - ws.runStart[r]
-		if e.squeezed {
+		if e.key32 {
 			for _, key := range ws.runKeys[ws.runStart[r]:ws.runStart[r+1]] {
 				rowCounts[firstRow+int32(key>>e.colBits)+1]++
 			}
@@ -243,7 +202,7 @@ func (e *engine) countMergeBin(worker, bin int) {
 		for i, r := range group {
 			heads[i] = ws.runStart[r]
 		}
-		if e.squeezed {
+		if e.key32 {
 			var last uint32
 			for {
 				best := -1
@@ -299,20 +258,22 @@ func (e *engine) countMergeBin(worker, bin int) {
 // emitMergeBins is the emitting half of the fused k-way merge: each bin
 // re-walks its runs and writes masked column ids and folded values directly
 // into its pre-computed slice of the final CSR — same walk, same fold order
-// as the unfused mergeBin, so the values are bit-identical.
+// as the unfused mergeBin, so the values are bit-identical. The per-layout
+// walks live in layout.go.
 func (e *engine) emitMergeBins(c *matrix.CSR, binOutStart []int64) {
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
-			e.emitMergeBin(c, binOutStart, 0, bin)
+			e.lay.emitMergeBin(e, c, binOutStart, 0, bin)
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
-			e.emitMergeBin(c, binOutStart, worker, bin)
+			e.lay.emitMergeBin(e, c, binOutStart, worker, bin)
 		})
 	}
 }
 
-func (e *engine) emitMergeBin(c *matrix.CSR, binOutStart []int64, worker, bin int) {
+// emitMergeBinWide is the wide layout's emitting walk (wideOps.emitMergeBin).
+func (e *engine) emitMergeBinWide(c *matrix.CSR, binOutStart []int64, worker, bin int) {
 	ws := e.ws
 	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
 	k := len(group)
@@ -324,17 +285,9 @@ func (e *engine) emitMergeBin(c *matrix.CSR, binOutStart []int64, worker, bin in
 		r := group[0]
 		s := ws.runStart[r]
 		n := ws.runStart[r+1] - s
-		if e.squeezed {
-			cm := uint32(colMask)
-			for j := int64(0); j < n; j++ {
-				c.ColIdx[dst+j] = int32(ws.runKeys[s+j] & cm)
-				c.Val[dst+j] = ws.runVals[s+j]
-			}
-		} else {
-			for j := int64(0); j < n; j++ {
-				c.ColIdx[dst+j] = int32(ws.runs[s+j].Key & colMask)
-				c.Val[dst+j] = ws.runs[s+j].Val
-			}
+		for j := int64(0); j < n; j++ {
+			c.ColIdx[dst+j] = int32(ws.runs[s+j].Key & colMask)
+			c.Val[dst+j] = ws.runs[s+j].Val
 		}
 	default:
 		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
@@ -342,62 +295,31 @@ func (e *engine) emitMergeBin(c *matrix.CSR, binOutStart []int64, worker, bin in
 			heads[i] = ws.runStart[r]
 		}
 		var emitted int64
-		if e.squeezed {
-			cm := uint32(colMask)
-			var last uint32
-			for {
-				best := -1
-				var bestKey uint32
-				for i, r := range group {
-					h := heads[i]
-					if h == ws.runStart[r+1] {
-						continue
-					}
-					if key := ws.runKeys[h]; best < 0 || key < bestKey {
-						best, bestKey = i, key
-					}
+		var last uint64
+		for {
+			best := -1
+			var bestKey uint64
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue
 				}
-				if best < 0 {
-					break
-				}
-				v := ws.runVals[heads[best]]
-				heads[best]++
-				if emitted > 0 && bestKey == last {
-					c.Val[dst+emitted-1] += v
-				} else {
-					c.ColIdx[dst+emitted] = int32(bestKey & cm)
-					c.Val[dst+emitted] = v
-					emitted++
-					last = bestKey
+				if key := ws.runs[h].Key; best < 0 || key < bestKey {
+					best, bestKey = i, key
 				}
 			}
-		} else {
-			var last uint64
-			for {
-				best := -1
-				var bestKey uint64
-				for i, r := range group {
-					h := heads[i]
-					if h == ws.runStart[r+1] {
-						continue
-					}
-					if key := ws.runs[h].Key; best < 0 || key < bestKey {
-						best, bestKey = i, key
-					}
-				}
-				if best < 0 {
-					break
-				}
-				v := ws.runs[heads[best]].Val
-				heads[best]++
-				if emitted > 0 && bestKey == last {
-					c.Val[dst+emitted-1] += v
-				} else {
-					c.ColIdx[dst+emitted] = int32(bestKey & colMask)
-					c.Val[dst+emitted] = v
-					emitted++
-					last = bestKey
-				}
+			if best < 0 {
+				break
+			}
+			v := ws.runs[heads[best]].Val
+			heads[best]++
+			if emitted > 0 && bestKey == last {
+				c.Val[dst+emitted-1] += v
+			} else {
+				c.ColIdx[dst+emitted] = int32(bestKey & colMask)
+				c.Val[dst+emitted] = v
+				emitted++
+				last = bestKey
 			}
 		}
 	}

@@ -1,0 +1,765 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/radix"
+)
+
+// This file is the value-width-generic layout layer. The paper's traffic
+// argument — SpGEMM is bandwidth-bound, so bytes-per-tuple is the lever —
+// does not stop at the 12-byte squeezed layout: a Boolean/structural product
+// never reads its values (4-byte key-only tuples), and float32/int32
+// workloads need only half the value plane (8-byte key32+val32 tuples). Each
+// tuple layout is a layoutOps implementation; the engine holds exactly one
+// per run (e.lay) and every phase dispatches element accesses through it
+// while all control flow — bin geometry, panel tiling, the work-stealing
+// sort scheduler, the budgeted merge plan — stays layout-independent, which
+// is what makes the four layouts bit-identical in structure.
+//
+// The three implementations:
+//
+//   - wideOps: 16-byte []radix.Pair (u64 key + f64 value).
+//   - kv[V]: split key32 + value-plane layouts — kv[float64] is the 12-byte
+//     squeezed layout, kv[float32]/kv[int32] the 8-byte narrow one. Keys
+//     live in the Workspace (shared by every key32 layout); only the value
+//     planes are V-typed.
+//   - patternOps: bare []uint32 keys, 4 bytes per tuple; the fold is
+//     deduplication and the result CSR carries no Val array.
+//
+// wideOps and patternOps are zero-size: storing them in the e.lay interface
+// allocates nothing (the runtime's zerobase). kv values are reached by
+// pointer (&ws.kvF64, or the pooled *kv[V] in ws.kvNarrow), so rebinding
+// e.lay per call is allocation-free too.
+
+// Value is the set of element types a value-carrying tuple layout can move:
+// the float64 of the 12-byte squeezed layout plus the 4-byte types of the
+// 8-byte narrow layout. It matches radix.Numeric, the fused fold's
+// constraint.
+type Value interface{ ~float32 | ~float64 | ~int32 }
+
+// Value32 is the 4-byte subset of Value — the value plane of the 8-byte
+// narrow layout (MultiplyNarrow).
+type Value32 interface{ ~float32 | ~int32 }
+
+// ErrKeyWidth reports that a layout requiring 32-bit packed keys was
+// requested for a bin geometry whose localRowBits + colBits exceed 32.
+var ErrKeyWidth = errors.New("packed key exceeds 32 bits")
+
+// layoutOps is the per-layout half of the pipeline: every method is one
+// phase's element accesses over one layout's storage, called with the engine
+// whose geometry (bins, shifts, masks) drives it. Implementations must keep
+// the tuple ORDER identical across layouts — same digit plans, same fold
+// order — so the structural output is bit-identical layout to layout.
+type layoutOps interface {
+	// growTuples sizes the expanded-tuple buffer for n tuples.
+	growTuples(e *engine, n int64)
+	// growLocals sizes the flattened threads×nbins×capT local bins.
+	growLocals(e *engine, n int64)
+	// resetRuns truncates the layout's value run arena (the shared key/pair
+	// arenas are reset by the engine).
+	resetRuns(e *engine)
+	// expandRange is one worker's outer-product expansion with propagation
+	// blocking over panel columns [lo+colBounds[t], lo+colBounds[t+1]).
+	expandRange(e *engine, t, lo int, cursors []int64)
+	// sortSeg sorts tuples [s.start, s.end); s.arg < 0 means a whole bin,
+	// otherwise the remaining key bits / byte index to recurse at.
+	sortSeg(e *engine, s sortSeg)
+	// partitionTop runs the sort's first splitting pass over [lo, hi),
+	// filling bounds (len ≥ radix.MaxPartitionBuckets+1) and returning the
+	// bucket count and the arg buckets continue sorting at. nbuckets == 0
+	// means the range needs no further sorting.
+	partitionTop(e *engine, lo, hi int64, bounds []int64) (nbuckets, arg int)
+	// fuseBin runs the fused sort+fold over [lo, hi), leaving the folded
+	// prefix in place and returning its length.
+	fuseBin(e *engine, lo, hi int64) int64
+	// compressBin folds duplicates of the sorted range [lo, hi) in place,
+	// returning the folded length.
+	compressBin(e *engine, lo, hi int64) int64
+	// appendRun copies the folded bin segment at [src, src+n) into the run
+	// arena.
+	appendRun(e *engine, src, n int64)
+	// growMerged sizes the merged-run buffer for n tuples.
+	growMerged(e *engine, n int64)
+	// mergeBin k-way merges one bin's runs into the merged buffer, folding
+	// duplicates and tallying rowCounts.
+	mergeBin(e *engine, worker, bin int)
+	// emitMergeBin is the fused merge's emitting walk: fold one bin's runs
+	// directly into the result's final slot.
+	emitMergeBin(e *engine, c *matrix.CSR, binOutStart []int64, worker, bin int)
+	// unpackBin writes one compressed bin into the result CSR; merged
+	// selects the merged-run buffer over the tuple buffer as the source.
+	unpackBin(e *engine, c *matrix.CSR, merged bool, srcOff, dstOff, n int64)
+	// growOut installs the result's value storage (c.Val for the float64
+	// layouts, the layout's out plane for narrow, nothing for pattern).
+	growOut(e *engine, c *matrix.CSR, nnzc int64)
+}
+
+// growVals is the grow-only sizing helper of the generic value planes, the V
+// counterpart of matrix.GrowFloat64.
+func growVals[V Value](buf *[]V, n int64) []V {
+	if int64(cap(*buf)) < n {
+		*buf = make([]V, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// kvOf returns the workspace's pooled narrow layout state for value type V,
+// creating it on first use. The slot holds one V at a time: alternating
+// value types across calls on one workspace reallocates, a stable one reuses.
+func kvOf[V Value32](ws *Workspace) *kv[V] {
+	if l, ok := ws.kvNarrow.(*kv[V]); ok {
+		return l
+	}
+	l := &kv[V]{}
+	ws.kvNarrow = l
+	return l
+}
+
+// bindLayout installs e.lay for the layout planBins chose. The narrow entry
+// pre-binds its typed kv[V] (carrying the caller's value planes); everything
+// else resolves here.
+func (e *engine) bindLayout() {
+	switch e.layout {
+	case LayoutSqueezed:
+		l := &e.ws.kvF64
+		l.aVal, l.bVal = e.a.Val, e.b.Val
+		e.lay = l
+	case LayoutPattern:
+		e.lay = patternOps{}
+	case LayoutNarrow:
+		// MultiplyNarrow bound e.lay = kvOf[V](ws) before run().
+	default:
+		e.lay = wideOps{}
+	}
+}
+
+// MultiplyPattern computes the structural (pattern-only) product of A and B:
+// the returned CSR has the exact support of A·B and a nil Val array. Tuples
+// are bare 4-byte keys — a quarter of the wide layout's traffic in the
+// expand and sort phases — and the fused fold degenerates to deduplication.
+// Neither A's nor B's Val arrays are read (they may be nil). The pattern
+// layout requires the packed key to fit 32 bits; a geometry with
+// localRowBits + colBits > 32 fails with ErrKeyWidth (use Key32Fits to
+// pre-check). Options.ForceLayout is ignored: the entry point is the layout.
+func MultiplyPattern(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
+	opt = opt.withDefaults()
+	e, err := newEngine(a, b, opt, LayoutPattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := e.run()
+	return e.finish(c, err)
+}
+
+// MultiplyNarrow computes C = A*B over 4-byte values (float32 or int32) with
+// the 8-byte key32+val32 tuple layout. The inputs are the structural CSC/CSR
+// (whose float64 Val arrays are never read and may be nil) plus parallel
+// value planes indexed like a.RowIdx and b.ColIdx; the result is the
+// structural CSR (nil Val) plus its value plane, aliasing workspace memory
+// when opt.Workspace is set. Like MultiplyPattern, the key must fit 32 bits
+// (ErrKeyWidth otherwise) and ForceLayout is ignored.
+func MultiplyNarrow[V Value32](a *matrix.CSC, aVal []V, b *matrix.CSR, bVal []V, opt Options) (*matrix.CSR, []V, *Stats, error) {
+	opt = opt.withDefaults()
+	if int64(len(aVal)) < int64(len(a.RowIdx)) || int64(len(bVal)) < int64(len(b.ColIdx)) {
+		return nil, nil, nil, fmt.Errorf("core: narrow value planes shorter than their index arrays (%d < %d or %d < %d): %w",
+			len(aVal), len(a.RowIdx), len(bVal), len(b.ColIdx), matrix.ErrShape)
+	}
+	e, err := newEngine(a, b, opt, LayoutNarrow)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l := kvOf[V](e.ws)
+	l.aVal, l.bVal = aVal, bVal
+	e.lay = l
+	c, err := e.run()
+	vals := l.out
+	l.aVal, l.bVal, l.out = nil, nil, nil
+	c, st, err := e.finish(c, err)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, vals, st, nil
+}
+
+// ---------------------------------------------------------------------------
+// wideOps: the 16-byte []radix.Pair layout.
+
+type wideOps struct{}
+
+func (wideOps) growTuples(e *engine, n int64) { radix.GrowPairs(&e.ws.tuples, n) }
+func (wideOps) growLocals(e *engine, n int64) { radix.GrowPairs(&e.ws.locals, n) }
+func (wideOps) resetRuns(e *engine)           {}
+
+func (wideOps) expandRange(e *engine, t, lo int, cursors []int64) {
+	e.expandRangeWide(t, lo, cursors)
+}
+
+func (wideOps) sortSeg(e *engine, s sortSeg) {
+	ps := e.ws.tuples[s.start:s.end]
+	if s.arg < 0 {
+		radix.SortPairsInPlace(ps)
+	} else {
+		radix.SortPairsAtByte(ps, s.arg)
+	}
+}
+
+func (wideOps) partitionTop(e *engine, lo, hi int64, bounds []int64) (int, int) {
+	b, next := radix.PartitionPairsTopByte(e.ws.tuples[lo:hi])
+	if next < 0 {
+		return 0, 0
+	}
+	for i := 0; i <= 256; i++ {
+		bounds[i] = int64(b[i])
+	}
+	return 256, next
+}
+
+func (wideOps) fuseBin(e *engine, lo, hi int64) int64 {
+	return radix.SortPairsFused(e.ws.tuples[lo:hi])
+}
+
+func (wideOps) compressBin(e *engine, lo, hi int64) int64 {
+	return compressBinWide(e.ws.tuples[lo:hi])
+}
+
+func (wideOps) appendRun(e *engine, src, n int64) {
+	e.ws.runs = append(e.ws.runs, e.ws.tuples[src:src+n]...)
+}
+
+func (wideOps) growMerged(e *engine, n int64) { radix.GrowPairs(&e.ws.merged, n) }
+
+func (wideOps) mergeBin(e *engine, worker, bin int) { e.mergeBinWide(worker, bin) }
+
+func (wideOps) emitMergeBin(e *engine, c *matrix.CSR, binOutStart []int64, worker, bin int) {
+	e.emitMergeBinWide(c, binOutStart, worker, bin)
+}
+
+func (wideOps) unpackBin(e *engine, c *matrix.CSR, merged bool, srcOff, dstOff, n int64) {
+	src := e.ws.tuples
+	if merged {
+		src = e.ws.merged
+	}
+	colMask := uint64(1)<<e.colBits - 1
+	for j := int64(0); j < n; j++ {
+		c.ColIdx[dstOff+j] = int32(src[srcOff+j].Key & colMask)
+		c.Val[dstOff+j] = src[srcOff+j].Val
+	}
+}
+
+func (wideOps) growOut(e *engine, c *matrix.CSR, nnzc int64) {
+	if e.shared {
+		c.Val = matrix.GrowFloat64(&e.ws.outVal, nnzc)
+	} else {
+		c.Val = make([]float64, nnzc)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// kv[V]: the split key32 + V value-plane layouts (squeezed f64, narrow f32/i32).
+
+// kv holds one value type's planes of the split layout. Keys are shared
+// across all key32 layouts and live in the Workspace; these are only the
+// V-typed halves, pooled grow-only exactly like their float64 ancestors.
+type kv[V Value] struct {
+	tupleVals  []V
+	localVals  []V
+	runVals    []V
+	mergedVals []V
+	outVal     []V
+
+	// Per-call bindings: the input value planes (parallel to a.RowIdx /
+	// b.ColIdx) and the result's value destination. Cleared after each run so
+	// a pooled workspace doesn't pin caller memory.
+	aVal, bVal []V
+	out        []V
+}
+
+// tupleCapBytes reports the value plane's pooled capacity; Workspace
+// .TupleCapBytes adds it to the shared key arena's.
+func (l *kv[V]) tupleCapBytes() int64 {
+	var v V
+	return int64(cap(l.tupleVals)) * int64(unsafe.Sizeof(v))
+}
+
+func (l *kv[V]) growTuples(e *engine, n int64) {
+	radix.GrowUint32(&e.ws.tupleKeys, n)
+	growVals(&l.tupleVals, n)
+}
+
+func (l *kv[V]) growLocals(e *engine, n int64) {
+	radix.GrowUint32(&e.ws.localKeys, n)
+	growVals(&l.localVals, n)
+}
+
+func (l *kv[V]) resetRuns(e *engine) { l.runVals = l.runVals[:0] }
+
+// expandRange mirrors expandRangeWide: same column walk, same propagation
+// blocking, writing the 4-byte key and the V value into split local bins and
+// flushing each with two bulk copies into the worker's exclusive range.
+func (l *kv[V]) expandRange(e *engine, t, lo int, cursors []int64) {
+	a, b := e.a, e.b
+	nbins := int32(e.nbins)
+	capT := e.localCap
+	shift, mask, colBits := e.rowShift, e.rowMask, e.colBits
+	stride := int64(e.nbins) * int64(capT)
+	bufK := e.ws.localKeys[int64(t)*stride : int64(t+1)*stride]
+	bufV := l.localVals[int64(t)*stride : int64(t+1)*stride]
+	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
+	keys, vals := e.ws.tupleKeys, l.tupleVals
+	aVal, bVal := l.aVal, l.bVal
+
+	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
+		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+		if bLo == bHi {
+			continue
+		}
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			r := uint32(a.RowIdx[p])
+			av := aVal[p]
+			bin := int32(r >> shift)
+			localRow := (r & mask) << colBits
+			base := int64(bin) * int64(capT)
+			ln := lens[bin]
+			for q := bLo; q < bHi; q++ {
+				if ln == capT {
+					lens[bin] = ln
+					flushLocalKV(bin, bufK, bufV, lens, keys, vals, cursors, capT)
+					ln = 0
+				}
+				bufK[base+int64(ln)] = localRow | uint32(b.ColIdx[q])
+				bufV[base+int64(ln)] = av * bVal[q]
+				ln++
+			}
+			lens[bin] = ln
+		}
+	}
+	for bin := int32(0); bin < nbins; bin++ {
+		flushLocalKV(bin, bufK, bufV, lens, keys, vals, cursors, capT)
+	}
+}
+
+// flushLocalKV bulk-copies one split local bin into the worker's pre-reserved
+// range of the global bin and advances its private cursor.
+func flushLocalKV[V Value](bin int32, bufK []uint32, bufV []V, lens []int32,
+	keys []uint32, vals []V, cursors []int64, capT int32) {
+
+	n := lens[bin]
+	if n == 0 {
+		return
+	}
+	off := cursors[bin]
+	cursors[bin] = off + int64(n)
+	base := int64(bin) * int64(capT)
+	copy(keys[off:off+int64(n)], bufK[base:base+int64(n)])
+	copy(vals[off:off+int64(n)], bufV[base:base+int64(n)])
+	lens[bin] = 0
+}
+
+func (l *kv[V]) sortSeg(e *engine, s sortSeg) {
+	keys := e.ws.tupleKeys[s.start:s.end]
+	vals := l.tupleVals[s.start:s.end]
+	if s.arg < 0 {
+		radix.SortKeys32(keys, vals)
+	} else {
+		radix.SortKeys32Bits(keys, vals, s.arg)
+	}
+}
+
+func (l *kv[V]) partitionTop(e *engine, lo, hi int64, bounds []int64) (int, int) {
+	return radix.PartitionTop32(e.ws.tupleKeys[lo:hi], l.tupleVals[lo:hi], bounds)
+}
+
+func (l *kv[V]) fuseBin(e *engine, lo, hi int64) int64 {
+	return radix.SortKeys32Fused(e.ws.tupleKeys[lo:hi], l.tupleVals[lo:hi])
+}
+
+// compressBin is the paper's two-pointer in-place merge over the split
+// layout: p1 walks the sorted tuples, p2 tracks the write position; equal
+// keys fold their values into the tuple at p2.
+func (l *kv[V]) compressBin(e *engine, lo, hi int64) int64 {
+	keys := e.ws.tupleKeys[lo:hi]
+	vals := l.tupleVals[lo:hi]
+	if len(keys) == 0 {
+		return 0
+	}
+	p2 := 0
+	for p1 := 1; p1 < len(keys); p1++ {
+		if keys[p1] == keys[p2] {
+			vals[p2] += vals[p1]
+			continue
+		}
+		p2++
+		keys[p2] = keys[p1]
+		vals[p2] = vals[p1]
+	}
+	return int64(p2 + 1)
+}
+
+func (l *kv[V]) appendRun(e *engine, src, n int64) {
+	e.ws.runKeys = append(e.ws.runKeys, e.ws.tupleKeys[src:src+n]...)
+	l.runVals = append(l.runVals, l.tupleVals[src:src+n]...)
+}
+
+func (l *kv[V]) growMerged(e *engine, n int64) {
+	radix.GrowUint32(&e.ws.mergedKeys, n)
+	growVals(&l.mergedVals, n)
+}
+
+// mergeBin is mergeBinWide over the split run arena; see mergeBinWide for
+// the merge invariants (runs individually duplicate-free, compare against
+// the last written tuple).
+func (l *kv[V]) mergeBin(e *engine, worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dstBase := ws.mergedStart[bin]
+	dst := dstBase
+
+	switch k {
+	case 0:
+		ws.binOut[bin] = 0
+		return
+	case 1:
+		r := group[0]
+		n := ws.runStart[r+1] - ws.runStart[r]
+		copy(ws.mergedKeys[dst:dst+n], ws.runKeys[ws.runStart[r]:ws.runStart[r+1]])
+		copy(l.mergedVals[dst:dst+n], l.runVals[ws.runStart[r]:ws.runStart[r+1]])
+		dst += n
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		for {
+			best := -1
+			var bestKey uint32
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue // run exhausted
+				}
+				if key := ws.runKeys[h]; best < 0 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			h := heads[best]
+			heads[best]++
+			if dst > dstBase && ws.mergedKeys[dst-1] == ws.runKeys[h] {
+				l.mergedVals[dst-1] += l.runVals[h]
+			} else {
+				ws.mergedKeys[dst] = ws.runKeys[h]
+				l.mergedVals[dst] = l.runVals[h]
+				dst++
+			}
+		}
+	}
+	ws.binOut[bin] = dst - dstBase
+	firstRow := int32(int64(bin) << e.rowShift)
+	for i := dstBase; i < dst; i++ {
+		row := firstRow + int32(ws.mergedKeys[i]>>e.colBits)
+		ws.rowCounts[row+1]++
+	}
+}
+
+func (l *kv[V]) emitMergeBin(e *engine, c *matrix.CSR, binOutStart []int64, worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dst := binOutStart[bin]
+	cm := uint32(uint64(1)<<e.colBits - 1)
+	out := l.out
+	switch k {
+	case 0:
+	case 1:
+		r := group[0]
+		s := ws.runStart[r]
+		n := ws.runStart[r+1] - s
+		for j := int64(0); j < n; j++ {
+			c.ColIdx[dst+j] = int32(ws.runKeys[s+j] & cm)
+			out[dst+j] = l.runVals[s+j]
+		}
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		var emitted int64
+		var last uint32
+		for {
+			best := -1
+			var bestKey uint32
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue
+				}
+				if key := ws.runKeys[h]; best < 0 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			v := l.runVals[heads[best]]
+			heads[best]++
+			if emitted > 0 && bestKey == last {
+				out[dst+emitted-1] += v
+			} else {
+				c.ColIdx[dst+emitted] = int32(bestKey & cm)
+				out[dst+emitted] = v
+				emitted++
+				last = bestKey
+			}
+		}
+	}
+}
+
+func (l *kv[V]) unpackBin(e *engine, c *matrix.CSR, merged bool, srcOff, dstOff, n int64) {
+	keys, vals := e.ws.tupleKeys, l.tupleVals
+	if merged {
+		keys, vals = e.ws.mergedKeys, l.mergedVals
+	}
+	cm := uint32(uint64(1)<<e.colBits - 1)
+	out := l.out
+	for j := int64(0); j < n; j++ {
+		c.ColIdx[dstOff+j] = int32(keys[srcOff+j] & cm)
+		out[dstOff+j] = vals[srcOff+j]
+	}
+}
+
+func (l *kv[V]) growOut(e *engine, c *matrix.CSR, nnzc int64) {
+	if e.shared {
+		l.out = growVals(&l.outVal, nnzc)
+	} else {
+		l.out = make([]V, nnzc)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// patternOps: the 4-byte key-only layout.
+
+type patternOps struct{}
+
+func (patternOps) growTuples(e *engine, n int64) { radix.GrowUint32(&e.ws.tupleKeys, n) }
+func (patternOps) growLocals(e *engine, n int64) { radix.GrowUint32(&e.ws.localKeys, n) }
+func (patternOps) resetRuns(e *engine)           {}
+
+// expandRange is the key-only expansion: same walk, no value multiply — the
+// tuple IS its packed key, and a flush moves one plane.
+func (patternOps) expandRange(e *engine, t, lo int, cursors []int64) {
+	a, b := e.a, e.b
+	nbins := int32(e.nbins)
+	capT := e.localCap
+	shift, mask, colBits := e.rowShift, e.rowMask, e.colBits
+	stride := int64(e.nbins) * int64(capT)
+	bufK := e.ws.localKeys[int64(t)*stride : int64(t+1)*stride]
+	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
+	keys := e.ws.tupleKeys
+
+	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
+		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
+		if bLo == bHi {
+			continue
+		}
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			r := uint32(a.RowIdx[p])
+			bin := int32(r >> shift)
+			localRow := (r & mask) << colBits
+			base := int64(bin) * int64(capT)
+			ln := lens[bin]
+			for q := bLo; q < bHi; q++ {
+				if ln == capT {
+					lens[bin] = ln
+					flushLocalPattern(bin, bufK, lens, keys, cursors, capT)
+					ln = 0
+				}
+				bufK[base+int64(ln)] = localRow | uint32(b.ColIdx[q])
+				ln++
+			}
+			lens[bin] = ln
+		}
+	}
+	for bin := int32(0); bin < nbins; bin++ {
+		flushLocalPattern(bin, bufK, lens, keys, cursors, capT)
+	}
+}
+
+func flushLocalPattern(bin int32, bufK []uint32, lens []int32,
+	keys []uint32, cursors []int64, capT int32) {
+
+	n := lens[bin]
+	if n == 0 {
+		return
+	}
+	off := cursors[bin]
+	cursors[bin] = off + int64(n)
+	base := int64(bin) * int64(capT)
+	copy(keys[off:off+int64(n)], bufK[base:base+int64(n)])
+	lens[bin] = 0
+}
+
+func (patternOps) sortSeg(e *engine, s sortSeg) {
+	keys := e.ws.tupleKeys[s.start:s.end]
+	if s.arg < 0 {
+		radix.SortKeys32Pattern(keys)
+	} else {
+		radix.SortKeys32BitsPattern(keys, s.arg)
+	}
+}
+
+func (patternOps) partitionTop(e *engine, lo, hi int64, bounds []int64) (int, int) {
+	return radix.PartitionTop32Pattern(e.ws.tupleKeys[lo:hi], bounds)
+}
+
+func (patternOps) fuseBin(e *engine, lo, hi int64) int64 {
+	return radix.SortKeys32FusedPattern(e.ws.tupleKeys[lo:hi])
+}
+
+// compressBin's fold over the pattern layout is deduplication: equal keys
+// keep one tuple, no value to sum.
+func (patternOps) compressBin(e *engine, lo, hi int64) int64 {
+	keys := e.ws.tupleKeys[lo:hi]
+	if len(keys) == 0 {
+		return 0
+	}
+	p2 := 0
+	for p1 := 1; p1 < len(keys); p1++ {
+		if keys[p1] == keys[p2] {
+			continue
+		}
+		p2++
+		keys[p2] = keys[p1]
+	}
+	return int64(p2 + 1)
+}
+
+func (patternOps) appendRun(e *engine, src, n int64) {
+	e.ws.runKeys = append(e.ws.runKeys, e.ws.tupleKeys[src:src+n]...)
+}
+
+func (patternOps) growMerged(e *engine, n int64) { radix.GrowUint32(&e.ws.mergedKeys, n) }
+
+// mergeBin k-way merges one bin's key-only runs, dropping duplicates.
+func (patternOps) mergeBin(e *engine, worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dstBase := ws.mergedStart[bin]
+	dst := dstBase
+
+	switch k {
+	case 0:
+		ws.binOut[bin] = 0
+		return
+	case 1:
+		r := group[0]
+		n := ws.runStart[r+1] - ws.runStart[r]
+		copy(ws.mergedKeys[dst:dst+n], ws.runKeys[ws.runStart[r]:ws.runStart[r+1]])
+		dst += n
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		for {
+			best := -1
+			var bestKey uint32
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue // run exhausted
+				}
+				if key := ws.runKeys[h]; best < 0 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			h := heads[best]
+			heads[best]++
+			if dst > dstBase && ws.mergedKeys[dst-1] == ws.runKeys[h] {
+				continue // duplicate key across panels: structural fold
+			}
+			ws.mergedKeys[dst] = ws.runKeys[h]
+			dst++
+		}
+	}
+	ws.binOut[bin] = dst - dstBase
+	firstRow := int32(int64(bin) << e.rowShift)
+	for i := dstBase; i < dst; i++ {
+		row := firstRow + int32(ws.mergedKeys[i]>>e.colBits)
+		ws.rowCounts[row+1]++
+	}
+}
+
+func (patternOps) emitMergeBin(e *engine, c *matrix.CSR, binOutStart []int64, worker, bin int) {
+	ws := e.ws
+	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
+	k := len(group)
+	dst := binOutStart[bin]
+	cm := uint32(uint64(1)<<e.colBits - 1)
+	switch k {
+	case 0:
+	case 1:
+		r := group[0]
+		s := ws.runStart[r]
+		n := ws.runStart[r+1] - s
+		for j := int64(0); j < n; j++ {
+			c.ColIdx[dst+j] = int32(ws.runKeys[s+j] & cm)
+		}
+	default:
+		heads := ws.heads[worker*e.maxRunsPerBin : worker*e.maxRunsPerBin+k]
+		for i, r := range group {
+			heads[i] = ws.runStart[r]
+		}
+		var emitted int64
+		var last uint32
+		for {
+			best := -1
+			var bestKey uint32
+			for i, r := range group {
+				h := heads[i]
+				if h == ws.runStart[r+1] {
+					continue
+				}
+				if key := ws.runKeys[h]; best < 0 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			heads[best]++
+			if emitted > 0 && bestKey == last {
+				continue
+			}
+			c.ColIdx[dst+emitted] = int32(bestKey & cm)
+			emitted++
+			last = bestKey
+		}
+	}
+}
+
+func (patternOps) unpackBin(e *engine, c *matrix.CSR, merged bool, srcOff, dstOff, n int64) {
+	keys := e.ws.tupleKeys
+	if merged {
+		keys = e.ws.mergedKeys
+	}
+	cm := uint32(uint64(1)<<e.colBits - 1)
+	for j := int64(0); j < n; j++ {
+		c.ColIdx[dstOff+j] = int32(keys[srcOff+j] & cm)
+	}
+}
+
+func (patternOps) growOut(e *engine, c *matrix.CSR, nnzc int64) {
+	// Pattern results are structural: c.Val stays nil by design.
+}

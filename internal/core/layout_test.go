@@ -44,19 +44,22 @@ func expandSnapshot(t *testing.T, a *matrix.CSC, b *matrix.CSR, opt Options) ([]
 	*e = engine{a: a, b: b, opt: opt, ws: ws, shared: true, st: &ws.stats}
 	e.symbolic()
 	e.planPanels()
-	e.planBins()
+	if err := e.planBins(); err != nil {
+		t.Fatal(err)
+	}
+	e.bindLayout()
 	if e.npanels != 1 {
 		t.Fatal("expandSnapshot needs a single-panel run")
 	}
 	e.panelPlan(0, int(a.NumCols))
-	e.growTuples(e.flops)
+	e.lay.growTuples(e, e.flops)
 	e.expandPanel(0)
 	keys := make([]uint64, e.flops)
 	vals := make([]float64, e.flops)
-	if e.squeezed {
+	if e.layout == LayoutSqueezed {
 		for i := range keys {
 			keys[i] = uint64(ws.tupleKeys[i])
-			vals[i] = ws.tupleVals[i]
+			vals[i] = ws.kvF64.tupleVals[i]
 		}
 	} else {
 		for i := range keys {

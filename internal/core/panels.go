@@ -5,7 +5,6 @@ import (
 
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/par"
-	"pbspgemm/internal/radix"
 )
 
 // This file is the memory-budgeted execution path: A's columns are tiled
@@ -25,10 +24,10 @@ import (
 // npanels >= 2 and flops > 0.
 func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	ws := e.ws
-	e.growTuples(e.maxPanelFlops)
+	e.lay.growTuples(e, e.maxPanelFlops)
 	ws.runs = ws.runs[:0]
 	ws.runKeys = ws.runKeys[:0]
-	ws.runVals = ws.runVals[:0]
+	e.lay.resetRuns(e)
 	ws.runStart = ws.runStart[:0]
 	ws.runBins = ws.runBins[:0]
 	matrix.GrowInt64(&ws.binOut, e.nbins)
@@ -86,7 +85,7 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	e.st.Merge += time.Since(t0)
 
 	t0 = time.Now()
-	c := e.assemble(ws.merged, ws.mergedKeys, ws.mergedVals, ws.mergedStart)
+	c := e.assemble(ws.mergedStart, true)
 	e.st.Assemble = time.Since(t0)
 	return c, nil
 }
@@ -132,7 +131,7 @@ func (e *engine) mergeIntoCSR() (*matrix.CSR, error) {
 
 // runLen is the current length of the active layout's run arena.
 func (e *engine) runLen() int64 {
-	if e.squeezed {
+	if e.key32 {
 		return int64(len(e.ws.runKeys))
 	}
 	return int64(len(e.ws.runs))
@@ -158,13 +157,7 @@ func (e *engine) appendRuns() {
 		}
 		ws.runBins = append(ws.runBins, int32(bin))
 		ws.runStart = append(ws.runStart, e.runLen())
-		src := ws.binStart[bin]
-		if e.squeezed {
-			ws.runKeys = append(ws.runKeys, ws.tupleKeys[src:src+n]...)
-			ws.runVals = append(ws.runVals, ws.tupleVals[src:src+n]...)
-		} else {
-			ws.runs = append(ws.runs, ws.tuples[src:src+n]...)
-		}
+		e.lay.appendRun(e, ws.binStart[bin], n)
 	}
 }
 
@@ -214,12 +207,7 @@ func (e *engine) groupRuns() {
 	e.maxRunsPerBin = maxRuns
 	e.emitMerge = e.fused && maxRuns <= fusedEmitMergeMaxRuns
 	if !e.emitMerge {
-		if e.squeezed {
-			radix.GrowUint32(&ws.mergedKeys, ms[e.nbins])
-			matrix.GrowFloat64(&ws.mergedVals, ms[e.nbins])
-		} else {
-			radix.GrowPairs(&ws.merged, ms[e.nbins])
-		}
+		e.lay.growMerged(e, ms[e.nbins])
 	}
 	matrix.GrowInt64(&ws.heads, e.opt.Threads*maxRuns)
 }
@@ -232,29 +220,22 @@ func (e *engine) mergeBins() {
 	matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
-			if e.squeezed {
-				e.mergeBinSqueezed(0, bin)
-			} else {
-				e.mergeBin(0, bin)
-			}
+			e.lay.mergeBin(e, 0, bin)
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
-			if e.squeezed {
-				e.mergeBinSqueezed(worker, bin)
-			} else {
-				e.mergeBin(worker, bin)
-			}
+			e.lay.mergeBin(e, worker, bin)
 		})
 	}
 }
 
-// mergeBin merges one bin's sorted, duplicate-free runs. Runs individually
-// have unique keys, so a duplicate can only pair tuples from different
-// panels and the output stays ascending: comparing against the last written
-// tuple is a complete folding rule. The head scan is linear in the run
-// count k (k ≤ npanels); bins are L2-sized, so the merge stays in cache.
-func (e *engine) mergeBin(worker, bin int) {
+// mergeBinWide merges one bin's sorted, duplicate-free runs (the wide
+// layout; kv and pattern mirror it in layout.go). Runs individually have
+// unique keys, so a duplicate can only pair tuples from different panels and
+// the output stays ascending: comparing against the last written tuple is a
+// complete folding rule. The head scan is linear in the run count k
+// (k ≤ npanels); bins are L2-sized, so the merge stays in cache.
+func (e *engine) mergeBinWide(worker, bin int) {
 	ws := e.ws
 	group := ws.runIdx[ws.runIdxStart[bin]:ws.runIdxStart[bin+1]]
 	k := len(group)

@@ -74,6 +74,15 @@ const (
 	// LayoutSqueezed is the 12-byte SoA layout: []uint32 keys + []float64
 	// values. Selected automatically when localRowBits + colBits ≤ 32.
 	LayoutSqueezed
+	// LayoutNarrow is the 8-byte SoA layout: []uint32 keys + a 4-byte value
+	// plane (float32 or int32). Only the MultiplyNarrow entry runs it, and
+	// only when localRowBits + colBits ≤ 32.
+	LayoutNarrow
+	// LayoutPattern is the 4-byte key-only layout of structural products:
+	// tuples are bare []uint32 keys, folding is deduplication, and the result
+	// CSR has no Val array. Only the MultiplyPattern entry runs it, under the
+	// same ≤ 32-bit key requirement.
+	LayoutPattern
 )
 
 func (l Layout) String() string {
@@ -84,19 +93,44 @@ func (l Layout) String() string {
 		return "wide"
 	case LayoutSqueezed:
 		return "squeezed"
+	case LayoutNarrow:
+		return "narrow"
+	case LayoutPattern:
+		return "pattern"
 	}
 	return fmt.Sprintf("Layout(%d)", int8(l))
 }
 
-// Per-tuple byte costs of the two layouts — the b of the paper's traffic
-// model (Eq. 4 / Table III), now per run.
+// Per-tuple byte costs of the layouts — the b of the paper's traffic model
+// (Eq. 4 / Table III), now per run.
 const (
 	// WideTupleBytes is radix.Pair: an 8-byte packed key plus an 8-byte value.
 	WideTupleBytes = 16
 	// SqueezedTupleBytes is the parallel-array layout: a 4-byte key plus an
 	// 8-byte value.
 	SqueezedTupleBytes = 12
+	// NarrowTupleBytes is the narrow parallel-array layout: a 4-byte key plus
+	// a 4-byte value.
+	NarrowTupleBytes = 8
+	// PatternTupleBytes is the key-only layout: the 4-byte key is the tuple.
+	PatternTupleBytes = 4
 )
+
+// TupleBytes returns the per-tuple byte cost of a concrete layout (0 for
+// LayoutAuto, which is a request, not a layout).
+func (l Layout) TupleBytes() int64 {
+	switch l {
+	case LayoutWide:
+		return WideTupleBytes
+	case LayoutSqueezed:
+		return SqueezedTupleBytes
+	case LayoutNarrow:
+		return NarrowTupleBytes
+	case LayoutPattern:
+		return PatternTupleBytes
+	}
+	return 0
+}
 
 // tupleBytes is the conservative (wide) per-tuple cost used wherever sizing
 // must not depend on the layout decision itself: panel tiling against
@@ -264,12 +298,15 @@ type engine struct {
 	rowShift      uint   // bin = row>>rowShift (shift/mask replaces division; rows per bin = 1<<rowShift)
 	rowMask       uint32 // localRow = row&rowMask
 	colBits       uint
-	squeezed      bool  // tuple layout of this run (see Layout)
-	fused         bool  // fused sort→compress→assemble pipeline (see fused.go)
-	emitMerge     bool  // budgeted fused merge emits into the final CSR (shallow k)
-	tupleBytes    int64 // 12 (squeezed) or 16 (wide)
-	localCap      int32 // tuples per thread-private local bin
-	maxRunsPerBin int   // k of the k-way merge (budgeted path)
+	want          Layout    // layout the entry point requested (Auto for Multiply)
+	layout        Layout    // concrete layout planBins resolved for this run
+	key32         bool      // layout packs keys into uint32 (everything but wide)
+	lay           layoutOps // per-layout element accesses (layout.go)
+	fused         bool      // fused sort→compress→assemble pipeline (see fused.go)
+	emitMerge     bool      // budgeted fused merge emits into the final CSR (shallow k)
+	tupleBytes    int64     // per-tuple cost of layout (16/12/8/4)
+	localCap      int32     // tuples per thread-private local bin
+	maxRunsPerBin int       // k of the k-way merge (budgeted path)
 
 	st *Stats
 }
@@ -281,8 +318,21 @@ type engine struct {
 // it past the next call).
 func Multiply(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, error) {
 	opt = opt.withDefaults()
+	e, err := newEngine(a, b, opt, LayoutAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := e.run()
+	return e.finish(c, err)
+}
+
+// newEngine validates the shapes and binds the workspace-resident engine for
+// one run requesting the given layout (LayoutAuto for the float64 entries;
+// the pattern/narrow entries pass their layout). opt must already have
+// defaults applied.
+func newEngine(a *matrix.CSC, b *matrix.CSR, opt Options, want Layout) (*engine, error) {
 	if a.NumCols != b.NumRows {
-		return nil, nil, fmt.Errorf("core: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
+		return nil, fmt.Errorf("core: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)
 	}
 	ws := opt.Workspace
@@ -291,17 +341,22 @@ func Multiply(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, e
 		ws = &Workspace{}
 	}
 	e := &ws.eng
-	*e = engine{a: a, b: b, opt: opt, ws: ws, shared: shared}
+	*e = engine{a: a, b: b, opt: opt, ws: ws, shared: shared, want: want}
 	if shared {
 		ws.stats = Stats{}
 		e.st = &ws.stats
 	} else {
 		e.st = &Stats{}
 	}
-	c, err := e.run()
+	return e, nil
+}
+
+// finish is every entry point's epilogue: capture the stats pointer and drop
+// the references that would let a long-lived workspace pin input matrices.
+func (e *engine) finish(c *matrix.CSR, err error) (*matrix.CSR, *Stats, error) {
 	st := e.st
-	// Drop input references so a long-lived workspace doesn't pin matrices.
-	e.a, e.b, e.st = nil, nil, nil
+	e.a, e.b, e.st, e.lay = nil, nil, nil, nil
+	e.ws.kvF64.aVal, e.ws.kvF64.bVal = nil, nil
 	if err != nil {
 		return nil, nil, err
 	}
@@ -324,17 +379,16 @@ func (e *engine) run() (*matrix.CSR, error) {
 	e.fused = !e.opt.DisableFusion
 	e.symbolic()
 	e.planPanels()
-	e.planBins()
+	if err := e.planBins(); err != nil {
+		return nil, err
+	}
+	e.bindLayout()
 	e.st.Symbolic = time.Since(t0)
 	e.st.Flops = e.flops
 	e.st.NBins = e.nbins
 	e.st.NPanels = e.npanels
 	e.st.Fused = e.fused
-	if e.squeezed {
-		e.st.Layout = LayoutSqueezed
-	} else {
-		e.st.Layout = LayoutWide
-	}
+	e.st.Layout = e.layout
 	e.st.TupleBytes = e.tupleBytes
 
 	if e.flops == 0 {
@@ -356,10 +410,22 @@ func (e *engine) run() (*matrix.CSR, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.st.NNZC = c.NNZ()
-	// Inputs are stored nonzeros at the COO cost (16 B each) regardless of
-	// layout; only the expanded tuples shrink when squeezed.
-	e.st.ExpandBytes = matrix.BytesPerTuple*(e.a.NNZ()+e.b.NNZ()) + e.tupleBytes*e.flops
+	// Count nnz(C) from the row pointers, not c.NNZ(): pattern results carry
+	// no Val array, which NNZ() measures.
+	e.st.NNZC = c.RowPtr[c.NumRows]
+	// Inputs are stored nonzeros, read at the run's per-tuple cost: the
+	// float64 layouts stream index+value at the 16-byte COO cost, narrow
+	// reads 4-byte values (8 B per stored nonzero) and pattern only the
+	// indices (4 B). Sized from the index arrays because the narrow/pattern
+	// entries may pass matrices with nil Val.
+	inBytes := int64(matrix.BytesPerTuple)
+	switch e.layout {
+	case LayoutNarrow:
+		inBytes = NarrowTupleBytes
+	case LayoutPattern:
+		inBytes = PatternTupleBytes
+	}
+	e.st.ExpandBytes = inBytes*(int64(len(e.a.RowIdx))+int64(len(e.b.ColIdx))) + e.tupleBytes*e.flops
 	if e.fused {
 		e.st.FusedBytes = e.tupleBytes * e.flops
 	} else {
@@ -380,7 +446,7 @@ func (e *engine) run() (*matrix.CSR, error) {
 func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 := time.Now()
 	e.panelPlan(0, int(e.a.NumCols))
-	e.growTuples(e.flops)
+	e.lay.growTuples(e, e.flops)
 	e.st.Symbolic += time.Since(t0)
 
 	t0 = time.Now()
@@ -418,20 +484,9 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	}
 
 	t0 = time.Now()
-	c := e.assemble(e.ws.tuples, e.ws.tupleKeys, e.ws.tupleVals, e.ws.binStart)
+	c := e.assemble(e.ws.binStart, false)
 	e.st.Assemble = time.Since(t0)
 	return c, nil
-}
-
-// growTuples sizes the expanded-tuple buffer of the active layout for n
-// tuples (the other layout's pool is left untouched).
-func (e *engine) growTuples(n int64) {
-	if e.squeezed {
-		radix.GrowUint32(&e.ws.tupleKeys, n)
-		matrix.GrowFloat64(&e.ws.tupleVals, n)
-	} else {
-		radix.GrowPairs(&e.ws.tuples, n)
-	}
 }
 
 // compressBins folds duplicates in every sorted bin of the current panel,
@@ -451,13 +506,31 @@ func (e *engine) compressBins(binOut, rowCounts []int64) {
 
 func (e *engine) compressOneBin(bin int, binOut, rowCounts []int64) {
 	bs := e.ws.binStart
+	n := e.lay.compressBin(e, bs[bin], bs[bin+1])
+	binOut[bin] = n
+	e.tallyRows(bs[bin], n, rowCounts, bin)
+}
+
+// tallyRows adds the per-row output counts of the folded tuples at
+// [src, src+n) into rowCounts (nil skips the tally: the budgeted path counts
+// during the final merge instead). Rows of a bin are touched by no other
+// bin, so writing the shared slice without synchronization is safe. Keys are
+// read from the shared key arena (all key32 layouts) or the wide pairs.
+func (e *engine) tallyRows(src, n int64, rowCounts []int64, bin int) {
+	if rowCounts == nil || n == 0 {
+		return
+	}
 	firstRow := int32(int64(bin) << e.rowShift)
-	if e.squeezed {
-		binOut[bin] = compressBinSqueezed(e.ws.tupleKeys[bs[bin]:bs[bin+1]],
-			e.ws.tupleVals[bs[bin]:bs[bin+1]], firstRow, e.colBits, rowCounts)
+	cb := e.colBits
+	if e.key32 {
+		for _, k := range e.ws.tupleKeys[src : src+n] {
+			rowCounts[firstRow+int32(k>>cb)+1]++
+		}
 	} else {
-		binOut[bin] = compressBin(e.ws.tuples[bs[bin]:bs[bin+1]],
-			firstRow, e.colBits, rowCounts)
+		ps := e.ws.tuples[src : src+n]
+		for i := range ps {
+			rowCounts[firstRow+int32(ps[i].Key>>cb)+1]++
+		}
 	}
 }
 
@@ -568,46 +641,62 @@ func planBinGeometry(rows int32, maxPanelFlops int64, opt Options) binGeometry {
 
 // planBins fixes the run's bin geometry and tuple layout. Bins are fixed row
 // ranges of A, identical across panels, which is what lets per-panel runs
-// merge bin-by-bin.
-func (e *engine) planBins() {
+// merge bin-by-bin. The error is non-nil only when the entry point demanded
+// a 32-bit-key layout (pattern/narrow) the geometry cannot deliver.
+func (e *engine) planBins() error {
 	g := planBinGeometry(e.a.NumRows, e.maxPanelFlops, e.opt)
 	e.nbins = g.nbins
 	e.rowShift = g.rowShift
 	e.rowMask = uint32(int64(1)<<g.rowShift - 1)
 
 	// Section III-D key squeezing: the in-bin local row id needs rowShift
-	// bits, so the packed key fits a uint32 — and the tuple the 12-byte
-	// parallel-array layout — whenever rowShift + colBits ≤ 32.
-	e.squeezed = g.rowShift+e.colBits <= 32
-	switch e.opt.ForceLayout {
-	case LayoutWide:
-		e.squeezed = false
-	case LayoutSqueezed:
-		// Best-effort: already squeezed when the geometry allows; a key that
-		// needs more than 32 bits keeps the wide layout rather than corrupt.
+	// bits, so the packed key fits a uint32 — and the tuple any of the split
+	// key32 layouts — whenever rowShift + colBits ≤ 32.
+	fits := g.rowShift+e.colBits <= 32
+	switch e.want {
+	case LayoutPattern, LayoutNarrow:
+		// The entry point is the layout: values are 4 bytes or absent, so
+		// there is no wide fallback to widen into — a too-wide key is an
+		// error, not a silent layout change.
+		if !fits {
+			return fmt.Errorf("core: %s layout needs localRowBits+colBits ≤ 32, got %d+%d: %w",
+				e.want, g.rowShift, e.colBits, ErrKeyWidth)
+		}
+		e.layout = e.want
+	default:
+		e.layout = LayoutWide
+		if fits {
+			e.layout = LayoutSqueezed
+		}
+		switch e.opt.ForceLayout {
+		case LayoutWide:
+			e.layout = LayoutWide
+		case LayoutSqueezed:
+			// Best-effort: already squeezed when the geometry allows; a key
+			// that needs more than 32 bits keeps the wide layout rather than
+			// corrupt.
+		case LayoutNarrow, LayoutPattern:
+			return fmt.Errorf("core: ForceLayout %v requires the MultiplyNarrow/MultiplyPattern entry point", e.opt.ForceLayout)
+		}
 	}
-	e.tupleBytes = WideTupleBytes
-	if e.squeezed {
-		e.tupleBytes = SqueezedTupleBytes
-	}
+	e.key32 = e.layout != LayoutWide
+	e.tupleBytes = e.layout.TupleBytes()
 
 	capT := int32(int64(e.opt.LocalBinBytes) / e.tupleBytes)
 	if capT < 1 {
 		capT = 1
 	}
 	e.localCap = capT
+	return nil
 }
 
-// PlanLayout reports the tuple layout Multiply would pick for a product with
-// rows output rows (rows of A), bCols output columns (columns of B) and the
-// given total flop count, under opt's bin and budget settings. The public
-// Auto planner uses it to model PB-SpGEMM's per-run traffic at 12 or 16
-// bytes per tuple before choosing an algorithm family.
-func PlanLayout(rows, bCols int32, flops int64, opt Options) Layout {
+// Key32Fits reports whether the bin geometry Multiply-family entries would
+// derive for a product (rows of A, columns of B, total flops, opt's bin and
+// budget settings) packs its keys into 32 bits — the gate for the squeezed,
+// narrow and pattern layouts. internal/semiring uses it to decide whether a
+// Boolean/float32/int32 multiplication can dispatch onto the fast path.
+func Key32Fits(rows, bCols int32, flops int64, opt Options) bool {
 	opt = opt.withDefaults()
-	if opt.ForceLayout == LayoutWide {
-		return LayoutWide
-	}
 	// A memory budget tiles the run into panels of ≈ budget/16 tuples and
 	// the bin geometry follows the largest panel (planPanels packs columns
 	// greedily to just under the budget; the one-column floor can exceed it
@@ -621,7 +710,20 @@ func PlanLayout(rows, bCols int32, flops int64, opt Options) Layout {
 		}
 	}
 	g := planBinGeometry(rows, maxPanelFlops, opt)
-	if g.rowShift+colBitsFor(bCols) <= 32 {
+	return g.rowShift+colBitsFor(bCols) <= 32
+}
+
+// PlanLayout reports the tuple layout Multiply (the float64 entry) would
+// pick for a product with rows output rows (rows of A), bCols output columns
+// (columns of B) and the given total flop count, under opt's bin and budget
+// settings. The public Auto planner uses it to model PB-SpGEMM's per-run
+// traffic at 12 or 16 bytes per tuple before choosing an algorithm family;
+// the pattern/narrow entries run at their own cost whenever Key32Fits.
+func PlanLayout(rows, bCols int32, flops int64, opt Options) Layout {
+	if opt.ForceLayout == LayoutWide {
+		return LayoutWide
+	}
+	if Key32Fits(rows, bCols, flops, opt) {
 		return LayoutSqueezed
 	}
 	return LayoutWide
@@ -722,33 +824,25 @@ func (e *engine) expandPanel(lo int) {
 	threads := e.opt.Threads
 	nbins := e.nbins
 	localTuples := int64(threads) * int64(nbins) * int64(e.localCap)
-	if e.squeezed {
-		radix.GrowUint32(&e.ws.localKeys, localTuples)
-		matrix.GrowFloat64(&e.ws.localVals, localTuples)
-	} else {
-		radix.GrowPairs(&e.ws.locals, localTuples)
-	}
+	e.lay.growLocals(e, localTuples)
 	lens := matrix.GrowInt32(&e.ws.localLens, threads*nbins)
 	clear(lens)
 	if threads == 1 {
 		// panelPlan left ws.cursors = binStart: the lone worker's cursors.
-		e.expandRange(0, lo, e.ws.cursors)
+		e.lay.expandRange(e, 0, lo, e.ws.cursors)
 	} else {
 		pt := e.ws.perThread
 		par.ParallelRun(threads, func(t int) {
-			e.expandRange(t, lo, pt[t*nbins:(t+1)*nbins])
+			e.lay.expandRange(e, t, lo, pt[t*nbins:(t+1)*nbins])
 		})
 	}
 }
 
-// expandRange is one worker's share of expandPanel: the panel columns
-// [lo+colBounds[t], lo+colBounds[t+1]). cursors is the worker's private
-// per-bin write-position array, pre-seeded with its exclusive offsets.
-func (e *engine) expandRange(t, lo int, cursors []int64) {
-	if e.squeezed {
-		e.expandRangeSqueezed(t, lo, cursors)
-		return
-	}
+// expandRangeWide is one worker's share of expandPanel over the wide layout:
+// the panel columns [lo+colBounds[t], lo+colBounds[t+1]). cursors is the
+// worker's private per-bin write-position array, pre-seeded with its
+// exclusive offsets. The kv and pattern layouts mirror it in layout.go.
+func (e *engine) expandRangeWide(t, lo int, cursors []int64) {
 	a, b := e.a, e.b
 	nbins := int32(e.nbins)
 	capT := e.localCap
@@ -819,26 +913,6 @@ type sortSeg struct {
 	arg        int
 }
 
-// sortSeg sorts one segment in the active layout.
-func (e *engine) sortSeg(s sortSeg) {
-	if e.squeezed {
-		keys := e.ws.tupleKeys[s.start:s.end]
-		vals := e.ws.tupleVals[s.start:s.end]
-		if s.arg < 0 {
-			radix.SortKeys32(keys, vals)
-		} else {
-			radix.SortKeys32Bits(keys, vals, s.arg)
-		}
-		return
-	}
-	ps := e.ws.tuples[s.start:s.end]
-	if s.arg < 0 {
-		radix.SortPairsInPlace(ps)
-	} else {
-		radix.SortPairsAtByte(ps, s.arg)
-	}
-}
-
 // sortSplitCutoffTuples is the bin size (in tuples) past which the sort
 // phase splits a bin across workers: twice the L2 cache budget a bin was
 // sized for, measured at the run's post-squeeze per-tuple cost — 12 bytes
@@ -862,13 +936,11 @@ func (e *engine) sortSplitCutoff() int64 {
 	return sortSplitCutoffTuples(e.tupleBytes, int64(e.opt.L2CacheBytes))
 }
 
-// compressBin is the paper's two-pointer in-place merge (Section III-E): p1
-// walks the sorted tuples, p2 tracks the write position; equal keys fold
-// their values into the tuple at p2. When rowCounts is non-nil it also
-// tallies per-row output counts (rows of a bin are touched by no other bin,
-// so the shared slice is safe); the budgeted path passes nil and tallies
-// during the final merge instead.
-func compressBin(tuples []radix.Pair, firstRow int32, colBits uint, rowCounts []int64) int64 {
+// compressBinWide is the paper's two-pointer in-place merge (Section III-E)
+// over the wide layout: p1 walks the sorted tuples, p2 tracks the write
+// position; equal keys fold their values into the tuple at p2. Row tallies
+// live in engine.tallyRows.
+func compressBinWide(tuples []radix.Pair) int64 {
 	if len(tuples) == 0 {
 		return 0
 	}
@@ -881,24 +953,17 @@ func compressBin(tuples []radix.Pair, firstRow int32, colBits uint, rowCounts []
 		p2++
 		tuples[p2] = tuples[p1]
 	}
-	out := int64(p2 + 1)
-	if rowCounts != nil {
-		for i := int64(0); i < out; i++ {
-			row := firstRow + int32(tuples[i].Key>>colBits)
-			rowCounts[row+1]++
-		}
-	}
-	return out
+	return int64(p2 + 1)
 }
 
 // assemble builds canonical CSR from the compressed bins of the active
-// layout's source buffers (the tuple buffer on single-shot runs, the
-// merged-run buffers on budgeted runs; the inactive layout's slices are
-// ignored). Bins hold disjoint ascending row ranges and each bin is sorted,
-// so compressed tuples are already in global CSR order; assembly is two
-// prefix sums plus one parallel unpacking copy. ws.binOut and ws.rowCounts
-// must be populated.
-func (e *engine) assemble(wide []radix.Pair, keys []uint32, vals []float64, srcStart []int64) *matrix.CSR {
+// layout's source buffers: srcStart gives each bin's source offset, and
+// merged selects the merged-run buffers (budgeted runs) over the tuple
+// buffer (single-shot). Bins hold disjoint ascending row ranges and each bin
+// is sorted, so compressed tuples are already in global CSR order; assembly
+// is two prefix sums plus one parallel unpacking copy. ws.binOut and
+// ws.rowCounts must be populated.
+func (e *engine) assemble(srcStart []int64, merged bool) *matrix.CSR {
 	binOut := e.ws.binOut
 	binOutStart := matrix.GrowInt64(&e.ws.binOutStart, e.nbins+1)
 	nnzc := par.PrefixSum(binOut, binOutStart)
@@ -908,47 +973,46 @@ func (e *engine) assemble(wide []radix.Pair, keys []uint32, vals []float64, srcS
 	// them into row pointers (identical to the sequential scan — integer
 	// sums — and worth it on million-row outputs).
 	par.PrefixSumParallel(e.ws.rowCounts[1:int(e.a.NumRows)+1], c.RowPtr, e.opt.Threads)
-	colMask := uint64(1)<<e.colBits - 1
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
-			if e.squeezed {
-				unpackBinSqueezed(c, keys, vals, srcStart[bin], binOutStart[bin], binOut[bin], uint32(colMask))
-			} else {
-				unpackBin(c, wide, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
-			}
+			e.lay.unpackBin(e, c, merged, srcStart[bin], binOutStart[bin], binOut[bin])
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
-			if e.squeezed {
-				unpackBinSqueezed(c, keys, vals, srcStart[bin], binOutStart[bin], binOut[bin], uint32(colMask))
-			} else {
-				unpackBin(c, wide, srcStart[bin], binOutStart[bin], binOut[bin], colMask)
-			}
+			e.lay.unpackBin(e, c, merged, srcStart[bin], binOutStart[bin], binOut[bin])
 		})
 	}
 	return c
 }
 
-func unpackBin(c *matrix.CSR, src []radix.Pair, srcOff, dstOff, n int64, colMask uint64) {
-	for j := int64(0); j < n; j++ {
-		c.ColIdx[dstOff+j] = int32(src[srcOff+j].Key & colMask)
-		c.Val[dstOff+j] = src[srcOff+j].Val
-	}
-}
-
 // newResult returns the output CSR: freshly allocated normally, or carved
 // from the workspace's pooled output arrays when the workspace is shared.
+// Value storage is the layout's call: the float64 layouts install c.Val,
+// narrow fills its typed out plane (returned by MultiplyNarrow) and pattern
+// leaves the result structural (nil Val).
 func (e *engine) newResult(nnzc int64) *matrix.CSR {
 	rows, cols := e.a.NumRows, e.b.NumCols
-	if !e.shared {
-		return matrix.NewCSR(rows, cols, nnzc)
+	var c *matrix.CSR
+	if e.shared {
+		ws := e.ws
+		ws.out = matrix.CSR{
+			NumRows: rows, NumCols: cols,
+			RowPtr: matrix.GrowInt64Zero(&ws.outRowPtr, int(rows)+1),
+			ColIdx: matrix.GrowInt32(&ws.outColIdx, int(nnzc)),
+		}
+		c = &ws.out
+	} else {
+		c = &matrix.CSR{
+			NumRows: rows, NumCols: cols,
+			RowPtr: make([]int64, int(rows)+1),
+			ColIdx: make([]int32, nnzc),
+		}
 	}
-	ws := e.ws
-	ws.out = matrix.CSR{
-		NumRows: rows, NumCols: cols,
-		RowPtr: matrix.GrowInt64Zero(&ws.outRowPtr, int(rows)+1),
-		ColIdx: matrix.GrowInt32(&ws.outColIdx, int(nnzc)),
-		Val:    matrix.GrowFloat64(&ws.outVal, nnzc),
+	e.lay.growOut(e, c, nnzc)
+	if e.layout == LayoutSqueezed {
+		// kv[float64]'s out plane IS the result's Val: emit/unpack write one
+		// destination and the public float64 contract is unchanged.
+		c.Val = e.ws.kvF64.out
 	}
-	return &ws.out
+	return c
 }

@@ -18,22 +18,19 @@ import (
 type Workspace struct {
 	// tuples is the wide-layout expanded-tuple buffer for one column panel —
 	// the flops×16 byte allocation the unbudgeted single-shot algorithm
-	// makes per call. tupleKeys/tupleVals are its squeezed-layout
-	// counterpart (flops×12 bytes as parallel arrays); a run grows only the
-	// buffers of the layout it picked.
+	// makes per call. tupleKeys is the shared key plane of every key32
+	// layout (squeezed, narrow, pattern); the value planes live in the kv
+	// pools below. A run grows only the buffers of the layout it picked.
 	tuples    []radix.Pair
 	tupleKeys []uint32
-	tupleVals []float64
 
 	// Budgeted-path buffers: compressed per-(panel,bin) sorted runs, their
 	// metadata, and the per-bin merged output — per layout, like the tuple
 	// buffer.
 	runs        []radix.Pair
 	runKeys     []uint32
-	runVals     []float64
 	merged      []radix.Pair
 	mergedKeys  []uint32
-	mergedVals  []float64
 	runStart    []int64 // run i occupies runs[runStart[i]:runStart[i+1]]
 	runBins     []int32 // global bin of run i
 	runIdx      []int32 // run ids grouped by bin
@@ -63,8 +60,13 @@ type Workspace struct {
 	// per layout.
 	locals    []radix.Pair
 	localKeys []uint32
-	localVals []float64
 	localLens []int32
+
+	// kvF64 pools the float64 value planes of the squeezed (12 B) layout;
+	// kvNarrow holds a *kv[V] for the narrow (8 B) layout's most recent
+	// value type V (float32 or int32) — reuse hits while V is stable.
+	kvF64    kv[float64]
+	kvNarrow any
 
 	// Pooled result storage (used only for shared workspaces).
 	out       matrix.CSR
@@ -102,8 +104,12 @@ func (ws *Workspace) Reset() { *ws = Workspace{} }
 // reports the memory actually resident.
 func (ws *Workspace) TupleCapBytes() int64 {
 	wide := int64(cap(ws.tuples)) * WideTupleBytes
-	sq := int64(cap(ws.tupleKeys))*4 + int64(cap(ws.tupleVals))*8
-	return wide + sq
+	keys := int64(cap(ws.tupleKeys)) * 4
+	vals := ws.kvF64.tupleCapBytes()
+	if n, ok := ws.kvNarrow.(interface{ tupleCapBytes() int64 }); ok {
+		vals += n.tupleCapBytes()
+	}
+	return wide + keys + vals
 }
 
 // CSCOf converts a into the workspace's pooled CSC storage. The result

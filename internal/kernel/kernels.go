@@ -38,7 +38,8 @@ func (pbKernel) Name() string { return NamePB }
 
 func (pbKernel) Capabilities() Capabilities {
 	return Capabilities{Masked: true, Budgeted: true, Cancellable: true,
-		WorkspaceReusing: true, SqueezedTuples: true, FusedCompress: true}
+		WorkspaceReusing: true, SqueezedTuples: true, FusedCompress: true,
+		NarrowTuples: true, PatternTuples: true}
 }
 
 func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {

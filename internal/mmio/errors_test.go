@@ -1,0 +1,213 @@
+package mmio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"pbspgemm/internal/matrix"
+)
+
+// failAfter yields its data, then a transport error — a mid-stream I/O
+// failure. It is deliberately neither a Seeker nor a Len()-reporter, so
+// ReadBinary treats it as an unsized stream.
+type failAfter struct {
+	data []byte
+	err  error
+	off  int
+}
+
+func (f *failAfter) Read(p []byte) (int, error) {
+	if f.off >= len(f.data) {
+		return 0, f.err
+	}
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+var errBoom = errors.New("boom: simulated transport failure")
+
+// TestRoundTripMatrix drives general, symmetric, and pattern sources through
+// both serializations: the matrix parsed from each text variant must survive
+// text and binary round trips unchanged.
+func TestRoundTripMatrix(t *testing.T) {
+	sources := map[string]string{
+		"general": `%%MatrixMarket matrix coordinate real general
+4 4 5
+1 1 2.5
+1 4 -1.0
+2 2 7
+3 1 0.125
+4 4 9
+`,
+		"symmetric": `%%MatrixMarket matrix coordinate real symmetric
+4 4 4
+1 1 1.0
+2 1 2.0
+3 2 3.0
+4 4 4.0
+`,
+		"pattern": `%%MatrixMarket matrix coordinate pattern general
+4 4 4
+1 2
+2 1
+3 3
+4 1
+`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			m, err := ReadMatrixMarket(strings.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var text bytes.Buffer
+			if err := WriteMatrixMarket(&text, m); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadMatrixMarket(&text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(m, back, 0) {
+				t.Fatal("text round trip changed the matrix")
+			}
+			var bin bytes.Buffer
+			if err := WriteBinary(&bin, m); err != nil {
+				t.Fatal(err)
+			}
+			bback, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(m, bback, 0) {
+				t.Fatal("binary round trip changed the matrix")
+			}
+		})
+	}
+}
+
+// TestReadMatrixMarketIOErrors: a mid-stream transport error surfaces as
+// that error — not as the bogus "expected N entries" / "unsupported
+// dimensions 0x0" it used to be folded into.
+func TestReadMatrixMarketIOErrors(t *testing.T) {
+	full := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 2.0\n"
+	// Fail before the size line, and again mid-entries.
+	for _, cut := range []int{30, len(full) - 5} {
+		r := &failAfter{data: []byte(full[:cut]), err: errBoom}
+		_, err := ReadMatrixMarket(r)
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("cut=%d: err = %v, want the transport error", cut, err)
+		}
+		if errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: transport error misreported as truncation", cut)
+		}
+	}
+}
+
+// TestReadMatrixMarketOversizedLine: a line over the scanner's 1 MiB buffer
+// is a bufio.ErrTooLong, not a phantom format error.
+func TestReadMatrixMarketOversizedLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("%%MatrixMarket matrix coordinate real general\n")
+	sb.WriteString("% ")
+	sb.WriteString(strings.Repeat("x", 2<<20))
+	sb.WriteString("\n2 2 1\n1 1 1.0\n")
+	_, err := ReadMatrixMarket(strings.NewReader(sb.String()))
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", err)
+	}
+}
+
+// TestReadMatrixMarketTruncated: clean EOF before the promised entries (or
+// before the size line) is ErrTruncated, distinct from transport errors.
+func TestReadMatrixMarketTruncated(t *testing.T) {
+	for name, in := range map[string]string{
+		"before_entries":   "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+		"before_size_line": "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+	} {
+		_, err := ReadMatrixMarket(strings.NewReader(in))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("%s: err = %v, want ErrTruncated", name, err)
+		}
+	}
+}
+
+// TestReadMatrixMarketRejectsPatternSkewSymmetric: the spec-forbidden
+// combination is an ErrHeader, caught before any entry is parsed (the old
+// reader fabricated −1.0 values for it).
+func TestReadMatrixMarketRejectsPatternSkewSymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n"
+	_, err := ReadMatrixMarket(strings.NewReader(in))
+	if !errors.Is(err, ErrHeader) {
+		t.Fatalf("err = %v, want ErrHeader", err)
+	}
+}
+
+// binHeader builds a binary-cache header with arbitrary claimed geometry.
+func binHeader(rows, cols int32, nnz int64) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(binaryMagic))
+	binary.Write(&buf, binary.LittleEndian, rows)
+	binary.Write(&buf, binary.LittleEndian, cols)
+	binary.Write(&buf, binary.LittleEndian, nnz)
+	return buf.Bytes()
+}
+
+// TestReadBinaryHeaderValidation: corrupt headers fail as ErrHeader or
+// ErrTruncated before any payload-sized allocation is attempted.
+func TestReadBinaryHeaderValidation(t *testing.T) {
+	// A header claiming ~48 GB of payload against a 20-byte input: the old
+	// reader would go straight to matrix.NewCSR and try to allocate it.
+	huge := binHeader(1<<30, 1<<30, int64(1)<<32)
+	if _, err := ReadBinary(bytes.NewReader(huge)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("sized huge header: err = %v, want ErrTruncated", err)
+	}
+	// Same header on an unsized stream: the sanity cap rejects it.
+	exa := binHeader(1<<30, 1<<30, int64(1)<<60)
+	if _, err := ReadBinary(io.MultiReader(bytes.NewReader(exa))); !errors.Is(err, ErrHeader) {
+		t.Fatalf("unsized huge header: err = %v, want ErrHeader", err)
+	}
+	for name, hdr := range map[string][]byte{
+		"negative_nnz":     binHeader(2, 2, -1),
+		"negative_rows":    binHeader(-2, 2, 1),
+		"nnz_without_rows": binHeader(0, 0, 5),
+		"bad_magic":        {9, 9, 9, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	} {
+		if _, err := ReadBinary(bytes.NewReader(hdr)); !errors.Is(err, ErrHeader) {
+			t.Fatalf("%s: err = %v, want ErrHeader", name, err)
+		}
+	}
+}
+
+// TestReadBinaryTruncatedPayload: a well-formed header whose payload is cut
+// short is ErrTruncated when the input size is knowable, and the underlying
+// unexpected-EOF when it is not.
+func TestReadBinaryTruncatedPayload(t *testing.T) {
+	m := &matrix.CSR{NumRows: 4, NumCols: 4,
+		RowPtr: []int64{0, 1, 2, 3, 4},
+		ColIdx: []int32{0, 1, 2, 3},
+		Val:    []float64{1, 2, 3, 4}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadBinary(bytes.NewReader(cut)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("sized: err = %v, want ErrTruncated", err)
+	}
+	_, err := ReadBinary(io.MultiReader(bytes.NewReader(cut)))
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("unsized: err = %v, want unexpected EOF", err)
+	}
+	// A transport error mid-payload surfaces as that error.
+	_, err = ReadBinary(&failAfter{data: cut, err: errBoom})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("transport: err = %v, want the transport error", err)
+	}
+}

@@ -7,6 +7,7 @@ package mmio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -15,6 +16,28 @@ import (
 
 	"pbspgemm/internal/matrix"
 )
+
+// ErrHeader marks a structurally invalid or spec-violating header (Matrix
+// Market or binary): bad magic, impossible dimensions, or a field/symmetry
+// combination the format forbids.
+var ErrHeader = errors.New("invalid header")
+
+// ErrTruncated marks input that ends before the header's promised payload —
+// distinct from ErrHeader (the header itself was readable and well-formed)
+// and from transport errors (which are returned wrapped, preserving the
+// underlying error for errors.Is).
+var ErrTruncated = errors.New("truncated input")
+
+// scanFail resolves a parse failure against the scanner's transport state:
+// a read error (or a line over the buffer) makes the scanner deliver its
+// buffered bytes as a partial final token, so a failed parse of that token
+// must report the underlying error, not the mangled text.
+func scanFail(sc *bufio.Scanner, fallback error) error {
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("mmio: read error: %w", err)
+	}
+	return fallback
+}
 
 // ReadMatrixMarket parses a Matrix Market coordinate stream into a canonical
 // CSR matrix. Symmetric files are expanded to full storage (both triangles),
@@ -30,7 +53,7 @@ func ReadMatrixMarket(r io.Reader) (*matrix.CSR, error) {
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
-		return nil, fmt.Errorf("mmio: bad header %q", sc.Text())
+		return nil, scanFail(sc, fmt.Errorf("mmio: bad header %q", sc.Text()))
 	}
 	if header[2] != "coordinate" {
 		return nil, fmt.Errorf("mmio: unsupported format %q (only coordinate)", header[2])
@@ -47,22 +70,38 @@ func ReadMatrixMarket(r io.Reader) (*matrix.CSR, error) {
 	default:
 		return nil, fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
 	}
+	if field == "pattern" && symmetry == "skew-symmetric" {
+		// The Matrix Market spec forbids the combination: skew-symmetry
+		// negates the mirrored values, and a pattern file has none to negate.
+		return nil, fmt.Errorf("mmio: pattern files cannot be skew-symmetric: %w", ErrHeader)
+	}
 
 	// Skip comments, read size line.
 	var rows, cols int64
 	var nnz int64
+	haveSize := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
 		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mmio: bad size line %q: %w", line, err)
+			return nil, scanFail(sc, fmt.Errorf("mmio: bad size line %q: %w", line, err))
 		}
+		haveSize = true
 		break
 	}
+	if !haveSize {
+		// Distinguish a transport failure (mid-stream read error, or a line
+		// over the scanner's 1 MiB buffer) from a file that cleanly ends
+		// before its size line.
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("mmio: reading size line: %w", err)
+		}
+		return nil, fmt.Errorf("mmio: missing size line: %w", ErrTruncated)
+	}
 	if rows <= 0 || cols <= 0 || rows > 1<<31-1 || cols > 1<<31-1 {
-		return nil, fmt.Errorf("mmio: unsupported dimensions %dx%d", rows, cols)
+		return nil, fmt.Errorf("mmio: unsupported dimensions %dx%d: %w", rows, cols, ErrHeader)
 	}
 
 	coo := &matrix.COO{NumRows: int32(rows), NumCols: int32(cols)}
@@ -74,15 +113,15 @@ func ReadMatrixMarket(r io.Reader) (*matrix.CSR, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) < 2 {
-			return nil, fmt.Errorf("mmio: bad entry line %q", line)
+			return nil, scanFail(sc, fmt.Errorf("mmio: bad entry line %q", line))
 		}
 		i, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mmio: bad row index %q: %w", f[0], err)
+			return nil, scanFail(sc, fmt.Errorf("mmio: bad row index %q: %w", f[0], err))
 		}
 		j, err := strconv.ParseInt(f[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mmio: bad col index %q: %w", f[1], err)
+			return nil, scanFail(sc, fmt.Errorf("mmio: bad col index %q: %w", f[1], err))
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
 			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %dx%d", i, j, rows, cols)
@@ -90,11 +129,11 @@ func ReadMatrixMarket(r io.Reader) (*matrix.CSR, error) {
 		v := 1.0
 		if field != "pattern" {
 			if len(f) < 3 {
-				return nil, fmt.Errorf("mmio: missing value in %q", line)
+				return nil, scanFail(sc, fmt.Errorf("mmio: missing value in %q", line))
 			}
 			v, err = strconv.ParseFloat(f[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("mmio: bad value %q: %w", f[2], err)
+				return nil, scanFail(sc, fmt.Errorf("mmio: bad value %q: %w", f[2], err))
 			}
 		}
 		read++
@@ -112,8 +151,11 @@ func ReadMatrixMarket(r io.Reader) (*matrix.CSR, error) {
 			coo.Val = append(coo.Val, sv)
 		}
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: reading entries (%d of %d read): %w", read, nnz, err)
+	}
 	if read < nnz {
-		return nil, fmt.Errorf("mmio: expected %d entries, got %d", nnz, read)
+		return nil, fmt.Errorf("mmio: expected %d entries, got %d: %w", nnz, read, ErrTruncated)
 	}
 	return coo.ToCSR(), nil
 }
@@ -170,8 +212,46 @@ func WriteBinary(w io.Writer, m *matrix.CSR) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a matrix written by WriteBinary.
+// binaryHeaderBytes is the fixed header size: magic (4) + rows (4) +
+// cols (4) + nnz (8).
+const binaryHeaderBytes = 20
+
+// maxUnsizedBinaryBytes caps the payload a header may claim when the input's
+// size cannot be determined (a pure stream): 64 GiB, far above any cache file
+// the experiment harness writes, far below the multi-exabyte claims a
+// corrupt header can fabricate.
+const maxUnsizedBinaryBytes = int64(64) << 30
+
+// inputSize reports the bytes remaining in r when r can tell (bytes.Reader,
+// strings.Reader, *os.File and other seekers); ok is false for pure streams.
+func inputSize(r io.Reader) (n int64, ok bool) {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len()), true
+	case io.Seeker:
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, false
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return 0, false
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return 0, false
+		}
+		return end - cur, true
+	}
+	return 0, false
+}
+
+// ReadBinary reads a matrix written by WriteBinary. The header is validated
+// before anything is allocated: dimensions must be plausible and the claimed
+// payload must fit the remaining input (or a sanity cap when the input's
+// size is unknowable), so a corrupt or truncated cache file fails cleanly
+// instead of attempting a multi-GB allocation.
 func ReadBinary(r io.Reader) (*matrix.CSR, error) {
+	total, sized := inputSize(r)
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic uint32
 	var rows, cols int32
@@ -180,7 +260,7 @@ func ReadBinary(r io.Reader) (*matrix.CSR, error) {
 		return nil, err
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("mmio: bad binary magic %#x", magic)
+		return nil, fmt.Errorf("mmio: bad binary magic %#x: %w", magic, ErrHeader)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
 		return nil, err
@@ -191,8 +271,24 @@ func ReadBinary(r io.Reader) (*matrix.CSR, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
 		return nil, err
 	}
-	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("mmio: corrupt binary header")
+	if rows < 0 || cols < 0 || nnz < 0 || (rows == 0 && nnz > 0) {
+		return nil, fmt.Errorf("mmio: corrupt binary header (%dx%d, %d nnz): %w",
+			rows, cols, nnz, ErrHeader)
+	}
+	// Payload bytes the header claims: (rows+1)×8 RowPtr + nnz×(4+8)
+	// ColIdx/Val. Guard the arithmetic itself before trusting it.
+	if nnz > (int64(1)<<62)/12 {
+		return nil, fmt.Errorf("mmio: corrupt binary header (%d nnz): %w", nnz, ErrHeader)
+	}
+	need := (int64(rows)+1)*8 + nnz*12
+	if sized {
+		if need > total-binaryHeaderBytes {
+			return nil, fmt.Errorf("mmio: header claims %d payload bytes, input has %d: %w",
+				need, total-binaryHeaderBytes, ErrTruncated)
+		}
+	} else if need > maxUnsizedBinaryBytes {
+		return nil, fmt.Errorf("mmio: header claims %d payload bytes from an unsized stream (cap %d): %w",
+			need, maxUnsizedBinaryBytes, ErrHeader)
 	}
 	m := matrix.NewCSR(rows, cols, nnz)
 	if err := binary.Read(br, binary.LittleEndian, m.RowPtr); err != nil {

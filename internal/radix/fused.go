@@ -37,18 +37,25 @@ import "math/bits"
 // the write index trails the read index — the classic in-place compaction
 // invariant.
 
-// fuse32 is the squeezed-layout emit state: the bin's full segment plus the
-// compaction cursor.
-type fuse32 struct {
+// Numeric is the value constraint of the fused fold: the engine's semiring
+// fast paths fold with +, so the fused sorter needs addition — float64 (the
+// squeezed layout), float32 and int32 (the narrow layout).
+type Numeric interface {
+	~float32 | ~float64 | ~int32
+}
+
+// fuse32 is the split-layout emit state: the bin's full segment plus the
+// compaction cursor, generic over the value width.
+type fuse32[V Numeric] struct {
 	keys []uint32
-	vals []float64
+	vals []V
 	n    int64
 }
 
 // emitOne appends one aggregated tuple. Callers guarantee the key differs
 // from every previously emitted key (distinct buckets carry distinct
 // digits), so no fold check is needed.
-func (f *fuse32) emitOne(k uint32, v float64) {
+func (f *fuse32[V]) emitOne(k uint32, v V) {
 	f.keys[f.n] = k
 	f.vals[f.n] = v
 	f.n++
@@ -56,7 +63,7 @@ func (f *fuse32) emitOne(k uint32, v float64) {
 
 // foldUniform emits a range whose keys are all equal as one tuple, summing
 // left to right (the compress order).
-func (f *fuse32) foldUniform(lo, hi int64) {
+func (f *fuse32[V]) foldUniform(lo, hi int64) {
 	k := f.keys[lo]
 	v := f.vals[lo]
 	for i := lo + 1; i < hi; i++ {
@@ -69,7 +76,7 @@ func (f *fuse32) foldUniform(lo, hi int64) {
 // compacted prefix, folding equal keys on insert. Insertion is stable and
 // the fold accumulates in arrival order, which for equal keys is exactly
 // their order in the stably sorted array — the compress order.
-func (f *fuse32) insertionFold(lo, hi int64) {
+func (f *fuse32[V]) insertionFold(lo, hi int64) {
 	keys, vals := f.keys, f.vals
 	base := f.n
 	out := base
@@ -100,7 +107,7 @@ func (f *fuse32) insertionFold(lo, hi int64) {
 // keys[:n]/vals[:n]. It returns n, the folded length. The prefix is
 // bit-identical to SortKeys32 followed by a two-pointer compress; the tail
 // beyond n is unspecified.
-func SortKeys32Fused(keys []uint32, vals []float64) int64 {
+func SortKeys32Fused[V Numeric](keys []uint32, vals []V) int64 {
 	if len(keys) != len(vals) {
 		panic("radix: keys and vals length mismatch")
 	}
@@ -111,7 +118,7 @@ func SortKeys32Fused(keys []uint32, vals []float64) int64 {
 	for _, k := range keys {
 		or |= k
 	}
-	f := fuse32{keys: keys, vals: vals}
+	f := fuse32[V]{keys: keys, vals: vals}
 	if or == 0 {
 		// All keys zero: fold everything into one tuple.
 		f.foldUniform(0, int64(len(keys)))
@@ -123,7 +130,7 @@ func SortKeys32Fused(keys []uint32, vals []float64) int64 {
 
 // sortBits mirrors SortKeys32Bits' recursion over [lo, hi) — same digit
 // plan, same passes — emitting each leaf as it completes.
-func (f *fuse32) sortBits(lo, hi int64, hiBits int) {
+func (f *fuse32[V]) sortBits(lo, hi int64, hiBits int) {
 	n := hi - lo
 	if n <= 0 {
 		return
@@ -223,8 +230,8 @@ func (f *fuse32) sortBits(lo, hi int64, hiBits int) {
 // each bucket's (single-key) value sum in slot-fill order — exactly the
 // post-permute array order the unfused compress would fold in — and
 // emitting one aggregated tuple per non-empty bucket. No tuple is moved.
-func (f *fuse32) accumulateLastDigit(keys []uint32, vals []float64, st *flagState32, nb int, mask uint32) {
-	var acc [maxBuckets]float64
+func (f *fuse32[V]) accumulateLastDigit(keys []uint32, vals []V, st *flagState32, nb int, mask uint32) {
+	var acc [maxBuckets]V
 	var cursor [maxBuckets]int
 	copy(cursor[:nb], st.start[:nb])
 	for b := 0; b < nb; b++ {

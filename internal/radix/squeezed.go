@@ -49,7 +49,10 @@ func digitWidth(n, hiBits int) int {
 }
 
 // SortKeys32 sorts keys ascending, permuting vals identically, in place.
-func SortKeys32(keys []uint32, vals []float64) {
+// The value plane is layout-generic: the engine instantiates it with float64
+// (the squeezed 12-byte layout) or a 4-byte value (the narrow 8-byte layout);
+// the sorter never inspects a value, only moves it with its key.
+func SortKeys32[V any](keys []uint32, vals []V) {
 	if len(keys) != len(vals) {
 		panic("radix: keys and vals length mismatch")
 	}
@@ -78,7 +81,7 @@ type flagState32 struct {
 // recursive sorter and PartitionTop32 go through it, so the two can never
 // diverge on a bin's first pass and the split-across-workers sort stays
 // bit-identical to the whole-bin sort. Returns the digit shift.
-func flagPass32(keys []uint32, vals []float64, hiBits int, st *flagState32) (shift uint, mask uint32, nb int) {
+func flagPass32[V any](keys []uint32, vals []V, hiBits int, st *flagState32) (shift uint, mask uint32, nb int) {
 	w := digitWidth(len(keys), hiBits)
 	shift = uint(hiBits - w)
 	nb = 1 << w
@@ -108,7 +111,7 @@ func flagPass32(keys []uint32, vals []float64, hiBits int, st *flagState32) (shi
 // are uniform across the slice. It is exported so callers that already
 // partitioned a slice (see PartitionTop32) can continue per bucket; the
 // combined result is bit-identical to SortKeys32 over the whole slice.
-func SortKeys32Bits(keys []uint32, vals []float64, hiBits int) {
+func SortKeys32Bits[V any](keys []uint32, vals []V, hiBits int) {
 	n := len(keys)
 	if n < 2 || hiBits <= 0 {
 		return
@@ -147,7 +150,7 @@ func SortKeys32Bits(keys []uint32, vals []float64, hiBits int) {
 // style: the displaced tuple rides in registers and each element is loaded
 // and stored exactly once, instead of the textbook swap's double traffic.
 // cursor must be seeded with the bucket starts; end holds the bucket ends.
-func permuteKeys32(keys []uint32, vals []float64, cursor, end []int, shift uint, mask uint32) {
+func permuteKeys32[V any](keys []uint32, vals []V, cursor, end []int, shift uint, mask uint32) {
 	for b := 0; b < len(cursor); b++ {
 		i := cursor[b]
 		be := end[b]
@@ -177,7 +180,7 @@ func permuteKeys32(keys []uint32, vals []float64, cursor, end []int, shift uint,
 	}
 }
 
-func insertionSortKeys32(keys []uint32, vals []float64) {
+func insertionSortKeys32[V any](keys []uint32, vals []V) {
 	for i := 1; i < len(keys); i++ {
 		k, v := keys[i], vals[i]
 		j := i - 1
@@ -220,7 +223,7 @@ func GrowUint32(buf *[]uint32, n int64) []uint32 {
 // restBits) per bucket, in parallel if it likes; the combined result is
 // bit-identical to one SortKeys32 call. nbuckets == 0 means no further work
 // remains (all keys equal, or the splitting pass consumed the last digit).
-func PartitionTop32(keys []uint32, vals []float64, bounds []int64) (nbuckets, restBits int) {
+func PartitionTop32[V any](keys []uint32, vals []V, bounds []int64) (nbuckets, restBits int) {
 	if len(keys) < 2 {
 		return 0, 0
 	}

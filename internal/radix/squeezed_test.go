@@ -154,7 +154,7 @@ func TestPartitionTop32Degenerate(t *testing.T) {
 		t.Fatalf("single-digit split left keys unsorted: %v", keys)
 	}
 	// Short and empty slices.
-	if nb, _ := PartitionTop32(nil, nil, bounds); nb != 0 {
+	if nb, _ := PartitionTop32[float64](nil, nil, bounds); nb != 0 {
 		t.Fatal("nil slice: want 0 buckets")
 	}
 	if nb, _ := PartitionTop32([]uint32{5}, []float64{5}, bounds); nb != 0 {

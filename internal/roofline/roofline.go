@@ -19,6 +19,16 @@ const DefaultBytesPerNonzero = float64(matrix.BytesPerTuple)
 // value in parallel arrays) instead of 16.
 const SqueezedBytesPerNonzero = 12.0
 
+// NarrowBytesPerNonzero is b for the 8-byte narrow tuple layout: the same
+// packed u32 key with a 4-byte (float32/int32) value plane. Available under
+// the same localRowBits + colBits ≤ 32 geometry as the squeezed layout.
+const NarrowBytesPerNonzero = 8.0
+
+// PatternBytesPerNonzero is b for the 4-byte pattern (key-only) layout of
+// structural products: a tuple IS its packed u32 key, values are never
+// materialized, and the fold is deduplication.
+const PatternBytesPerNonzero = 4.0
+
 // AIUpper is Eq. 1: the best-case arithmetic intensity when every matrix is
 // read or written exactly once, AI <= cf/b (flops/byte).
 func AIUpper(cf, b float64) float64 {

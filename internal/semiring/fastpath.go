@@ -1,0 +1,192 @@
+package semiring
+
+import (
+	"pbspgemm/internal/core"
+	"pbspgemm/internal/matrix"
+)
+
+// This file routes MultiplyOpts onto the typed core engine whenever the
+// semiring and element type have a native tuple layout: (+, ×) over float64
+// runs the 16/12-byte pipeline core.Multiply picks, float32/int32 run the
+// 8-byte narrow layout, and (∨, ∧) over all-true operands runs the 4-byte
+// pattern (key-only) layout — the dispatch rule the README documents. The
+// generic engine in multiply.go remains the semantics oracle: every
+// ineligible call (custom semiring, mask, keys over 32 bits for the narrow
+// layouts, stored false booleans) falls back to it unchanged.
+
+// Plan reports how MultiplyOpts executed a call: whether a typed fast path
+// ran and under which tuple layout. Request it via Options.Plan.
+type Plan struct {
+	// FastPath is true when the call ran the typed core engine.
+	FastPath bool
+	// Layout is the tuple layout the fast path executed (pattern, narrow,
+	// squeezed, or wide); meaningful only when FastPath.
+	Layout core.Layout
+	// Reason says why the generic engine ran instead, when !FastPath.
+	Reason string
+}
+
+// flopsOf is the symbolic pass over the operand pointer arrays: the exact
+// expanded-tuple count of the outer-product formulation.
+func flopsOf[T any](a *CSCg[T], b *CSRg[T]) int64 {
+	var flops int64
+	for i := int32(0); i < a.NumCols; i++ {
+		flops += (a.ColPtr[i+1] - a.ColPtr[i]) * (b.RowPtr[i+1] - b.RowPtr[i])
+	}
+	return flops
+}
+
+// cscHeader wraps a generic column matrix's index arrays as a float64 CSC
+// without copying; val may be nil for the entry points that carry values out
+// of band (narrow) or not at all (pattern).
+func cscHeader[T any](a *CSCg[T], val []float64) *matrix.CSC {
+	return &matrix.CSC{NumRows: a.NumRows, NumCols: a.NumCols,
+		ColPtr: a.ColPtr, RowIdx: a.RowIdx, Val: val}
+}
+
+func csrHeader[T any](b *CSRg[T], val []float64) *matrix.CSR {
+	return &matrix.CSR{NumRows: b.NumRows, NumCols: b.NumCols,
+		RowPtr: b.RowPtr, ColIdx: b.ColIdx, Val: val}
+}
+
+// narrowFast runs the 8-byte narrow pipeline for a 32-bit value type.
+func narrowFast[V core.Value32](a *CSCg[V], b *CSRg[V], copt core.Options) (*CSRg[V], *core.Stats, error) {
+	c, vals, st, err := core.MultiplyNarrow(cscHeader(a, nil), a.Val, csrHeader(b, nil), b.Val, copt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &CSRg[V]{NumRows: c.NumRows, NumCols: c.NumCols,
+		RowPtr: c.RowPtr, ColIdx: c.ColIdx, Val: vals}, st, nil
+}
+
+func allTrue(vals []bool) bool {
+	for _, v := range vals {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// tryFastPath dispatches eligible calls onto the typed engine. It returns
+// (result, true, nil) when a fast path ran, (nil, false, nil) to fall back
+// to the generic engine, and a non-nil error only from the typed engine
+// itself. Cancellation is polled once up front; the typed engine then runs
+// to completion (coarser granularity than the generic per-panel polls).
+func tryFastPath[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*CSRg[T], bool, error) {
+	setPlan := func(p Plan) {
+		if opt.Plan != nil {
+			*opt.Plan = p
+		}
+	}
+	if sr.kind == kindGeneric {
+		setPlan(Plan{Reason: "no typed kernel for semiring " + sr.Name})
+		return nil, false, nil
+	}
+	if opt.Mask != nil {
+		setPlan(Plan{Reason: "masked product runs the generic engine"})
+		return nil, false, nil
+	}
+	if opt.Cancel != nil {
+		if err := opt.Cancel(); err != nil {
+			return nil, true, err
+		}
+	}
+	copt := core.Options{
+		Threads:           opt.Threads,
+		MemoryBudgetBytes: opt.MemoryBudgetBytes,
+		Workspace:         opt.Workspace,
+	}
+	key32Fits := func() bool {
+		return core.Key32Fits(a.NumRows, b.NumCols, flopsOf(a, b), copt)
+	}
+
+	switch sr.kind {
+	case kindArithF64:
+		af, ok := any(a).(*CSCg[float64])
+		bf, bok := any(b).(*CSRg[float64])
+		if !ok || !bok {
+			break
+		}
+		c, st, err := core.Multiply(cscHeader(af, af.Val), csrHeader(bf, bf.Val), copt)
+		if err != nil {
+			return nil, true, err
+		}
+		setPlan(Plan{FastPath: true, Layout: st.Layout})
+		res := &CSRg[float64]{NumRows: c.NumRows, NumCols: c.NumCols,
+			RowPtr: c.RowPtr, ColIdx: c.ColIdx, Val: c.Val}
+		return any(res).(*CSRg[T]), true, nil
+
+	case kindArithF32:
+		af, ok := any(a).(*CSCg[float32])
+		bf, bok := any(b).(*CSRg[float32])
+		if !ok || !bok {
+			break
+		}
+		if !key32Fits() {
+			setPlan(Plan{Reason: "packed key exceeds 32 bits: no narrow layout"})
+			return nil, false, nil
+		}
+		res, st, err := narrowFast(af, bf, copt)
+		if err != nil {
+			return nil, true, err
+		}
+		setPlan(Plan{FastPath: true, Layout: st.Layout})
+		return any(res).(*CSRg[T]), true, nil
+
+	case kindArithI32:
+		af, ok := any(a).(*CSCg[int32])
+		bf, bok := any(b).(*CSRg[int32])
+		if !ok || !bok {
+			break
+		}
+		if !key32Fits() {
+			setPlan(Plan{Reason: "packed key exceeds 32 bits: no narrow layout"})
+			return nil, false, nil
+		}
+		res, st, err := narrowFast(af, bf, copt)
+		if err != nil {
+			return nil, true, err
+		}
+		setPlan(Plan{FastPath: true, Layout: st.Layout})
+		return any(res).(*CSRg[T]), true, nil
+
+	case kindBoolean:
+		ab, ok := any(a).(*CSCg[bool])
+		bb, bok := any(b).(*CSRg[bool])
+		if !ok || !bok {
+			break
+		}
+		// The pattern layout computes the structural product: correct for
+		// (∨, ∧) exactly when every stored value is true. Stored false
+		// entries (structural zeros) must fold through the generic engine.
+		if !allTrue(ab.Val) || !allTrue(bb.Val) {
+			setPlan(Plan{Reason: "stored false values: pattern layout is structural"})
+			return nil, false, nil
+		}
+		if !key32Fits() {
+			setPlan(Plan{Reason: "packed key exceeds 32 bits: no pattern layout"})
+			return nil, false, nil
+		}
+		c, st, err := core.MultiplyPattern(cscHeader(ab, nil), csrHeader(bb, nil), copt)
+		if err != nil {
+			return nil, true, err
+		}
+		setPlan(Plan{FastPath: true, Layout: st.Layout})
+		nnzc := c.RowPtr[c.NumRows]
+		var vals []bool
+		if opt.Workspace != nil {
+			vals = growAny[bool](&opt.Workspace.Generic().OutVal, nnzc)
+		} else {
+			vals = make([]bool, nnzc)
+		}
+		for i := range vals {
+			vals[i] = true
+		}
+		res := &CSRg[bool]{NumRows: c.NumRows, NumCols: c.NumCols,
+			RowPtr: c.RowPtr, ColIdx: c.ColIdx, Val: vals}
+		return any(res).(*CSRg[T]), true, nil
+	}
+	setPlan(Plan{Reason: "semiring kind and element type disagree"})
+	return nil, false, nil
+}

@@ -43,8 +43,13 @@ type Options struct {
 	Complement bool
 	// Cancel, if non-nil, is polled at phase boundaries (per panel, before
 	// the merge and before assembly). A non-nil return aborts the
-	// multiplication with that error.
+	// multiplication with that error. The typed fast paths poll it once up
+	// front only.
 	Cancel func() error
+	// Plan, if non-nil, is filled with how the call executed: whether a
+	// typed fast path ran (and under which tuple layout) or why the generic
+	// engine ran instead.
+	Plan *Plan
 }
 
 // Multiply computes C = A ⊗ B over the semiring sr with the PB-SpGEMM
@@ -67,6 +72,9 @@ func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*
 	if opt.Mask != nil && (opt.Mask.NumRows != a.NumRows || opt.Mask.NumCols != b.NumCols) {
 		return nil, fmt.Errorf("semiring: mask is %dx%d, product is %dx%d: %w",
 			opt.Mask.NumRows, opt.Mask.NumCols, a.NumRows, b.NumCols, matrix.ErrShape)
+	}
+	if c, ran, err := tryFastPath(sr, a, b, opt); ran {
+		return c, err
 	}
 	canceled := func() error {
 		if opt.Cancel == nil {

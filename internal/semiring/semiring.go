@@ -17,7 +17,25 @@ type Semiring[T any] struct {
 	Zero  T
 	Plus  func(a, b T) T
 	Times func(a, b T) T
+
+	// kind tags the stock semirings whose (⊕, ⊗) the typed core engine
+	// implements natively, letting MultiplyOpts dispatch onto the tuned
+	// tuple-layout pipelines (see fastpath.go). Caller-assembled semirings
+	// carry kindGeneric and always run the generic engine: the engine cannot
+	// see through a func value, so only constructor provenance is trusted.
+	kind semiringKind
 }
+
+// semiringKind enumerates the fast-path-eligible algebras.
+type semiringKind uint8
+
+const (
+	kindGeneric  semiringKind = iota // no typed kernel: generic engine
+	kindArithF64                     // (+, ×) over float64 → core.Multiply
+	kindArithF32                     // (+, ×) over float32 → 8 B narrow
+	kindArithI32                     // (+, ×) over int32 → 8 B narrow
+	kindBoolean                      // (∨, ∧) over bool → 4 B pattern
+)
 
 // Arithmetic is the ordinary (+, ×) semiring over float64 — plain SpGEMM.
 func Arithmetic() Semiring[float64] {
@@ -25,6 +43,29 @@ func Arithmetic() Semiring[float64] {
 		Name: "arithmetic(+,*)", Zero: 0,
 		Plus:  func(a, b float64) float64 { return a + b },
 		Times: func(a, b float64) float64 { return a * b },
+		kind:  kindArithF64,
+	}
+}
+
+// Arithmetic32 is (+, ×) over float32 — plain SpGEMM at half the value
+// width, eligible for the 8-byte narrow tuple layout.
+func Arithmetic32() Semiring[float32] {
+	return Semiring[float32]{
+		Name: "arithmetic32(+,*)", Zero: 0,
+		Plus:  func(a, b float32) float32 { return a + b },
+		Times: func(a, b float32) float32 { return a * b },
+		kind:  kindArithF32,
+	}
+}
+
+// ArithmeticInt32 is (+, ×) over int32 — exact integer SpGEMM (e.g. path
+// counting), eligible for the 8-byte narrow tuple layout.
+func ArithmeticInt32() Semiring[int32] {
+	return Semiring[int32]{
+		Name: "arithmetic-int32(+,*)", Zero: 0,
+		Plus:  func(a, b int32) int32 { return a + b },
+		Times: func(a, b int32) int32 { return a * b },
+		kind:  kindArithI32,
 	}
 }
 
@@ -35,6 +76,7 @@ func Boolean() Semiring[bool] {
 		Name: "boolean(or,and)", Zero: false,
 		Plus:  func(a, b bool) bool { return a || b },
 		Times: func(a, b bool) bool { return a && b },
+		kind:  kindBoolean,
 	}
 }
 

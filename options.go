@@ -54,6 +54,7 @@ type config struct {
 	beta       float64
 	mask       *CSR
 	complement bool
+	plan       *SemiringPlan
 }
 
 // resolve applies defaults then per-call options in order.
@@ -194,6 +195,18 @@ func WithMemoryBudget(bytes int64) Option {
 func WithMask(m *CSR) Option {
 	return func(c *config) error {
 		c.mask, c.complement = m, false
+		return nil
+	}
+}
+
+// WithSemiringPlan asks MultiplyOver / EngineMultiplyOver to report how the
+// call executed into *p: whether a typed fast path ran (Boolean → 4-byte
+// pattern layout, float32/int32 arithmetic → 8-byte narrow, float64
+// arithmetic → the squeezed/wide pipeline) and, on fallback, why the generic
+// engine ran instead. Pass nil to clear an earlier option.
+func WithSemiringPlan(p *SemiringPlan) Option {
+	return func(c *config) error {
+		c.plan = p
 		return nil
 	}
 }

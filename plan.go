@@ -39,6 +39,12 @@ type Plan struct {
 	// SqueezedOuter reports whether the outer family was modeled (and, if
 	// chosen, will run) with the squeezed tuple layout.
 	SqueezedOuter bool
+	// OuterLayout is the tuple layout behind OuterTupleBytes. The float64
+	// engine plans LayoutSqueezed or LayoutWide; the typed entry points
+	// (Boolean/float32/int32 semirings) run LayoutPattern (4 B) and
+	// LayoutNarrow (8 B), whose per-layout roofline crossovers use the same
+	// model with BytesPerTupleOuter = 4 or 8.
+	OuterLayout TupleLayout
 	// FusedOuter reports whether the outer family was modeled with the
 	// fused sort→compress→assemble pipeline (the PB kernel's default; its
 	// roofline denominator drops the compress term, and the column
@@ -89,6 +95,7 @@ func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
 	// (UnfusedModel's calibration). Column kernels never move expanded
 	// tuples; their model is unaffected by either.
 	p.SqueezedOuter, p.FusedOuter = false, false
+	p.OuterLayout = core.LayoutWide
 	if k, ok := kernel.Get(PB.String()); ok {
 		caps := k.Capabilities()
 		p.FusedOuter = caps.FusedCompress
@@ -99,15 +106,14 @@ func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
 				Threads:           cfg.threads,
 				MemoryBudgetBytes: cfg.budget,
 			})
+			p.OuterLayout = layout
 			p.SqueezedOuter = layout == core.LayoutSqueezed
 		}
 	}
 	if !p.FusedOuter {
 		m = roofline.UnfusedModel(beta)
 	}
-	if !p.SqueezedOuter {
-		m.BytesPerTupleOuter = m.BytesPerTuple
-	}
+	m.BytesPerTupleOuter = float64(p.OuterLayout.TupleBytes())
 	p.OuterTupleBytes = m.OuterBytes()
 	if p.FusedOuter {
 		p.AIOuter = roofline.AIOuterFusedExact(p.NNZA, p.NNZB, p.Flops, m.OuterBytes())

@@ -24,11 +24,23 @@ type Matrix[T any] = semiring.CSRg[T]
 // (*Matrix[T]).ToCSC once and reuse it across multiplications that share A.
 type ColMatrix[T any] = semiring.CSCg[T]
 
+// SemiringPlan reports how a MultiplyOver call executed: whether a typed
+// tuple-layout fast path ran (and which layout), or why the generic engine
+// ran instead. Request one with WithSemiringPlan.
+type SemiringPlan = semiring.Plan
+
 // Stock semirings. Each call returns a fresh value; Semiring is a plain
 // struct, so callers can also assemble their own.
 var (
 	// Arithmetic is the ordinary (+, ×) semiring over float64 — plain SpGEMM.
 	Arithmetic = semiring.Arithmetic
+	// Arithmetic32 is (+, ×) over float32 — plain SpGEMM at half the value
+	// width, dispatched onto the 8-byte narrow tuple layout when the packed
+	// keys fit 32 bits.
+	Arithmetic32 = semiring.Arithmetic32
+	// ArithmeticInt32 is (+, ×) over int32 — exact integer SpGEMM (path and
+	// triangle counting), dispatched onto the 8-byte narrow tuple layout.
+	ArithmeticInt32 = semiring.ArithmeticInt32
 	// Boolean is the (∨, ∧) semiring — structural SpGEMM, the multi-source
 	// BFS algebra.
 	Boolean = semiring.Boolean
@@ -135,6 +147,7 @@ func (c *config) semiringOptions(ws *Workspace) semiring.Options {
 		Mask:              c.mask,
 		Complement:        c.complement,
 		Cancel:            c.cancelFunc(),
+		Plan:              c.plan,
 	}
 }
 

@@ -188,6 +188,12 @@ const (
 	LayoutWide = core.LayoutWide
 	// LayoutSqueezed is the 12-byte u32-key parallel-array layout.
 	LayoutSqueezed = core.LayoutSqueezed
+	// LayoutNarrow is the 8-byte u32-key + 32-bit-value layout of the typed
+	// float32/int32 fast path (Arithmetic32/ArithmeticInt32 semirings).
+	LayoutNarrow = core.LayoutNarrow
+	// LayoutPattern is the 4-byte key-only layout of structural products
+	// (the Boolean semiring's fast path).
+	LayoutPattern = core.LayoutPattern
 )
 
 // BaselineStats is the two-phase breakdown of a column SpGEMM run.
