@@ -33,9 +33,12 @@ func GBs(bytes int64, d time.Duration) float64 {
 	return float64(bytes) / s / 1e9
 }
 
-// Summary holds simple statistics over repeated measurements.
+// Summary holds simple statistics over repeated measurements. P50/P95/P99
+// are the tail quantiles serving-latency reports care about (P50 equals
+// Median up to the interpolation convention).
 type Summary struct {
 	Min, Max, Mean, Median float64
+	P50, P95, P99          float64
 	N                      int
 }
 
@@ -65,7 +68,42 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Median = (sorted[mid-1] + sorted[mid]) / 2
 	}
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
 	return s
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs with linear
+// interpolation between order statistics; xs need not be sorted. It returns
+// 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted interpolates the q-th quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if frac == 0 {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // BestOf runs fn reps times and returns the minimum duration, the standard

@@ -39,6 +39,46 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizePercentiles(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	// Linear interpolation between order statistics: pos = q*(n-1).
+	if math.Abs(s.P50-50.5) > 1e-12 {
+		t.Fatalf("P50 = %v, want 50.5", s.P50)
+	}
+	if math.Abs(s.P95-95.05) > 1e-12 {
+		t.Fatalf("P95 = %v, want 95.05", s.P95)
+	}
+	if math.Abs(s.P99-99.01) > 1e-12 {
+		t.Fatalf("P99 = %v, want 99.01", s.P99)
+	}
+	if s.P50 != s.Median {
+		t.Fatalf("P50 %v != Median %v", s.P50, s.Median)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty slice must yield 0")
+	}
+	if Quantile([]float64{7}, 0.99) != 7 {
+		t.Fatal("single element must yield itself at any q")
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted input: Quantile copies + sorts
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatalf("q=0/q=1 must be min/max, got %v %v", Quantile(xs, 0), Quantile(xs, 1))
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
 func TestBestOf(t *testing.T) {
 	calls := 0
 	d := BestOf(3, func() { calls++ })

@@ -28,6 +28,70 @@ var ErrHeader = errors.New("invalid header")
 // underlying error for errors.Is).
 var ErrTruncated = errors.New("truncated input")
 
+// ErrTooLarge is the errors.Is sentinel every *SizeError matches: the input
+// exceeded a caller-imposed byte limit (ReadMatrixMarketLimited, LimitReader).
+var ErrTooLarge = errors.New("input exceeds size limit")
+
+// SizeError reports an input stream that delivered more than MaxBytes bytes.
+// It is the typed error behind byte-limited reads of untrusted uploads; test
+// with errors.As, or errors.Is against ErrTooLarge.
+type SizeError struct {
+	// MaxBytes is the limit the input exceeded.
+	MaxBytes int64
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("mmio: input exceeds %d-byte limit", e.MaxBytes)
+}
+
+// Is reports ErrTooLarge as a match, so callers can class-check with
+// errors.Is without naming the concrete type.
+func (e *SizeError) Is(target error) bool { return target == ErrTooLarge }
+
+// limitedReader passes through at most max+1 bytes: an input of exactly max
+// bytes reads cleanly to EOF, while delivering the (max+1)-th byte arms the
+// limit and the next Read returns *SizeError. The +1 slack never reaches a
+// parser's output — it only lets the reader distinguish "exactly at the
+// limit" from "past it" without buffering.
+type limitedReader struct {
+	r         io.Reader
+	remaining int64
+	max       int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.remaining <= 0 {
+		return 0, &SizeError{MaxBytes: l.max}
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
+// LimitReader wraps r so that consuming more than maxBytes bytes fails with a
+// *SizeError (matching ErrTooLarge) instead of io.EOF. maxBytes <= 0 returns
+// r unchanged. Unlike io.LimitReader, exhausting the limit is a hard typed
+// error, not a silent truncation — the right behavior for untrusted uploads,
+// where a truncated parse could otherwise succeed on a hostile prefix.
+func LimitReader(r io.Reader, maxBytes int64) io.Reader {
+	if maxBytes <= 0 {
+		return r
+	}
+	return &limitedReader{r: r, remaining: maxBytes + 1, max: maxBytes}
+}
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with a hard cap on the bytes
+// consumed from r: untrusted text uploads larger than maxBytes fail with an
+// error matching ErrTooLarge before their payload is ingested, mirroring the
+// size validation the binary path performs against its header. maxBytes <= 0
+// means unlimited.
+func ReadMatrixMarketLimited(r io.Reader, maxBytes int64) (*matrix.CSR, error) {
+	return ReadMatrixMarket(LimitReader(r, maxBytes))
+}
+
 // scanFail resolves a parse failure against the scanner's transport state:
 // a read error (or a line over the buffer) makes the scanner deliver its
 // buffered bytes as a partial final token, so a failed parse of that token
@@ -49,7 +113,10 @@ func ReadMatrixMarket(r io.Reader) (*matrix.CSR, error) {
 
 	// Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
 	if !sc.Scan() {
-		return nil, fmt.Errorf("mmio: empty input")
+		// A failed first Scan is either a genuinely empty stream or a
+		// transport/limit error on the very first read; scanFail tells them
+		// apart.
+		return nil, scanFail(sc, fmt.Errorf("mmio: empty input"))
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {

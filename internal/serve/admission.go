@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrShed is the errors.Is sentinel every *ShedError matches: the request
+// was refused by admission control and should be retried later (HTTP maps
+// it to 429 + Retry-After).
+var ErrShed = errors.New("serve: load shed")
+
+// ShedError reports why admission refused a request.
+type ShedError struct {
+	// PredictedBytes is the planner's footprint estimate for the request.
+	PredictedBytes int64
+	// CeilingBytes is the configured memory ceiling.
+	CeilingBytes int64
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+	// Reason is one of "footprint exceeds ceiling", "queue full",
+	// "queue wait exceeded".
+	Reason string
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: shed (%s): predicted %d bytes, ceiling %d, retry after %s",
+		e.Reason, e.PredictedBytes, e.CeilingBytes, e.RetryAfter)
+}
+
+// Is reports ErrShed as a match for errors.Is.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// Admission gates multiplications on predicted memory: the sum of admitted
+// requests' planner-predicted footprints never exceeds the ceiling, so the
+// server sheds load *before* the allocation that would OOM it, not after.
+// Requests that do not fit right now wait (bounded queue, bounded wait, ctx
+// honored) for in-flight work to release its share. Safe for concurrent use.
+type Admission struct {
+	mu       sync.Mutex
+	ceiling  int64
+	inflight int64
+	waiters  int
+	maxQueue int
+	maxWait  time.Duration
+	// wake is closed and replaced on every Release; queued waiters re-check
+	// the ceiling on each broadcast (herd size is bounded by maxQueue).
+	wake chan struct{}
+
+	admitted, queued, shed int64
+}
+
+// NewAdmission creates a controller with the given ceiling (bytes; <= 0
+// means unlimited, every request admitted immediately), queue bound and
+// per-request maximum wait.
+func NewAdmission(ceiling int64, maxQueue int, maxWait time.Duration) *Admission {
+	return &Admission{
+		ceiling: ceiling, maxQueue: maxQueue, maxWait: maxWait,
+		wake: make(chan struct{}),
+	}
+}
+
+// retryAfter estimates a client backoff from the current queue depth: one
+// second per queued request ahead, clamped to [1s, maxWait].
+func (a *Admission) retryAfter() time.Duration {
+	d := time.Duration(1+a.waiters) * time.Second
+	if a.maxWait > 0 && d > a.maxWait {
+		d = a.maxWait
+	}
+	return d
+}
+
+// Acquire blocks until predicted bytes fit under the ceiling, then reserves
+// them; the caller must Release the same amount when its multiplication
+// finishes (or fails). It returns a *ShedError when the request can never
+// fit, the queue is full, or the wait bound expires — and ctx's error if the
+// request is canceled while queued.
+func (a *Admission) Acquire(ctx context.Context, predicted int64) error {
+	if a.ceiling <= 0 {
+		a.mu.Lock()
+		a.inflight += predicted
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Lock()
+	if predicted > a.ceiling {
+		a.shed++
+		err := &ShedError{
+			PredictedBytes: predicted, CeilingBytes: a.ceiling,
+			RetryAfter: a.retryAfter(), Reason: "footprint exceeds ceiling",
+		}
+		a.mu.Unlock()
+		return err
+	}
+	var timeout <-chan time.Time
+	var timer *time.Timer
+	queuedOnce := false
+	for a.inflight+predicted > a.ceiling {
+		if a.waiters >= a.maxQueue {
+			a.shed++
+			err := &ShedError{
+				PredictedBytes: predicted, CeilingBytes: a.ceiling,
+				RetryAfter: a.retryAfter(), Reason: "queue full",
+			}
+			a.mu.Unlock()
+			return err
+		}
+		if !queuedOnce {
+			queuedOnce = true
+			a.queued++
+			if a.maxWait > 0 {
+				timer = time.NewTimer(a.maxWait)
+				timeout = timer.C
+				defer timer.Stop()
+			}
+		}
+		a.waiters++
+		wake := a.wake
+		a.mu.Unlock()
+		select {
+		case <-wake:
+			a.mu.Lock()
+			a.waiters--
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.waiters--
+			a.mu.Unlock()
+			return ctx.Err()
+		case <-timeout:
+			a.mu.Lock()
+			a.waiters--
+			a.shed++
+			err := &ShedError{
+				PredictedBytes: predicted, CeilingBytes: a.ceiling,
+				RetryAfter: a.retryAfter(), Reason: "queue wait exceeded",
+			}
+			a.mu.Unlock()
+			return err
+		}
+	}
+	a.inflight += predicted
+	a.admitted++
+	a.mu.Unlock()
+	return nil
+}
+
+// Release returns predicted bytes reserved by a successful Acquire and wakes
+// every queued waiter to re-check the ceiling.
+func (a *Admission) Release(predicted int64) {
+	a.mu.Lock()
+	a.inflight -= predicted
+	close(a.wake)
+	a.wake = make(chan struct{})
+	a.mu.Unlock()
+}
+
+// Stats reports the admission counters and current reservation.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		CeilingBytes: a.ceiling, InflightBytes: a.inflight, Waiting: a.waiters,
+		Admitted: a.admitted, Queued: a.queued, Shed: a.shed,
+	}
+}
+
+// AdmissionStats is the controller's slice of the /metrics snapshot.
+type AdmissionStats struct {
+	CeilingBytes  int64 `json:"ceiling_bytes"`
+	InflightBytes int64 `json:"inflight_bytes"`
+	Waiting       int   `json:"waiting"`
+	Admitted      int64 `json:"admitted"`
+	// Queued counts requests that had to wait at least once before
+	// admission (each request at most once, however many wakeups it saw).
+	Queued int64 `json:"queued"`
+	Shed   int64 `json:"shed"`
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionAdmitsUnderCeiling(t *testing.T) {
+	a := NewAdmission(1000, 4, time.Second)
+	if err := a.Acquire(context.Background(), 600); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.InflightBytes != 600 || st.Admitted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	a.Release(600)
+	if st := a.Stats(); st.InflightBytes != 0 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+func TestAdmissionShedsFootprintOverCeiling(t *testing.T) {
+	a := NewAdmission(1000, 4, time.Second)
+	err := a.Acquire(context.Background(), 1001)
+	var shed *ShedError
+	if !errors.As(err, &shed) || !errors.Is(err, ErrShed) {
+		t.Fatalf("got %v, want ShedError matching ErrShed", err)
+	}
+	if shed.Reason != "footprint exceeds ceiling" || shed.RetryAfter < time.Second {
+		t.Fatalf("shed: %+v", shed)
+	}
+	if st := a.Stats(); st.Shed != 1 || st.InflightBytes != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAdmissionQueuesUntilRelease(t *testing.T) {
+	a := NewAdmission(1000, 4, 30*time.Second)
+	if err := a.Acquire(context.Background(), 800); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(context.Background(), 500) }()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 }, "waiter to queue")
+	select {
+	case err := <-done:
+		t.Fatalf("second Acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release(800)
+	if err := <-done; err != nil {
+		t.Fatalf("queued Acquire after release: %v", err)
+	}
+	st := a.Stats()
+	if st.InflightBytes != 500 || st.Queued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	a.Release(500)
+}
+
+func TestAdmissionShedsQueueFull(t *testing.T) {
+	a := NewAdmission(1000, 1, 30*time.Second)
+	if err := a.Acquire(context.Background(), 900); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- a.Acquire(context.Background(), 500) }()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 }, "first waiter to queue")
+	// The queue slot is taken: the next request sheds immediately.
+	err := a.Acquire(context.Background(), 500)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "queue full" {
+		t.Fatalf("got %v, want queue-full shed", err)
+	}
+	a.Release(900)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+	a.Release(500)
+}
+
+func TestAdmissionQueueWaitExceeded(t *testing.T) {
+	a := NewAdmission(1000, 4, 20*time.Millisecond)
+	if err := a.Acquire(context.Background(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Acquire(context.Background(), 100)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "queue wait exceeded" {
+		t.Fatalf("got %v, want wait-exceeded shed", err)
+	}
+	a.Release(1000)
+}
+
+func TestAdmissionCtxCanceledWhileQueued(t *testing.T) {
+	a := NewAdmission(1000, 4, 30*time.Second)
+	if err := a.Acquire(context.Background(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx, 100) }()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 }, "waiter to queue")
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st := a.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiter leaked: %+v", st)
+	}
+	a.Release(1000)
+}
+
+func TestAdmissionUnlimitedCeiling(t *testing.T) {
+	a := NewAdmission(0, 1, time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if err := a.Acquire(context.Background(), 1<<40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.Stats(); st.Admitted != 10 || st.Shed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"pbspgemm"
+)
+
+// testProduct makes a Product whose Bytes is set explicitly so eviction
+// arithmetic is easy to pin.
+func testProduct(bytes int64) *Product {
+	return &Product{C: pbspgemm.NewER(16, 2, uint64(bytes)), Bytes: bytes}
+}
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := NewCache(250) // fits two 100-byte products, not three
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	p1, p2, p3 := testProduct(100), testProduct(100), testProduct(100)
+	c.Add("k1", p1)
+	c.Add("k2", p2)
+	if got, ok := c.Get("k1"); !ok || got != p1 {
+		t.Fatal("k1 missing after insert")
+	}
+	// k1 is now most recently used; inserting k3 must evict k2.
+	c.Add("k3", p3)
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("LRU entry k2 survived eviction")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("recently used k1 was evicted")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Fatal("fresh k3 missing")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 200 || st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("hit/miss counters: %+v", st)
+	}
+}
+
+func TestCacheRejectsOversized(t *testing.T) {
+	c := NewCache(100)
+	c.Add("big", testProduct(101))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized product was cached")
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Entries != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Add("k", testProduct(1))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestCacheManyEvictionsKeepBudget(t *testing.T) {
+	c := NewCache(1000)
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Sprintf("k%d", i), testProduct(100))
+	}
+	st := c.Stats()
+	if st.Bytes > 1000 {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if st.Entries != 10 || st.Evictions != 90 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

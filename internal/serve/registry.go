@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pbspgemm"
+	"pbspgemm/internal/mmio"
+)
+
+// ErrRegistryFull is the errors.Is sentinel for uploads rejected because the
+// registry's memory budget is exhausted.
+var ErrRegistryFull = errors.New("serve: matrix registry budget exhausted")
+
+// ErrNotFound marks a matrix id that is not registered.
+var ErrNotFound = errors.New("serve: matrix not found")
+
+// MatrixInfo is the registry's metadata for one matrix.
+type MatrixInfo struct {
+	// ID is the content hash (hex SHA-256 of the canonical binary
+	// serialization): identical uploads dedupe to one resident copy.
+	ID string `json:"id"`
+	// Name is the optional caller-supplied label of the first upload.
+	Name     string    `json:"name,omitempty"`
+	Rows     int32     `json:"rows"`
+	Cols     int32     `json:"cols"`
+	NNZ      int64     `json:"nnz"`
+	Bytes    int64     `json:"bytes"`
+	Uploaded time.Time `json:"uploaded"`
+}
+
+// Registry is the content-addressed matrix store: upload once, reuse the
+// same in-memory CSR zero-copy across any number of multiply requests.
+// Matrices are immutable once registered (kernels never mutate inputs), so
+// Get hands out the shared pointer. Safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	budget int64
+	bytes  int64
+	m      map[string]*registryEntry
+}
+
+type registryEntry struct {
+	mat  *pbspgemm.CSR
+	info MatrixInfo
+}
+
+// NewRegistry creates a registry holding at most budget resident bytes
+// (csrBytes accounting); budget <= 0 means unlimited.
+func NewRegistry(budget int64) *Registry {
+	return &Registry{budget: budget, m: make(map[string]*registryEntry)}
+}
+
+// HashMatrix returns the content id of m: hex SHA-256 over the canonical
+// little-endian binary serialization (header + RowPtr + ColIdx + Val), so
+// the id is stable across upload formats — a Matrix Market text upload and
+// a binary upload of the same matrix get the same id.
+func HashMatrix(m *pbspgemm.CSR) string {
+	h := sha256.New()
+	// WriteBinary's only error source is the writer, and a hash never fails.
+	_ = mmio.WriteBinary(h, m)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Put registers m under its content hash and returns its info. A re-upload
+// of identical content is not stored again: existed reports the dedup and
+// the original info (including its name and upload time) is returned, which
+// is what amortizes uploads across clients sharing popular matrices.
+func (r *Registry) Put(m *pbspgemm.CSR, name string) (info MatrixInfo, existed bool, err error) {
+	id := HashMatrix(m)
+	cost := csrBytes(m)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.m[id]; ok {
+		return e.info, true, nil
+	}
+	if r.budget > 0 && r.bytes+cost > r.budget {
+		return MatrixInfo{}, false, fmt.Errorf(
+			"%w: %d bytes registered, %d requested, budget %d",
+			ErrRegistryFull, r.bytes, cost, r.budget)
+	}
+	info = MatrixInfo{
+		ID: id, Name: name,
+		Rows: m.NumRows, Cols: m.NumCols, NNZ: m.NNZ(),
+		Bytes: cost, Uploaded: time.Now().UTC(),
+	}
+	r.m[id] = &registryEntry{mat: m, info: info}
+	r.bytes += cost
+	return info, false, nil
+}
+
+// Get returns the registered matrix and its info. The matrix is shared and
+// must be treated as read-only.
+func (r *Registry) Get(id string) (*pbspgemm.CSR, MatrixInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[id]
+	if !ok {
+		return nil, MatrixInfo{}, false
+	}
+	return e.mat, e.info, true
+}
+
+// Delete removes a matrix, freeing its budget share. In-flight requests
+// holding the pointer finish unaffected (the memory lives until they drop
+// it); new requests see ErrNotFound.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[id]
+	if !ok {
+		return false
+	}
+	delete(r.m, id)
+	r.bytes -= e.info.Bytes
+	return true
+}
+
+// List returns all registered matrices, most recent first (ties broken by
+// id so the order is deterministic).
+func (r *Registry) List() []MatrixInfo {
+	r.mu.RLock()
+	out := make([]MatrixInfo, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e.info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Uploaded.Equal(out[j].Uploaded) {
+			return out[i].Uploaded.After(out[j].Uploaded)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Stats reports the registry's occupancy.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return RegistryStats{Matrices: len(r.m), Bytes: r.bytes, BudgetBytes: r.budget}
+}
+
+// RegistryStats is the registry's slice of the /metrics snapshot.
+type RegistryStats struct {
+	Matrices    int   `json:"matrices"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"pbspgemm"
+)
+
+func TestRegistryPutGetDedup(t *testing.T) {
+	r := NewRegistry(0)
+	a := pbspgemm.NewER(128, 4, 1)
+	info, existed, err := r.Put(a, "a")
+	if err != nil || existed {
+		t.Fatalf("first Put: existed=%v err=%v", existed, err)
+	}
+	if info.ID == "" || info.Rows != 128 || info.NNZ != a.NNZ() {
+		t.Fatalf("bad info: %+v", info)
+	}
+	if info.Bytes != csrBytes(a) {
+		t.Fatalf("Bytes = %d, want %d", info.Bytes, csrBytes(a))
+	}
+	// Identical content (even a distinct allocation) dedupes to the same id.
+	clone := a.Clone()
+	info2, existed, err := r.Put(clone, "other-name")
+	if err != nil || !existed {
+		t.Fatalf("dedup Put: existed=%v err=%v", existed, err)
+	}
+	if info2.ID != info.ID || info2.Name != "a" {
+		t.Fatalf("dedup returned %+v, want original %+v", info2, info)
+	}
+	got, gi, ok := r.Get(info.ID)
+	if !ok || got != a || gi.ID != info.ID {
+		t.Fatalf("Get: ok=%v same-pointer=%v", ok, got == a)
+	}
+	if st := r.Stats(); st.Matrices != 1 || st.Bytes != info.Bytes {
+		t.Fatalf("stats after dedup: %+v", st)
+	}
+}
+
+func TestRegistryDistinctContentDistinctIDs(t *testing.T) {
+	r := NewRegistry(0)
+	ia, _, _ := r.Put(pbspgemm.NewER(128, 4, 1), "")
+	ib, _, _ := r.Put(pbspgemm.NewER(128, 4, 2), "")
+	if ia.ID == ib.ID {
+		t.Fatalf("distinct matrices share id %s", ia.ID)
+	}
+	if st := r.Stats(); st.Matrices != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRegistryBudgetAndDelete(t *testing.T) {
+	a := pbspgemm.NewER(128, 4, 1)
+	b := pbspgemm.NewER(128, 4, 2)
+	// Budget fits exactly one of the two (they are the same size).
+	r := NewRegistry(csrBytes(a) + csrBytes(b)/2)
+	ia, _, err := r.Put(a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Put(b, ""); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("over-budget Put: %v, want ErrRegistryFull", err)
+	}
+	// A re-upload of registered content must dedupe, not hit the budget.
+	if _, existed, err := r.Put(a.Clone(), ""); err != nil || !existed {
+		t.Fatalf("dedup under full budget: existed=%v err=%v", existed, err)
+	}
+	if !r.Delete(ia.ID) {
+		t.Fatal("Delete returned false")
+	}
+	if r.Delete(ia.ID) {
+		t.Fatal("second Delete returned true")
+	}
+	if _, _, ok := r.Get(ia.ID); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	// Deletion freed the budget: b now fits.
+	if _, _, err := r.Put(b, ""); err != nil {
+		t.Fatalf("Put after Delete: %v", err)
+	}
+	if st := r.Stats(); st.Matrices != 1 || st.Bytes != csrBytes(b) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestHashMatrixStableAcrossValuesAndStructure(t *testing.T) {
+	a := pbspgemm.NewER(64, 3, 7)
+	if HashMatrix(a) != HashMatrix(a.Clone()) {
+		t.Fatal("hash differs across identical clones")
+	}
+	mod := a.Clone()
+	mod.Val[0] += 1
+	if HashMatrix(a) == HashMatrix(mod) {
+		t.Fatal("hash ignores values")
+	}
+}

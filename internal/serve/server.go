@@ -1,0 +1,668 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pbspgemm"
+	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/mmio"
+)
+
+// Server is the HTTP serving layer: an http.Handler wiring the registry,
+// result cache, admission controller and flight group around one Engine.
+//
+// Endpoints:
+//
+//	POST   /matrices        upload (Matrix Market text or PBSP binary, sniffed)
+//	GET    /matrices        list registered matrices
+//	GET    /matrices/{id}   one matrix's metadata
+//	DELETE /matrices/{id}   unregister
+//	POST   /multiply        compute (or fetch) a product
+//	POST   /plan            dry-run the planner + admission for a product
+//	GET    /metrics         engine, cache, admission, tenant and latency stats
+//	GET    /healthz         liveness
+type Server struct {
+	cfg     Config
+	eng     *pbspgemm.Engine
+	reg     *Registry
+	cache   *Cache
+	adm     *Admission
+	flights *flightGroup
+	tenants *tenantSet
+	lat     *latencySet
+	mux     *http.ServeMux
+
+	// execute runs one admitted product; tests swap it to gate in-flight
+	// multiplications deterministically. Admission and caching stay in the
+	// caller either way.
+	execute func(ctx context.Context, spec *productSpec) (*Product, error)
+}
+
+// NewServer wires a serving layer over cfg.Engine.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: Config.Engine is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		reg:     NewRegistry(cfg.RegistryBudgetBytes),
+		cache:   NewCache(cfg.CacheBudgetBytes),
+		adm:     NewAdmission(cfg.MemoryCeilingBytes, cfg.MaxQueue, cfg.MaxQueueWait),
+		flights: newFlightGroup(),
+		tenants: newTenantSet(),
+		lat:     newLatencySet(cfg.LatencyWindow),
+	}
+	s.execute = s.runProduct
+	s.mux = http.NewServeMux()
+	s.route("POST /matrices", s.handleUpload)
+	s.route("GET /matrices", s.handleListMatrices)
+	s.route("GET /matrices/{id}", s.handleGetMatrix)
+	s.route("DELETE /matrices/{id}", s.handleDeleteMatrix)
+	s.route("POST /multiply", s.handleMultiply)
+	s.route("POST /plan", s.handlePlan)
+	s.route("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the matrix registry (for embedding programs and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the result cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Admission exposes the admission controller.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// route mounts h under pattern with the latency/tenant middleware; the
+// pattern doubles as the endpoint label in /metrics.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.tenants.update(r.Header.Get("X-Tenant"), func(t *TenantStats) { t.Requests++ })
+		h(w, r)
+		s.lat.observe(pattern, time.Since(start))
+	})
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// --- uploads ---
+
+// uploadResponse is the POST /matrices reply.
+type uploadResponse struct {
+	MatrixInfo
+	// Existed reports content-hash dedup: the exact matrix was already
+	// registered and no new memory was spent.
+	Existed bool `json:"existed"`
+}
+
+// handleUpload ingests one matrix, Matrix Market text or PBSP binary
+// (sniffed from the first bytes), bounded by MaxUploadBytes either way.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReaderSize(mmio.LimitReader(r.Body, s.cfg.MaxUploadBytes), 1<<20)
+	var m *pbspgemm.CSR
+	var err error
+	if isBinaryUpload(br) {
+		m, err = mmio.ReadBinary(br)
+	} else {
+		m, err = mmio.ReadMatrixMarket(br)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, mmio.ErrTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, err)
+		return
+	}
+	info, existed, err := s.reg.Put(m, r.URL.Query().Get("name"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrRegistryFull) {
+			status = http.StatusInsufficientStorage
+		}
+		httpError(w, status, err)
+		return
+	}
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(uploadResponse{MatrixInfo: info, Existed: existed})
+}
+
+// isBinaryUpload sniffs the PBSP binary magic without consuming it.
+func isBinaryUpload(br *bufio.Reader) bool {
+	peek, err := br.Peek(4)
+	if err != nil || len(peek) < 4 {
+		return false
+	}
+	magic := uint32(peek[0]) | uint32(peek[1])<<8 | uint32(peek[2])<<16 | uint32(peek[3])<<24
+	return magic == 0x50425350 // mmio's binaryMagic, little-endian
+}
+
+func (s *Server) handleListMatrices(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"matrices": s.reg.List()})
+}
+
+func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
+	_, info, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Delete(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- multiply ---
+
+// multiplyRequest is the POST /multiply (and /plan) body.
+type multiplyRequest struct {
+	// A, B are registry ids of the factors.
+	A string `json:"a"`
+	B string `json:"b"`
+	// Semiring: arithmetic (default), boolean, minplus, maxtimes.
+	Semiring string `json:"semiring,omitempty"`
+	// Algorithm: auto (default), pb, heap, hash, hashvec, spa, esc.
+	// Arithmetic unmasked products only; other paths run the PB-structured
+	// semiring kernel.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Mask is an optional registry id applied as C⟨M⟩ (arithmetic only);
+	// Complement flips it to ⟨¬M⟩.
+	Mask       string `json:"mask,omitempty"`
+	Complement bool   `json:"complement,omitempty"`
+	// Threads and MemoryBudgetBytes override the engine defaults per call.
+	Threads           int   `json:"threads,omitempty"`
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// Output: metadata (default), matrixmarket, binary.
+	Output string `json:"output,omitempty"`
+}
+
+// productSpec is a resolved, validated multiply request.
+type productSpec struct {
+	req        multiplyRequest
+	a, b, mask *pbspgemm.CSR
+	algorithm  pbspgemm.Algorithm
+	semiring   string
+}
+
+// key is the full request identity the cache and flight group share: both
+// inputs' content hashes, the algebra, the mask, and every option that can
+// change the bytes of the result.
+func (sp *productSpec) key() string {
+	return strings.Join([]string{
+		sp.req.A, sp.req.B, sp.semiring, sp.req.Mask,
+		strconv.FormatBool(sp.req.Complement), sp.algorithm.String(),
+		strconv.Itoa(sp.req.Threads), strconv.FormatInt(sp.req.MemoryBudgetBytes, 10),
+	}, "|")
+}
+
+// engineOptions are the per-call overrides shared by every execution path.
+func (sp *productSpec) engineOptions() []pbspgemm.Option {
+	return []pbspgemm.Option{
+		pbspgemm.WithThreads(sp.req.Threads),
+		pbspgemm.WithMemoryBudget(sp.req.MemoryBudgetBytes),
+	}
+}
+
+// resolveSpec validates the request against the registry.
+func (s *Server) resolveSpec(req multiplyRequest) (*productSpec, int, error) {
+	sp := &productSpec{req: req, semiring: req.Semiring, algorithm: pbspgemm.Auto}
+	if sp.semiring == "" {
+		sp.semiring = "arithmetic"
+	}
+	switch sp.semiring {
+	case "arithmetic", "boolean", "minplus", "maxtimes":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: unknown semiring %q", req.Semiring)
+	}
+	if req.Algorithm != "" {
+		alg, err := parseAlgorithm(req.Algorithm)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		sp.algorithm = alg
+	}
+	switch req.Output {
+	case "", "metadata", "matrixmarket", "binary":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: unknown output %q", req.Output)
+	}
+	if req.Threads < 0 || req.MemoryBudgetBytes < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: negative threads or memory budget")
+	}
+	var ok bool
+	if sp.a, _, ok = s.reg.Get(req.A); !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("%w: a=%q", ErrNotFound, req.A)
+	}
+	if sp.b, _, ok = s.reg.Get(req.B); !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("%w: b=%q", ErrNotFound, req.B)
+	}
+	if req.Mask != "" {
+		if sp.semiring != "arithmetic" {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("serve: masks are supported on the arithmetic semiring only")
+		}
+		if sp.mask, _, ok = s.reg.Get(req.Mask); !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("%w: mask=%q", ErrNotFound, req.Mask)
+		}
+	} else if req.Complement {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: complement without a mask")
+	}
+	if sp.a.NumCols != sp.b.NumRows {
+		return nil, http.StatusBadRequest, fmt.Errorf(
+			"serve: inner dimensions disagree (%dx%d)·(%dx%d): %w",
+			sp.a.NumRows, sp.a.NumCols, sp.b.NumRows, sp.b.NumCols, matrix.ErrShape)
+	}
+	if sp.mask != nil && (sp.mask.NumRows != sp.a.NumRows || sp.mask.NumCols != sp.b.NumCols) {
+		return nil, http.StatusBadRequest, fmt.Errorf(
+			"serve: mask is %dx%d, product is %dx%d: %w",
+			sp.mask.NumRows, sp.mask.NumCols, sp.a.NumRows, sp.b.NumCols, matrix.ErrShape)
+	}
+	return sp, 0, nil
+}
+
+// parseAlgorithm maps the request string to an Algorithm.
+func parseAlgorithm(s string) (pbspgemm.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return pbspgemm.Auto, nil
+	case "pb":
+		return pbspgemm.PB, nil
+	case "heap":
+		return pbspgemm.Heap, nil
+	case "hash":
+		return pbspgemm.Hash, nil
+	case "hashvec":
+		return pbspgemm.HashVec, nil
+	case "spa":
+		return pbspgemm.SPA, nil
+	case "esc":
+		return pbspgemm.ColumnESC, nil
+	}
+	return 0, fmt.Errorf("serve: unknown algorithm %q", s)
+}
+
+// multiplyResponse is the POST /multiply metadata reply. With
+// output=matrixmarket|binary the same fields travel as X-Pbspgemm-* headers
+// ahead of the matrix body.
+type multiplyResponse struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Semiring  string  `json:"semiring"`
+	Algorithm string  `json:"algorithm"`
+	Rows      int32   `json:"rows"`
+	Cols      int32   `json:"cols"`
+	NNZ       int64   `json:"nnz"`
+	Flops     int64   `json:"flops"`
+	CF        float64 `json:"cf"`
+	// ElapsedNs is the original compute time (a cache hit reports the time
+	// the cached run took, not the lookup).
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Cached reports a result-cache hit: the Engine never saw this request.
+	Cached bool `json:"cached"`
+	// Coalesced reports singleflight batching: this request waited on an
+	// identical in-flight multiply instead of starting its own.
+	Coalesced bool `json:"coalesced"`
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get("X-Tenant")
+	var req multiplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	sp, status, err := s.resolveSpec(req)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Errors++ })
+		httpError(w, status, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	p, how, err := s.product(ctx, sp)
+	if err != nil {
+		s.failMultiply(w, tenant, err)
+		return
+	}
+	s.tenants.update(tenant, func(t *TenantStats) {
+		t.Multiplies++
+		t.Flops += p.Flops
+		t.NNZProduced += p.C.NNZ()
+		t.Busy += p.Elapsed
+		switch how {
+		case viaCache:
+			t.CacheHits++
+		case viaFlight:
+			t.Coalesced++
+		}
+	})
+	resp := multiplyResponse{
+		A: sp.req.A, B: sp.req.B, Semiring: sp.semiring, Algorithm: p.Algorithm,
+		Rows: p.C.NumRows, Cols: p.C.NumCols, NNZ: p.C.NNZ(),
+		Flops: p.Flops, CF: p.CF, ElapsedNs: int64(p.Elapsed),
+		Cached: how == viaCache, Coalesced: how == viaFlight,
+	}
+	switch sp.req.Output {
+	case "", "metadata":
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	case "matrixmarket":
+		s.writeResultHeaders(w, &resp)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = mmio.WriteMatrixMarket(w, p.C)
+	case "binary":
+		s.writeResultHeaders(w, &resp)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_ = mmio.WriteBinary(w, p.C)
+	}
+}
+
+// writeResultHeaders carries the metadata of a matrix-body response.
+func (s *Server) writeResultHeaders(w http.ResponseWriter, resp *multiplyResponse) {
+	h := w.Header()
+	h.Set("X-Pbspgemm-Algorithm", resp.Algorithm)
+	h.Set("X-Pbspgemm-Nnz", strconv.FormatInt(resp.NNZ, 10))
+	h.Set("X-Pbspgemm-Flops", strconv.FormatInt(resp.Flops, 10))
+	h.Set("X-Pbspgemm-Cached", strconv.FormatBool(resp.Cached))
+	h.Set("X-Pbspgemm-Coalesced", strconv.FormatBool(resp.Coalesced))
+}
+
+// failMultiply maps a product error to its HTTP shape and tenant counters.
+func (s *Server) failMultiply(w http.ResponseWriter, tenant string, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		s.tenants.update(tenant, func(t *TenantStats) { t.Shed++ })
+		secs := int64(shed.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.tenants.update(tenant, func(t *TenantStats) { t.Errors++ })
+		httpError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// Client went away; the response is moot but complete the exchange.
+		s.tenants.update(tenant, func(t *TenantStats) { t.Errors++ })
+		httpError(w, 499, err)
+	default:
+		s.tenants.update(tenant, func(t *TenantStats) { t.Errors++ })
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// servedVia says how a product reached its requester.
+type servedVia int
+
+const (
+	viaEngine servedVia = iota // this request ran the multiply
+	viaCache                   // result cache hit
+	viaFlight                  // coalesced onto another request's multiply
+)
+
+// product serves one resolved request: result cache, then singleflight
+// (whose leader passes admission and runs the Engine), caching the product
+// for the next identical request.
+func (s *Server) product(ctx context.Context, sp *productSpec) (*Product, servedVia, error) {
+	key := sp.key()
+	if p, ok := s.cache.Get(key); ok {
+		return p, viaCache, nil
+	}
+	p, shared, err := s.flights.do(ctx, key, func() (*Product, error) {
+		plan, err := s.eng.Plan(ctx, sp.a, sp.b, sp.engineOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.adm.Acquire(ctx, plan.PredictedFootprintBytes); err != nil {
+			return nil, err
+		}
+		defer s.adm.Release(plan.PredictedFootprintBytes)
+		p, err := s.execute(ctx, sp)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Add(key, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, viaEngine, err
+	}
+	via := viaEngine
+	if shared {
+		via = viaFlight
+	}
+	return p, via, nil
+}
+
+// runProduct executes one admitted product on the Engine. This is the only
+// place the serving layer multiplies.
+func (s *Server) runProduct(ctx context.Context, sp *productSpec) (*Product, error) {
+	opts := sp.engineOptions()
+	switch {
+	case sp.semiring == "arithmetic" && sp.mask == nil:
+		res, err := s.eng.Multiply(ctx, sp.a, sp.b, append(opts, pbspgemm.WithAlgorithm(sp.algorithm))...)
+		if err != nil {
+			return nil, err
+		}
+		return &Product{
+			C: res.C, Algorithm: res.Algorithm.String(),
+			Flops: res.Flops, CF: res.CF, Elapsed: res.Elapsed,
+			Bytes: csrBytes(res.C),
+		}, nil
+	case sp.semiring == "arithmetic":
+		if sp.req.Complement {
+			opts = append(opts, pbspgemm.WithComplementMask(sp.mask))
+		}
+		start := time.Now()
+		mask := sp.mask
+		if sp.req.Complement {
+			mask = nil // the option carries it; a mask argument would override the complement
+		}
+		c, err := s.eng.MultiplyMasked(ctx, sp.a, sp.b, mask, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return productOf(c, "PB-SpGEMM(masked)", pbspgemm.Flops(sp.a, sp.b), time.Since(start)), nil
+	case sp.semiring == "boolean":
+		start := time.Now()
+		ac := pbspgemm.MatrixOf(sp.a, func(float64) bool { return true }).ToCSC()
+		br := pbspgemm.MatrixOf(sp.b, func(float64) bool { return true })
+		g, err := pbspgemm.EngineMultiplyOver(s.eng, ctx, pbspgemm.Boolean(), ac, br, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return productOf(boolCSR(g), "PB-SpGEMM(boolean)", pbspgemm.Flops(sp.a, sp.b), time.Since(start)), nil
+	default: // minplus, maxtimes: float64-valued tropical algebras
+		sr := pbspgemm.MinPlus()
+		if sp.semiring == "maxtimes" {
+			sr = pbspgemm.MaxTimes()
+		}
+		start := time.Now()
+		ac := pbspgemm.Float64Matrix(sp.a).ToCSC()
+		g, err := pbspgemm.EngineMultiplyOver(s.eng, ctx, sr, ac, pbspgemm.Float64Matrix(sp.b), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return productOf(pbspgemm.Float64CSR(g), "PB-SpGEMM("+sp.semiring+")",
+			pbspgemm.Flops(sp.a, sp.b), time.Since(start)), nil
+	}
+}
+
+// productOf assembles a Product from a finished CSR result. Flops here is
+// the symbolic multiplication count (the paths without a Result report it).
+func productOf(c *pbspgemm.CSR, algorithm string, flops int64, elapsed time.Duration) *Product {
+	p := &Product{C: c, Algorithm: algorithm, Flops: flops, Elapsed: elapsed, Bytes: csrBytes(c)}
+	if nnz := c.NNZ(); nnz > 0 {
+		p.CF = float64(flops) / float64(nnz)
+	}
+	return p
+}
+
+// boolCSR lowers a Boolean product to the float64 CSR interchange format
+// (stored entries become 1.0), reusing the structure arrays.
+func boolCSR(g *pbspgemm.Matrix[bool]) *pbspgemm.CSR {
+	val := make([]float64, len(g.Val))
+	for i := range val {
+		val[i] = 1
+	}
+	return &pbspgemm.CSR{
+		NumRows: g.NumRows, NumCols: g.NumCols,
+		RowPtr: g.RowPtr, ColIdx: g.ColIdx, Val: val,
+	}
+}
+
+// --- plan (dry run) ---
+
+// planResponse is the POST /plan reply: the Auto planner's decision and the
+// admission verdict the same request would receive right now, without
+// running anything.
+type planResponse struct {
+	Chosen                  string  `json:"chosen"`
+	Flops                   int64   `json:"flops"`
+	EstNNZC                 int64   `json:"est_nnz_c"`
+	CF                      float64 `json:"cf"`
+	PredictedFootprintBytes int64   `json:"predicted_footprint_bytes"`
+	PredictedOuterGFLOPS    float64 `json:"predicted_outer_gflops"`
+	PredictedColumnGFLOPS   float64 `json:"predicted_column_gflops"`
+	// Admissible reports whether the footprint fits the ceiling at all;
+	// WouldQueue whether it would have to wait behind current in-flight work.
+	Admissible bool `json:"admissible"`
+	WouldQueue bool `json:"would_queue"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req multiplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	sp, status, err := s.resolveSpec(req)
+	if err != nil {
+		httpError(w, status, err)
+		return
+	}
+	plan, err := s.eng.Plan(r.Context(), sp.a, sp.b, sp.engineOptions()...)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	adm := s.adm.Stats()
+	resp := planResponse{
+		Chosen: plan.Chosen.String(), Flops: plan.Flops, EstNNZC: plan.EstNNZC, CF: plan.CF,
+		PredictedFootprintBytes: plan.PredictedFootprintBytes,
+		PredictedOuterGFLOPS:    plan.PredictedOuterGFLOPS,
+		PredictedColumnGFLOPS:   plan.PredictedColumnGFLOPS,
+		Admissible:              adm.CeilingBytes <= 0 || plan.PredictedFootprintBytes <= adm.CeilingBytes,
+	}
+	resp.WouldQueue = resp.Admissible && adm.CeilingBytes > 0 &&
+		adm.InflightBytes+plan.PredictedFootprintBytes > adm.CeilingBytes
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// --- metrics ---
+
+// MetricsSnapshot is the GET /metrics document.
+type MetricsSnapshot struct {
+	Engine    EngineSnapshot          `json:"engine"`
+	Cache     CacheStats              `json:"cache"`
+	Admission AdmissionStats          `json:"admission"`
+	Registry  RegistryStats           `json:"registry"`
+	Coalesced int64                   `json:"coalesced_requests"`
+	Tenants   map[string]TenantStats  `json:"tenants"`
+	Latency   map[string]LatencyStats `json:"latency"`
+}
+
+// EngineSnapshot is EngineMetrics with JSON-friendly algorithm names.
+type EngineSnapshot struct {
+	Calls       int64                       `json:"calls"`
+	Failures    int64                       `json:"failures"`
+	Flops       int64                       `json:"flops"`
+	BytesMoved  int64                       `json:"bytes_moved"`
+	NNZProduced int64                       `json:"nnz_produced"`
+	BusyNs      int64                       `json:"busy_ns"`
+	ByAlgorithm map[string]AlgorithmMetrics `json:"by_algorithm,omitempty"`
+}
+
+// AlgorithmMetrics mirrors pbspgemm.AlgorithmMetrics for JSON.
+type AlgorithmMetrics struct {
+	Calls       int64 `json:"calls"`
+	Failures    int64 `json:"failures"`
+	Flops       int64 `json:"flops"`
+	NNZProduced int64 `json:"nnz_produced"`
+	BusyNs      int64 `json:"busy_ns"`
+	AutoChosen  int64 `json:"auto_chosen"`
+}
+
+// Metrics assembles the full serving snapshot (also used by tests directly,
+// skipping HTTP).
+func (s *Server) Metrics() MetricsSnapshot {
+	em := s.eng.Metrics()
+	es := EngineSnapshot{
+		Calls: em.Calls, Failures: em.Failures, Flops: em.Flops,
+		BytesMoved: em.BytesMoved, NNZProduced: em.NNZProduced, BusyNs: int64(em.Busy),
+	}
+	if len(em.ByAlgorithm) > 0 {
+		es.ByAlgorithm = make(map[string]AlgorithmMetrics, len(em.ByAlgorithm))
+		for alg, am := range em.ByAlgorithm {
+			es.ByAlgorithm[alg.String()] = AlgorithmMetrics{
+				Calls: am.Calls, Failures: am.Failures, Flops: am.Flops,
+				NNZProduced: am.NNZProduced, BusyNs: int64(am.Busy), AutoChosen: am.AutoChosen,
+			}
+		}
+	}
+	return MetricsSnapshot{
+		Engine:    es,
+		Cache:     s.cache.Stats(),
+		Admission: s.adm.Stats(),
+		Registry:  s.reg.Stats(),
+		Coalesced: s.flights.coalescedTotal(),
+		Tenants:   s.tenants.snapshot(),
+		Latency:   s.lat.snapshot(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Metrics())
+}

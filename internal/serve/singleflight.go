@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent identical products onto one in-flight
+// multiply: the first request for a key becomes the leader and runs the
+// work; requests arriving while it runs wait for its result instead of
+// multiplying again. Followers still honor their own context — a follower
+// whose deadline expires unblocks with ctx.Err() while the leader runs on
+// for the others. (A from-scratch singleflight: x/sync is not vendored.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	coalesced int64 // followers that joined an existing flight
+}
+
+type flight struct {
+	done      chan struct{}
+	val       *Product
+	err       error
+	followers int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller got a coalesced result rather than running fn itself. The
+// leader ignores ctx here (its own fn observes it); followers return early
+// on their ctx.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Product, error)) (p *Product, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		f.followers++
+		g.coalesced++
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// waiting reports how many followers are currently attached to key's flight
+// (0 when no flight is running). Tests use it to deterministically observe
+// coalescing before releasing a gated leader.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.followers
+	}
+	return 0
+}
+
+// coalescedTotal reports how many requests ever joined an existing flight.
+func (g *flightGroup) coalescedTotal() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}

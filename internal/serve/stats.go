@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"pbspgemm/internal/metrics"
+)
+
+// TenantStats is one tenant's slice of the server counters, accumulated
+// from the requests carrying its X-Tenant header (absent header = the
+// "default" tenant). Multiply outcomes are attributed however they were
+// served — a cache hit and a coalesced follower both count their flops,
+// because the tenant received the product either way.
+type TenantStats struct {
+	Requests    int64         `json:"requests"`
+	Multiplies  int64         `json:"multiplies"`
+	CacheHits   int64         `json:"cache_hits"`
+	Coalesced   int64         `json:"coalesced"`
+	Shed        int64         `json:"shed"`
+	Errors      int64         `json:"errors"`
+	Flops       int64         `json:"flops"`
+	NNZProduced int64         `json:"nnz_produced"`
+	Busy        time.Duration `json:"busy_ns"`
+}
+
+// tenantSet aggregates per-tenant counters. Safe for concurrent use.
+type tenantSet struct {
+	mu sync.Mutex
+	m  map[string]*TenantStats
+}
+
+func newTenantSet() *tenantSet { return &tenantSet{m: make(map[string]*TenantStats)} }
+
+// update applies fn to tenant's counters under the lock.
+func (t *tenantSet) update(tenant string, fn func(*TenantStats)) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t.mu.Lock()
+	ts, ok := t.m[tenant]
+	if !ok {
+		ts = &TenantStats{}
+		t.m[tenant] = ts
+	}
+	fn(ts)
+	t.mu.Unlock()
+}
+
+// snapshot copies the per-tenant counters.
+func (t *tenantSet) snapshot() map[string]TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]TenantStats, len(t.m))
+	for k, v := range t.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// latencyRing keeps the last cap samples of one endpoint's latency (seconds)
+// plus a total request count, enough for windowed percentiles without
+// unbounded memory.
+type latencyRing struct {
+	buf   []float64
+	next  int
+	count int64
+}
+
+// latencySet tracks per-endpoint latency rings. Safe for concurrent use.
+type latencySet struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*latencyRing
+}
+
+func newLatencySet(window int) *latencySet {
+	return &latencySet{cap: window, m: make(map[string]*latencyRing)}
+}
+
+// observe records one request's latency under the endpoint label.
+func (l *latencySet) observe(endpoint string, d time.Duration) {
+	l.mu.Lock()
+	r, ok := l.m[endpoint]
+	if !ok {
+		r = &latencyRing{}
+		l.m[endpoint] = r
+	}
+	if len(r.buf) < l.cap {
+		r.buf = append(r.buf, d.Seconds())
+	} else {
+		r.buf[r.next] = d.Seconds()
+		r.next = (r.next + 1) % l.cap
+	}
+	r.count++
+	l.mu.Unlock()
+}
+
+// LatencyStats is one endpoint's windowed latency distribution, in
+// milliseconds (the natural unit for serving dashboards).
+type LatencyStats struct {
+	// Count is the total requests observed (not just the window).
+	Count int64 `json:"count"`
+	// Window is how many recent samples the percentiles cover.
+	Window int     `json:"window"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// snapshot summarizes every endpoint's ring with metrics.Summarize — the
+// p50/p95/p99 this PR added there are exactly the serving percentiles.
+func (l *latencySet) snapshot() map[string]LatencyStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]LatencyStats, len(l.m))
+	for k, r := range l.m {
+		s := metrics.Summarize(r.buf)
+		out[k] = LatencyStats{
+			Count: r.count, Window: s.N,
+			MeanMs: s.Mean * 1e3,
+			P50Ms:  s.P50 * 1e3, P95Ms: s.P95 * 1e3, P99Ms: s.P99 * 1e3,
+			MaxMs: s.Max * 1e3,
+		}
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package pbspgemm
 
 import (
+	"context"
+
 	"pbspgemm/internal/core"
 	"pbspgemm/internal/kernel"
 	"pbspgemm/internal/matrix"
@@ -57,6 +59,17 @@ type Plan struct {
 	// PredictedOuterGFLOPS, PredictedColumnGFLOPS are eta·beta·AI per
 	// family — the numbers the decision compares.
 	PredictedOuterGFLOPS, PredictedColumnGFLOPS float64
+	// PredictedFootprintBytes estimates the call's peak transient allocation
+	// before any of it happens — the signal an admission controller needs to
+	// shed or queue load ahead of OOM. The model: the chosen family's working
+	// set (PB expands Flops tuples at OuterLayout.TupleBytes() each, capped
+	// by WithMemoryBudget since budgeted runs tile panels to fit; column
+	// kernels accumulate roughly the output once more) plus twice the
+	// predicted output CSR (the kernel's copy and the caller-owned clone the
+	// Engine detaches from the pooled workspace). Inputs are not counted —
+	// they are already resident. An estimate, not a bound: it inherits
+	// EstNNZC's sampling error and rounds workspace overheads away.
+	PredictedFootprintBytes int64
 }
 
 // plannerExactFlopLimit bounds the exact symbolic nnz(C) pass: products up
@@ -74,6 +87,8 @@ func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
 	p.Flops = flopsNoAlloc(a, b)
 	if p.Flops == 0 {
 		// Empty product: nothing to move, any kernel finishes immediately.
+		p.OuterLayout = core.LayoutWide
+		p.PredictedFootprintBytes = p.footprint(int64(a.NumRows), cfg.budget)
 		return p
 	}
 	p.EstNNZC, p.Sampled = matrix.EstimateProductNNZ(a, b, p.Flops, plannerExactFlopLimit, scratch)
@@ -128,5 +143,54 @@ func (e *Engine) plan(cfg *config, a, b *CSR, scratch *[]int32) *Plan {
 		// evaluation (and ours); it represents the family here.
 		p.Chosen = Hash
 	}
+	p.PredictedFootprintBytes = p.footprint(int64(a.NumRows), cfg.budget)
 	return p
+}
+
+// footprint implements the PredictedFootprintBytes model for the chosen
+// family (see the field's doc comment).
+func (p *Plan) footprint(rows, budget int64) int64 {
+	// One output CSR: (rows+1)×8 RowPtr + nnz×(4+8) ColIdx/Val.
+	out := (rows+1)*8 + p.EstNNZC*12
+	var work int64
+	if p.Chosen == PB {
+		work = p.Flops * p.OuterLayout.TupleBytes()
+		if budget > 0 && budget < work {
+			work = budget
+		}
+	} else {
+		// Column kernels never materialize the expansion; their hash/heap
+		// accumulators hold on the order of the output once more.
+		work = p.EstNNZC * matrix.BytesPerTuple
+	}
+	return work + 2*out
+}
+
+// Plan runs the Auto planner's pre-execution analysis — symbolic flop pass,
+// nnz(C) estimate, per-family roofline prediction, footprint model — without
+// multiplying. Serving layers use it for admission control: the returned
+// Plan's PredictedFootprintBytes says what a subsequent Multiply would cost
+// in transient memory, and Chosen which kernel Auto would run. The call does
+// not touch the engine's metrics (nothing was dispatched); ctx is observed
+// before the symbolic pass, like Auto's own pre-planning check.
+func (e *Engine) Plan(ctx context.Context, a, b *CSR, opts ...Option) (*Plan, error) {
+	cfg, err := resolve(e.defaults, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		cfg.ctx = ctx
+	}
+	if a.NumCols != b.NumRows {
+		return nil, shapeError(a, b)
+	}
+	if cancel := cfg.cancelFunc(); cancel != nil {
+		if err := cancel(); err != nil {
+			return nil, err
+		}
+	}
+	ws := e.pool.Get().(*kernel.Workspace)
+	p := e.plan(&cfg, a, b, &ws.PlanScratch)
+	e.pool.Put(ws)
+	return p, nil
 }

@@ -364,6 +364,14 @@ func NewRMAT(scale, edgeFactor int, seed uint64) *CSR {
 // ReadMatrixMarket parses a Matrix Market stream (SuiteSparse format).
 func ReadMatrixMarket(r io.Reader) (*CSR, error) { return mmio.ReadMatrixMarket(r) }
 
+// ReadMatrixMarketLimited is ReadMatrixMarket with a hard byte cap for
+// untrusted input: consuming more than maxBytes from r fails with an error
+// matching mmio's ErrTooLarge instead of ingesting a hostile payload.
+// maxBytes <= 0 means unlimited.
+func ReadMatrixMarketLimited(r io.Reader, maxBytes int64) (*CSR, error) {
+	return mmio.ReadMatrixMarketLimited(r, maxBytes)
+}
+
 // ReadMatrixMarketFile loads a Matrix Market file from disk.
 func ReadMatrixMarketFile(path string) (*CSR, error) { return mmio.ReadFile(path) }
 
