@@ -10,6 +10,7 @@ import (
 	"pbspgemm/internal/core"
 	"pbspgemm/internal/gen"
 	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/stream"
 )
 
 // The benchmark trajectory harness: a fixed set of fixed-seed ER and R-MAT
@@ -27,12 +28,17 @@ import (
 // benchSchema versions the JSON so future PRs can evolve the report without
 // breaking trajectory tooling. v2 adds the fused field and the fuse phase;
 // v3 adds the mode field and the pattern (4 B) and float32-narrow (8 B)
-// regimes.
-const benchSchema = "pbspgemm-bench/v3"
+// regimes; v4 adds the measured STREAM Triad baselines, per-phase
+// pct_of_stream (phase GB/s as a percentage of the matching-thread-count
+// Triad figure — how close each phase runs to the bandwidth roof), the
+// kernel field, scalar-oracle comparator regimes, and multi-threaded
+// variants of the acceptance pair.
+const benchSchema = "pbspgemm-bench/v4"
 
 type benchPhase struct {
-	Millis float64 `json:"ms"`
-	GBs    float64 `json:"gbs,omitempty"`
+	Millis    float64 `json:"ms"`
+	GBs       float64 `json:"gbs,omitempty"`
+	PctStream float64 `json:"pct_of_stream,omitempty"`
 }
 
 type benchRegime struct {
@@ -44,6 +50,8 @@ type benchRegime struct {
 	SeedB       uint64     `json:"seed_b"`
 	Layout      string     `json:"layout"`
 	Mode        string     `json:"mode,omitempty"` // "" (float64) | pattern | f32
+	Kernel      string     `json:"kernel"`         // Stats.Kernel: dispatched kernel set
+	Scalar      bool       `json:"scalar,omitempty"`
 	Fused       bool       `json:"fused"`
 	BudgetBytes int64      `json:"budget_bytes,omitempty"`
 	Threads     int        `json:"threads"`
@@ -62,12 +70,18 @@ type benchRegime struct {
 }
 
 type benchReport struct {
-	Schema  string        `json:"schema"`
-	GoOS    string        `json:"goos"`
-	GoArch  string        `json:"goarch"`
-	CPUs    int           `json:"cpus"`
-	Reps    int           `json:"reps"`
-	Regimes []benchRegime `json:"regimes"`
+	Schema string `json:"schema"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Reps   int    `json:"reps"`
+	// Measured STREAM Triad bandwidth — the roof the pct_of_stream figures
+	// are relative to: single-threaded for the Threads==1 regimes,
+	// StreamThreads-wide for the rest.
+	StreamTriad1GBs float64       `json:"stream_triad_1t_gbs"`
+	StreamTriadNGBs float64       `json:"stream_triad_nt_gbs"`
+	StreamThreads   int           `json:"stream_threads"`
+	Regimes         []benchRegime `json:"regimes"`
 }
 
 // benchCase is one regime's generator recipe; layouts and fusion are forced
@@ -84,58 +98,91 @@ type benchCase struct {
 	unfused    bool   // run the three-pass PR 4 pipeline instead of fused
 	budget     int64  // MemoryBudgetBytes; >0 exercises the panel/merge path
 	mode       string // "" core.Multiply | "pattern" 4 B key-only | "f32" 8 B narrow
+	scalar     bool   // DisableBatch: run the scalar oracle kernels
+}
+
+// scalarVariant is c with the batched kernels disabled — the oracle
+// comparator the batched-vs-scalar gate keys on.
+func (c benchCase) scalarVariant() benchCase {
+	c.name += "-scalar"
+	c.scalar = true
+	return c
 }
 
 // The names the -gate check keys on (see gateBench). The pattern regime runs
 // the same R-MAT input as the squeezed-float64 acceptance pair, so
-// gateFusedRegime doubles as its 12-byte comparator.
+// gateFusedRegime doubles as its 12-byte comparator; the -scalar variants of
+// the batchedGateRegimes are the oracle side of the batched-kernel gate.
 const (
 	gateFusedRegime   = "rmat-highcf-fused"
 	gateUnfusedRegime = "rmat-highcf-unfused"
 	gatePatternRegime = "rmat-highcf-pattern"
 )
 
+// batchedGateRegimes are the regimes -gate holds to batched ≤ scalar ns/op;
+// benchCases appends a scalarVariant of each.
+var batchedGateRegimes = []string{"er-lowcf-squeezed", gateFusedRegime}
+
 func benchCases() []benchCase {
 	return []benchCase{
 		// Low-cf ER, both layouts: the PR 4 acceptance pair
 		// (BenchmarkMultiply's regime). Single-threaded so allocs/op asserts
 		// the pooled 0.
-		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0, ""},
-		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0, ""},
+		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0, "", false},
+		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0, "", false},
 		// High-cf R-MAT (cf ≈ 4.6, past the crossover — the regime where the
 		// compress pass the fusion removes carries the most bytes relative
 		// to output): the PR 5 fused-vs-unfused acceptance pair, plus the
 		// same pair on the wide layout so the allocs/op gate covers both
 		// layouts under fusion. Single-threaded, pooled.
-		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0, ""},
-		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0, ""},
-		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0, ""},
-		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0, ""},
+		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0, "", false},
+		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0, "", false},
+		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0, "", false},
+		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0, "", false},
 		// The Boolean/structural regime: the 4-byte pattern layout on the same
 		// high-cf input as the squeezed acceptance pair (its 12-byte
 		// comparator), and on the low-cf ER input. The 8-byte float32 narrow
 		// layout on both workloads. All single-threaded pooled, so the 0
 		// allocs/op gate covers every layout.
-		{gatePatternRegime, "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "pattern"},
-		{"er-lowcf-pattern", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "pattern"},
-		{"rmat-highcf-f32", "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "f32"},
-		{"er-lowcf-f32", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "f32"},
+		{gatePatternRegime, "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "pattern", false},
+		{"er-lowcf-pattern", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "pattern", false},
+		{"rmat-highcf-f32", "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "f32", false},
+		{"er-lowcf-f32", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "f32", false},
 		// The same high-cf input through the memory-budgeted panel path, so
 		// both fused merge strategies stay visible in the trajectory: a
 		// shallow budget (~3 panels, run counts within fusedEmitMergeMaxRuns)
 		// exercises the merge that emits straight into the final CSR, a deep
 		// one (~8 panels) the intermediate-buffer fallback.
-		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20, ""},
-		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20, ""},
-		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20, ""},
-		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20, ""},
+		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20, "", false},
+		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20, "", false},
+		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20, "", false},
+		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20, "", false},
 		// Sparser ER (cf ≈ 1) and a denser one, auto layout, default threads.
-		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0, ""},
-		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0, ""},
+		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
+		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
 		// Skewed R-MAT regimes (Graph500 parameters).
-		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0, ""},
-		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0, ""},
+		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
+		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
+		// The acceptance pair at full thread count: the multi-threaded
+		// trajectory (and, on multi-node hosts, the NUMA-aware schedule).
+		{"er-lowcf-squeezed-mt", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 0, false, 0, "", false},
+		{"rmat-highcf-fused-mt", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 0, false, 0, "", false},
 	}
+}
+
+// withScalarComparators appends the scalar-oracle twin of every
+// batchedGateRegimes entry, so each report carries the batched-vs-scalar
+// pairs -gate compares.
+func withScalarComparators(cases []benchCase) []benchCase {
+	for _, name := range batchedGateRegimes {
+		for _, c := range cases {
+			if c.name == name {
+				cases = append(cases, c.scalarVariant())
+				break
+			}
+		}
+	}
+	return cases
 }
 
 func (c benchCase) generate() (*matrix.CSR, *matrix.CSR) {
@@ -147,21 +194,33 @@ func (c benchCase) generate() (*matrix.CSR, *matrix.CSR) {
 }
 
 func runBench(cfg *config) {
+	nthreads := pickThreads(cfg, 0)
+	if nthreads <= 0 {
+		nthreads = runtime.GOMAXPROCS(0)
+	}
 	report := benchReport{
 		Schema: benchSchema,
 		GoOS:   runtime.GOOS,
 		GoArch: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
 		Reps:   cfg.reps,
+		// The roofs the pct_of_stream figures divide by, measured on this
+		// host right before the regimes run.
+		StreamTriad1GBs: stream.QuickTriad(0, 1, cfg.reps),
+		StreamTriadNGBs: stream.QuickTriad(0, nthreads, cfg.reps),
+		StreamThreads:   nthreads,
 	}
+	fmt.Printf("stream triad: %.2f GB/s (1 thread), %.2f GB/s (%d threads)\n",
+		report.StreamTriad1GBs, report.StreamTriadNGBs, nthreads)
 	fmt.Printf("%-25s %8s %6s %10s %8s %8s %9s %9s %7s\n",
 		"regime", "layout", "fused", "ns/op", "GFLOPS", "cf", "expand", "fuse|sort", "allocs")
-	for _, c := range benchCases() {
+	for _, c := range withScalarComparators(benchCases()) {
 		r, err := runBenchCase(cfg, c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench %s: %v\n", c.name, err)
 			os.Exit(1)
 		}
+		fillPctStream(&r, &report)
 		report.Regimes = append(report.Regimes, r)
 		phase := r.Fuse.Millis
 		if !r.Fused {
@@ -179,12 +238,32 @@ func runBench(cfg *config) {
 	}
 }
 
+// fillPctStream converts each phase's GB/s into a percentage of the Triad
+// roof that matches the regime's thread count — the paper's "phases run at
+// STREAM speed" claim as a per-regime number.
+func fillPctStream(r *benchRegime, report *benchReport) {
+	roof := report.StreamTriadNGBs
+	if r.Threads == 1 {
+		roof = report.StreamTriad1GBs
+	}
+	if roof <= 0 {
+		return
+	}
+	for _, p := range []*benchPhase{&r.Expand, &r.Fuse, &r.Sort, &r.Compress, &r.Assemble} {
+		if p.GBs > 0 {
+			p.PctStream = 100 * p.GBs / roof
+		}
+	}
+}
+
 // gateBench is the CI regression gate: on the high-cf R-MAT acceptance pair
 // the fused pipeline must not be slower than the unfused PR 4 path, the
 // 4-byte pattern layout must beat the 12-byte squeezed float64 pipeline on
-// the same input by at least 10% (the Boolean-regime acceptance bar), and
-// every single-threaded pooled regime (all layouts, fused and unfused)
-// must run allocation-free in steady state.
+// the same input by at least 10% (the Boolean-regime acceptance bar), the
+// batched kernels must not be slower than the scalar oracle on the
+// batchedGateRegimes pairs, and every single-threaded pooled regime (all
+// layouts, fused and unfused, batched and scalar) must run allocation-free
+// in steady state.
 func gateBench(report *benchReport) {
 	byName := make(map[string]*benchRegime, len(report.Regimes))
 	for i := range report.Regimes {
@@ -221,6 +300,39 @@ func gateBench(report *benchReport) {
 			pattern.NsPerOp, fused.NsPerOp,
 			100*(1-float64(pattern.NsPerOp)/float64(fused.NsPerOp)))
 	}
+	// The batched kernels must not be slower than the scalar oracle on the
+	// acceptance regimes (same 5% jitter headroom; the measured batched
+	// margin is 25-45%, so a real regression still trips).
+	for _, name := range batchedGateRegimes {
+		batched, scalar := byName[name], byName[name+"-scalar"]
+		if batched == nil || scalar == nil {
+			fmt.Fprintf(os.Stderr, "bench gate: batched/scalar pair %s missing from the run\n", name)
+			os.Exit(1)
+		}
+		if float64(batched.NsPerOp) > 1.05*float64(scalar.NsPerOp) {
+			fmt.Fprintf(os.Stderr, "bench gate: BATCHED REGRESSION on %s: batched %d ns/op > scalar %d ns/op\n",
+				name, batched.NsPerOp, scalar.NsPerOp)
+			failed = true
+		} else {
+			fmt.Printf("bench gate: %s batched %d ns/op ≤ scalar %d ns/op (%.1f%% faster)\n",
+				name, batched.NsPerOp, scalar.NsPerOp,
+				100*(1-float64(batched.NsPerOp)/float64(scalar.NsPerOp)))
+		}
+	}
+	// The paper's near-STREAM claim, tracked as a gate: on the acceptance
+	// regimes the expand phase must move at least half of Triad bandwidth
+	// (executed loads+stores vs the matching-thread-count Triad roof).
+	for _, name := range batchedGateRegimes {
+		r := byName[name]
+		if r.Expand.PctStream < 50 {
+			fmt.Fprintf(os.Stderr, "bench gate: %s expand at %.1f%% of stream Triad, want ≥ 50%%\n",
+				name, r.Expand.PctStream)
+			failed = true
+		} else {
+			fmt.Printf("bench gate: %s expand at %.1f%% of stream Triad (≥ 50%%)\n",
+				name, r.Expand.PctStream)
+		}
+	}
 	for _, r := range report.Regimes {
 		if r.Threads == 1 && r.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "bench gate: %s allocated %.1f/op, want 0\n", r.Name, r.AllocsPerOp)
@@ -238,7 +350,8 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 	acsc := a.ToCSC()
 	threads := pickThreads(cfg, c.threadsCap)
 	ws := core.NewWorkspace()
-	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout, DisableFusion: c.unfused, MemoryBudgetBytes: c.budget}
+	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout,
+		DisableFusion: c.unfused, MemoryBudgetBytes: c.budget, DisableBatch: c.scalar}
 
 	// The f32 regimes carry value planes out of band; convert once, outside
 	// the measured loop.
@@ -305,6 +418,8 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 		SeedB:       c.seedB,
 		Layout:      layout.String(),
 		Mode:        c.mode,
+		Kernel:      warm.Kernel,
+		Scalar:      c.scalar,
 		Fused:       !c.unfused,
 		BudgetBytes: c.budget,
 		Threads:     threads,
@@ -318,10 +433,10 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 		// engine's contribution is what trends matter for, and on the
 		// single-threaded pooled regimes it is exactly zero.
 		AllocsPerOp: float64(mallocs) / float64(reps),
-		Expand:      benchPhase{ms64(best.Expand), best.ExpandGBs()},
-		Fuse:        benchPhase{ms64(best.Fuse), best.FuseGBs()},
-		Sort:        benchPhase{ms64(best.Sort), best.SortGBs()},
-		Compress:    benchPhase{ms64(best.Compress), best.CompressGBs()},
+		Expand:      benchPhase{Millis: ms64(best.Expand), GBs: best.ExpandGBs()},
+		Fuse:        benchPhase{Millis: ms64(best.Fuse), GBs: best.FuseGBs()},
+		Sort:        benchPhase{Millis: ms64(best.Sort), GBs: best.SortGBs()},
+		Compress:    benchPhase{Millis: ms64(best.Compress), GBs: best.CompressGBs()},
 		Assemble:    benchPhase{Millis: ms64(best.Assemble)},
 	}, nil
 }

@@ -105,7 +105,7 @@ func TestPlannerWorkloadsCoverBothRegimes(t *testing.T) {
 
 func TestBenchCaseProducesValidRegime(t *testing.T) {
 	cfg := &config{reps: 1}
-	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0, ""}
+	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0, "", false}
 	r, err := runBenchCase(cfg, c)
 	if err != nil {
 		t.Fatal(err)
@@ -200,5 +200,36 @@ func TestBenchCasesCarryFusedPairs(t *testing.T) {
 	}
 	if p.scale != f.scale || p.ef != f.ef || p.seedA != f.seedA || p.seedB != f.seedB {
 		t.Fatal("pattern gate regime must share the squeezed comparator's input")
+	}
+}
+
+// TestBenchScalarComparatorsAndMT: withScalarComparators must append one
+// scalar-oracle twin per batched gate regime (identical input, DisableBatch
+// on), and the trajectory must carry multi-threaded acceptance regimes.
+func TestBenchScalarComparatorsAndMT(t *testing.T) {
+	cases := withScalarComparators(benchCases())
+	byName := map[string]benchCase{}
+	for _, c := range cases {
+		byName[c.name] = c
+	}
+	for _, name := range batchedGateRegimes {
+		b, okB := byName[name]
+		s, okS := byName[name+"-scalar"]
+		if !okB || !okS {
+			t.Fatalf("batched gate pair %s incomplete", name)
+		}
+		if b.scalar || !s.scalar {
+			t.Fatalf("%s: scalar flags wrong", name)
+		}
+		s.name, s.scalar = b.name, b.scalar
+		if s != b {
+			t.Fatalf("%s: scalar twin must differ only in name and scalar flag", name)
+		}
+	}
+	for _, name := range []string{"er-lowcf-squeezed-mt", "rmat-highcf-fused-mt"} {
+		c, ok := byName[name]
+		if !ok || c.threadsCap != 0 {
+			t.Fatalf("multi-threaded regime %s missing or thread-capped", name)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/numa"
 	"pbspgemm/internal/par"
 	"pbspgemm/internal/radix"
 )
@@ -64,12 +65,24 @@ type sortTask struct {
 func (e *engine) runSortPhase(fused bool, binOut, rowCounts []int64) {
 	threads := e.opt.Threads
 	bs := e.ws.binStart
+	// Size the per-worker stable-scatter scratch to the panel's largest bin:
+	// every task (whole bin, partition pass, or bucket) fits inside one bin,
+	// so a worker never needs more than maxSeg tuples of private ping-pong
+	// space. Grow-only, like every other pooled plane.
+	var maxSeg int64
+	for bin := 0; bin < e.nbins; bin++ {
+		if n := bs[bin+1] - bs[bin]; n > maxSeg {
+			maxSeg = n
+		}
+	}
+	e.scratchStride = maxSeg
+	e.lay.growScratch(e, int64(threads)*maxSeg)
 	if threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
 			if fused {
-				e.fuseWholeBin(bin, binOut, rowCounts)
+				e.fuseWholeBin(0, bin, binOut, rowCounts)
 			} else {
-				e.lay.sortSeg(e, sortSeg{bs[bin], bs[bin+1], -1})
+				e.lay.sortSeg(e, sortSeg{start: bs[bin], end: bs[bin+1], arg: -1})
 			}
 		}
 		return
@@ -86,9 +99,26 @@ func (e *engine) runSortPhase(fused bool, binOut, rowCounts []int64) {
 		seeds = append(seeds, sortTask{bin: int32(bin), start: lo, end: hi})
 	}
 	e.ws.sortTasks = seeds
-	par.WorkSteal(threads, seeds, func(worker int, t sortTask, spawn func(sortTask)) {
+	// Pooled steal policy: ownership/steal counters always on (they feed
+	// Stats); NUMA victims and thread pinning only when a multi-node machine
+	// is active (numaplan.go).
+	pol := &e.ws.stealPol
+	pol.EnsureCounters(threads)
+	if e.numaM != nil {
+		m, nodes := e.numaM, e.workerNodes
+		pol.Victims, pol.NearLen = e.ws.polVictims, e.ws.polNearLen
+		pol.Setup = func(w int) func() { return numa.PinThread(m.NodeCPUs(nodes[w])) }
+	} else {
+		pol.Victims, pol.NearLen, pol.Setup = nil, nil, nil
+	}
+	pol.Place = nil
+	par.WorkStealPolicy(threads, seeds, pol, func(worker int, t sortTask, spawn func(sortTask)) {
 		e.runSortTask(worker, t, spawn, fused, cutoff, pending, partBounds, binOut, rowCounts)
 	})
+	o, s, ns := pol.Totals()
+	e.st.SortOwned += o // += : budgeted runs sort once per panel
+	e.st.SortStolen += s
+	e.st.SortNearStolen += ns
 }
 
 // runSortTask executes one work-stealing task; see runSortPhase.
@@ -97,7 +127,7 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 
 	bin := int(t.bin)
 	if t.bucket {
-		e.lay.sortSeg(e, sortSeg{t.start, t.end, t.arg})
+		e.lay.sortSeg(e, sortSeg{start: t.start, end: t.end, arg: t.arg, worker: worker})
 		if fused && atomic.AddInt32(&pending[bin], -1) == 0 {
 			// Last bucket of a split bin: the bin is fully sorted — fold it.
 			e.compressOneBin(bin, binOut, rowCounts)
@@ -106,9 +136,9 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 	}
 	if t.end-t.start <= cutoff {
 		if fused {
-			e.fuseWholeBin(bin, binOut, rowCounts)
+			e.fuseWholeBin(worker, bin, binOut, rowCounts)
 		} else {
-			e.lay.sortSeg(e, sortSeg{t.start, t.end, -1})
+			e.lay.sortSeg(e, sortSeg{start: t.start, end: t.end, arg: -1, worker: worker})
 		}
 		return
 	}
@@ -121,7 +151,7 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 	lo, hi := t.start, t.end
 	stride := radix.MaxPartitionBuckets + 1
 	bounds := partBounds[worker*stride : (worker+1)*stride]
-	nb, arg := e.lay.partitionTop(e, lo, hi, bounds)
+	nb, arg := e.lay.partitionTop(e, worker, lo, hi, bounds)
 	nspawn := 0
 	for b := 0; b < nb; b++ {
 		if bounds[b+1]-bounds[b] > 1 {
@@ -150,10 +180,10 @@ func (e *engine) runSortTask(worker int, t sortTask, spawn func(sortTask),
 // counts (when rowCounts is non-nil; the budgeted path defers tallies to the
 // merge). The folded prefix lands at the bin's own binStart offset, exactly
 // where compressBin would leave it.
-func (e *engine) fuseWholeBin(bin int, binOut, rowCounts []int64) {
+func (e *engine) fuseWholeBin(worker, bin int, binOut, rowCounts []int64) {
 	bs := e.ws.binStart
 	lo, hi := bs[bin], bs[bin+1]
-	n := e.lay.fuseBin(e, lo, hi)
+	n := e.lay.fuseBin(e, worker, lo, hi)
 	binOut[bin] = n
 	e.tallyRows(lo, n, rowCounts, bin)
 }

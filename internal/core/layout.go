@@ -7,6 +7,7 @@ import (
 
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/radix"
+	"pbspgemm/internal/simd"
 )
 
 // This file is the value-width-generic layout layer. The paper's traffic
@@ -65,17 +66,22 @@ type layoutOps interface {
 	// expandRange is one worker's outer-product expansion with propagation
 	// blocking over panel columns [lo+colBounds[t], lo+colBounds[t+1]).
 	expandRange(e *engine, t, lo int, cursors []int64)
-	// sortSeg sorts tuples [s.start, s.end); s.arg < 0 means a whole bin,
-	// otherwise the remaining key bits / byte index to recurse at.
+	// growScratch sizes the layout's sort-phase ping-pong scratch planes to
+	// total tuples (threads × engine.scratchStride).
+	growScratch(e *engine, total int64)
+	// sortSeg sorts tuples [s.start, s.end) on worker s.worker's scratch;
+	// s.arg < 0 means a whole bin, otherwise the remaining key bits / byte
+	// index to recurse at.
 	sortSeg(e *engine, s sortSeg)
-	// partitionTop runs the sort's first splitting pass over [lo, hi),
-	// filling bounds (len ≥ radix.MaxPartitionBuckets+1) and returning the
-	// bucket count and the arg buckets continue sorting at. nbuckets == 0
-	// means the range needs no further sorting.
-	partitionTop(e *engine, lo, hi int64, bounds []int64) (nbuckets, arg int)
-	// fuseBin runs the fused sort+fold over [lo, hi), leaving the folded
-	// prefix in place and returning its length.
-	fuseBin(e *engine, lo, hi int64) int64
+	// partitionTop runs the sort's first splitting pass over [lo, hi) on the
+	// given worker's scratch, filling bounds (len ≥
+	// radix.MaxPartitionBuckets+1) and returning the bucket count and the
+	// arg buckets continue sorting at. nbuckets == 0 means the range needs
+	// no further sorting.
+	partitionTop(e *engine, worker int, lo, hi int64, bounds []int64) (nbuckets, arg int)
+	// fuseBin runs the fused sort+fold over [lo, hi) on the given worker's
+	// scratch, leaving the folded prefix in place and returning its length.
+	fuseBin(e *engine, worker int, lo, hi int64) int64
 	// compressBin folds duplicates of the sorted range [lo, hi) in place,
 	// returning the folded length.
 	compressBin(e *engine, lo, hi int64) int64
@@ -96,6 +102,11 @@ type layoutOps interface {
 	// growOut installs the result's value storage (c.Val for the float64
 	// layouts, the layout's out plane for narrow, nothing for pattern).
 	growOut(e *engine, c *matrix.CSR, nnzc int64)
+	// touchRange first-touches the tuple storage of range [lo, hi) (one
+	// store per page of every plane the layout writes there) so NUMA
+	// first-touch placement lands the pages on the calling thread's node.
+	// Only called on ranges expand fully overwrites.
+	touchRange(e *engine, lo, hi int64)
 }
 
 // growVals is the grow-only sizing helper of the generic value planes, the V
@@ -199,28 +210,33 @@ func (wideOps) expandRange(e *engine, t, lo int, cursors []int64) {
 	e.expandRangeWide(t, lo, cursors)
 }
 
+func (wideOps) growScratch(e *engine, total int64) {
+	radix.GrowPairs(&e.ws.scratchPairs, total)
+}
+
+// scratchPairs returns worker w's private slice of the pair scratch plane,
+// at least n long.
+func (e *engine) scratchPairsFor(w int, n int64) []radix.Pair {
+	off := int64(w) * e.scratchStride
+	return e.ws.scratchPairs[off : off+n]
+}
+
 func (wideOps) sortSeg(e *engine, s sortSeg) {
 	ps := e.ws.tuples[s.start:s.end]
+	aux := e.scratchPairsFor(s.worker, s.end-s.start)
 	if s.arg < 0 {
-		radix.SortPairsInPlace(ps)
+		radix.SortPairsStable(ps, aux, e.batch)
 	} else {
-		radix.SortPairsAtByte(ps, s.arg)
+		radix.SortPairsAtByteStable(ps, aux, s.arg, e.batch)
 	}
 }
 
-func (wideOps) partitionTop(e *engine, lo, hi int64, bounds []int64) (int, int) {
-	b, next := radix.PartitionPairsTopByte(e.ws.tuples[lo:hi])
-	if next < 0 {
-		return 0, 0
-	}
-	for i := 0; i <= 256; i++ {
-		bounds[i] = int64(b[i])
-	}
-	return 256, next
+func (wideOps) partitionTop(e *engine, worker int, lo, hi int64, bounds []int64) (int, int) {
+	return radix.PartitionPairsScratch(e.ws.tuples[lo:hi], e.scratchPairsFor(worker, hi-lo), bounds, e.batch)
 }
 
-func (wideOps) fuseBin(e *engine, lo, hi int64) int64 {
-	return radix.SortPairsFused(e.ws.tuples[lo:hi])
+func (wideOps) fuseBin(e *engine, worker int, lo, hi int64) int64 {
+	return radix.SortPairsFusedScratch(e.ws.tuples[lo:hi], e.scratchPairsFor(worker, hi-lo), e.batch)
 }
 
 func (wideOps) compressBin(e *engine, lo, hi int64) int64 {
@@ -259,6 +275,8 @@ func (wideOps) growOut(e *engine, c *matrix.CSR, nnzc int64) {
 	}
 }
 
+func (wideOps) touchRange(e *engine, lo, hi int64) { touchPages(e.ws.tuples[lo:hi]) }
+
 // ---------------------------------------------------------------------------
 // kv[V]: the split key32 + V value-plane layouts (squeezed f64, narrow f32/i32).
 
@@ -266,11 +284,12 @@ func (wideOps) growOut(e *engine, c *matrix.CSR, nnzc int64) {
 // across all key32 layouts and live in the Workspace; these are only the
 // V-typed halves, pooled grow-only exactly like their float64 ancestors.
 type kv[V Value] struct {
-	tupleVals  []V
-	localVals  []V
-	runVals    []V
-	mergedVals []V
-	outVal     []V
+	tupleVals   []V
+	localVals   []V
+	runVals     []V
+	mergedVals  []V
+	outVal      []V
+	scratchVals []V
 
 	// Per-call bindings: the input value planes (parallel to a.RowIdx /
 	// b.ColIdx) and the result's value destination. Cleared after each run so
@@ -298,6 +317,18 @@ func (l *kv[V]) growLocals(e *engine, n int64) {
 
 func (l *kv[V]) resetRuns(e *engine) { l.runVals = l.runVals[:0] }
 
+func (l *kv[V]) growScratch(e *engine, total int64) {
+	radix.GrowUint32(&e.ws.scratchKeys, total)
+	growVals(&l.scratchVals, total)
+}
+
+// scratchKeysFor returns worker w's private slice of the shared key scratch
+// plane, at least n long.
+func (e *engine) scratchKeysFor(w int, n int64) []uint32 {
+	off := int64(w) * e.scratchStride
+	return e.ws.scratchKeys[off : off+n]
+}
+
 // expandRange mirrors expandRangeWide: same column walk, same propagation
 // blocking, writing the 4-byte key and the V value into split local bins and
 // flushing each with two bulk copies into the worker's exclusive range.
@@ -312,6 +343,8 @@ func (l *kv[V]) expandRange(e *engine, t, lo int, cursors []int64) {
 	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
 	keys, vals := e.ws.tupleKeys, l.tupleVals
 	aVal, bVal := l.aVal, l.bVal
+	batch := e.batch
+	nt := e.ntFlush
 
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
@@ -325,57 +358,103 @@ func (l *kv[V]) expandRange(e *engine, t, lo int, cursors []int64) {
 			localRow := (r & mask) << colBits
 			base := int64(bin) * int64(capT)
 			ln := lens[bin]
-			for q := bLo; q < bHi; q++ {
+			// Batched expansion: fill the local bin in runs of
+			// min(room, remaining) B-row entries per kernel call. The chunk
+			// boundaries fall exactly where the per-element loop would have
+			// flushed, so the flush sequence — and therefore the global tuple
+			// order — is identical to the scalar path's.
+			for q := bLo; q < bHi; {
 				if ln == capT {
 					lens[bin] = ln
-					flushLocalKV(bin, bufK, bufV, lens, keys, vals, cursors, capT)
+					flushLocalKV(bin, bufK, bufV, lens, keys, vals, cursors, capT, nt)
 					ln = 0
 				}
-				bufK[base+int64(ln)] = localRow | uint32(b.ColIdx[q])
-				bufV[base+int64(ln)] = av * bVal[q]
-				ln++
+				take := bHi - q
+				if room := int64(capT - ln); take > room {
+					take = room
+				}
+				dk := bufK[base+int64(ln) : base+int64(ln)+take]
+				dv := bufV[base+int64(ln) : base+int64(ln)+take]
+				if batch {
+					simd.ExpandKV(dk, dv, localRow, b.ColIdx[q:q+take], bVal[q:q+take], av)
+				} else {
+					simd.ExpandKVScalar(dk, dv, localRow, b.ColIdx[q:q+take], bVal[q:q+take], av)
+				}
+				ln += int32(take)
+				q += take
 			}
 			lens[bin] = ln
 		}
 	}
 	for bin := int32(0); bin < nbins; bin++ {
-		flushLocalKV(bin, bufK, bufV, lens, keys, vals, cursors, capT)
+		flushLocalKV(bin, bufK, bufV, lens, keys, vals, cursors, capT, nt)
 	}
 }
 
 // flushLocalKV bulk-copies one split local bin into the worker's pre-reserved
-// range of the global bin and advances its private cursor.
+// range of the global bin and advances its private cursor. When nt is set
+// (batched build, panel arena beyond LLC — see expandPanel) it streams both
+// planes past the cache with non-temporal stores; otherwise it keeps copy()
+// plus a prefetch of this bin's next destination.
 func flushLocalKV[V Value](bin int32, bufK []uint32, bufV []V, lens []int32,
-	keys []uint32, vals []V, cursors []int64, capT int32) {
+	keys []uint32, vals []V, cursors []int64, capT int32, nt bool) {
 
 	n := lens[bin]
 	if n == 0 {
 		return
 	}
 	off := cursors[bin]
-	cursors[bin] = off + int64(n)
+	next := off + int64(n)
+	cursors[bin] = next
 	base := int64(bin) * int64(capT)
-	copy(keys[off:off+int64(n)], bufK[base:base+int64(n)])
-	copy(vals[off:off+int64(n)], bufV[base:base+int64(n)])
+	if nt && simd.HasNT {
+		var v V
+		vb := int(unsafe.Sizeof(v))
+		simd.NTCopyBytes(unsafe.Pointer(&keys[off]), unsafe.Pointer(&bufK[base]), int(n)*4)
+		simd.NTCopyBytes(unsafe.Pointer(&vals[off]), unsafe.Pointer(&bufV[base]), int(n)*vb)
+		lens[bin] = 0
+		return
+	}
+	copy(keys[off:next], bufK[base:base+int64(n)])
+	copy(vals[off:next], bufV[base:base+int64(n)])
 	lens[bin] = 0
+	// Warm the destination of this bin's NEXT flush while the local bin
+	// refills — the only access distance long enough for a software prefetch
+	// to beat the hardware prefetcher across the bin-strided global arena.
+	// No-op on purego/non-amd64 builds; cannot affect results.
+	if end := next + int64(n); end <= int64(len(keys)) {
+		simd.PrefetchRangeT0(unsafe.Pointer(&keys[next]), int(n)*4)
+	}
 }
 
 func (l *kv[V]) sortSeg(e *engine, s sortSeg) {
 	keys := e.ws.tupleKeys[s.start:s.end]
 	vals := l.tupleVals[s.start:s.end]
+	n := s.end - s.start
+	auxK := e.scratchKeysFor(s.worker, n)
+	auxV := l.scratchValsFor(e, s.worker, n)
 	if s.arg < 0 {
-		radix.SortKeys32(keys, vals)
+		radix.SortKeys32Scratch(keys, vals, auxK, auxV, e.batch)
 	} else {
-		radix.SortKeys32Bits(keys, vals, s.arg)
+		radix.SortKeys32BitsScratch(keys, vals, auxK, auxV, s.arg, e.batch)
 	}
 }
 
-func (l *kv[V]) partitionTop(e *engine, lo, hi int64, bounds []int64) (int, int) {
-	return radix.PartitionTop32(e.ws.tupleKeys[lo:hi], l.tupleVals[lo:hi], bounds)
+func (l *kv[V]) scratchValsFor(e *engine, w int, n int64) []V {
+	off := int64(w) * e.scratchStride
+	return l.scratchVals[off : off+n]
 }
 
-func (l *kv[V]) fuseBin(e *engine, lo, hi int64) int64 {
-	return radix.SortKeys32Fused(e.ws.tupleKeys[lo:hi], l.tupleVals[lo:hi])
+func (l *kv[V]) partitionTop(e *engine, worker int, lo, hi int64, bounds []int64) (int, int) {
+	n := hi - lo
+	return radix.PartitionTop32Scratch(e.ws.tupleKeys[lo:hi], l.tupleVals[lo:hi],
+		e.scratchKeysFor(worker, n), l.scratchValsFor(e, worker, n), bounds, e.batch)
+}
+
+func (l *kv[V]) fuseBin(e *engine, worker int, lo, hi int64) int64 {
+	n := hi - lo
+	return radix.SortKeys32FusedScratch(e.ws.tupleKeys[lo:hi], l.tupleVals[lo:hi],
+		e.scratchKeysFor(worker, n), l.scratchValsFor(e, worker, n), e.batch)
 }
 
 // compressBin is the paper's two-pointer in-place merge over the split
@@ -543,6 +622,11 @@ func (l *kv[V]) growOut(e *engine, c *matrix.CSR, nnzc int64) {
 	}
 }
 
+func (l *kv[V]) touchRange(e *engine, lo, hi int64) {
+	touchPages(e.ws.tupleKeys[lo:hi])
+	touchPages(l.tupleVals[lo:hi])
+}
+
 // ---------------------------------------------------------------------------
 // patternOps: the 4-byte key-only layout.
 
@@ -563,6 +647,8 @@ func (patternOps) expandRange(e *engine, t, lo int, cursors []int64) {
 	bufK := e.ws.localKeys[int64(t)*stride : int64(t+1)*stride]
 	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
 	keys := e.ws.tupleKeys
+	batch := e.batch
+	nt := e.ntFlush
 
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
@@ -575,52 +661,80 @@ func (patternOps) expandRange(e *engine, t, lo int, cursors []int64) {
 			localRow := (r & mask) << colBits
 			base := int64(bin) * int64(capT)
 			ln := lens[bin]
-			for q := bLo; q < bHi; q++ {
+			// Chunked like kv.expandRange: flush boundaries match the
+			// per-element loop exactly.
+			for q := bLo; q < bHi; {
 				if ln == capT {
 					lens[bin] = ln
-					flushLocalPattern(bin, bufK, lens, keys, cursors, capT)
+					flushLocalPattern(bin, bufK, lens, keys, cursors, capT, nt)
 					ln = 0
 				}
-				bufK[base+int64(ln)] = localRow | uint32(b.ColIdx[q])
-				ln++
+				take := bHi - q
+				if room := int64(capT - ln); take > room {
+					take = room
+				}
+				dk := bufK[base+int64(ln) : base+int64(ln)+take]
+				if batch {
+					simd.ExpandK(dk, localRow, b.ColIdx[q:q+take])
+				} else {
+					simd.ExpandKScalar(dk, localRow, b.ColIdx[q:q+take])
+				}
+				ln += int32(take)
+				q += take
 			}
 			lens[bin] = ln
 		}
 	}
 	for bin := int32(0); bin < nbins; bin++ {
-		flushLocalPattern(bin, bufK, lens, keys, cursors, capT)
+		flushLocalPattern(bin, bufK, lens, keys, cursors, capT, nt)
 	}
 }
 
 func flushLocalPattern(bin int32, bufK []uint32, lens []int32,
-	keys []uint32, cursors []int64, capT int32) {
+	keys []uint32, cursors []int64, capT int32, nt bool) {
 
 	n := lens[bin]
 	if n == 0 {
 		return
 	}
 	off := cursors[bin]
-	cursors[bin] = off + int64(n)
+	next := off + int64(n)
+	cursors[bin] = next
 	base := int64(bin) * int64(capT)
-	copy(keys[off:off+int64(n)], bufK[base:base+int64(n)])
+	if nt && simd.HasNT {
+		simd.NTCopyBytes(unsafe.Pointer(&keys[off]), unsafe.Pointer(&bufK[base]), int(n)*4)
+		lens[bin] = 0
+		return
+	}
+	copy(keys[off:next], bufK[base:base+int64(n)])
 	lens[bin] = 0
+	if end := next + int64(n); end <= int64(len(keys)) {
+		simd.PrefetchRangeT0(unsafe.Pointer(&keys[next]), int(n)*4)
+	}
+}
+
+func (patternOps) growScratch(e *engine, total int64) {
+	radix.GrowUint32(&e.ws.scratchKeys, total)
 }
 
 func (patternOps) sortSeg(e *engine, s sortSeg) {
 	keys := e.ws.tupleKeys[s.start:s.end]
+	aux := e.scratchKeysFor(s.worker, s.end-s.start)
 	if s.arg < 0 {
-		radix.SortKeys32Pattern(keys)
+		radix.SortKeys32PatternScratch(keys, aux, e.batch)
 	} else {
-		radix.SortKeys32BitsPattern(keys, s.arg)
+		radix.SortKeys32BitsPatternScratch(keys, aux, s.arg, e.batch)
 	}
 }
 
-func (patternOps) partitionTop(e *engine, lo, hi int64, bounds []int64) (int, int) {
-	return radix.PartitionTop32Pattern(e.ws.tupleKeys[lo:hi], bounds)
+func (patternOps) partitionTop(e *engine, worker int, lo, hi int64, bounds []int64) (int, int) {
+	return radix.PartitionTop32PatternScratch(e.ws.tupleKeys[lo:hi],
+		e.scratchKeysFor(worker, hi-lo), bounds, e.batch)
 }
 
-func (patternOps) fuseBin(e *engine, lo, hi int64) int64 {
-	return radix.SortKeys32FusedPattern(e.ws.tupleKeys[lo:hi])
+func (patternOps) fuseBin(e *engine, worker int, lo, hi int64) int64 {
+	return radix.SortKeys32FusedPatternScratch(e.ws.tupleKeys[lo:hi],
+		e.scratchKeysFor(worker, hi-lo), e.batch)
 }
 
 // compressBin's fold over the pattern layout is deduplication: equal keys
@@ -763,3 +877,5 @@ func (patternOps) unpackBin(e *engine, c *matrix.CSR, merged bool, srcOff, dstOf
 func (patternOps) growOut(e *engine, c *matrix.CSR, nnzc int64) {
 	// Pattern results are structural: c.Val stays nil by design.
 }
+
+func (patternOps) touchRange(e *engine, lo, hi int64) { touchPages(e.ws.tupleKeys[lo:hi]) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"unsafe"
+
+	"pbspgemm/internal/numa"
+	"pbspgemm/internal/par"
+)
+
+// NUMA-aware execution (Section V-D made actionable). When the host — or an
+// injected Options.NUMA machine — has more than one memory node and the run
+// is multi-threaded, the engine:
+//
+//   - assigns workers to nodes in contiguous blocks (numa.Machine
+//     .AssignWorkers) and pins each phase's worker threads to their node's
+//     CPUs (best-effort sched_setaffinity; a failed pin is harmless),
+//   - first-touches each panel's global-bin tuple ranges from the node that
+//     blocked-bin assignment gives them, so Linux's first-touch policy
+//     places a bin's pages on the socket whose workers will sort it,
+//   - hands the sort phase's work-stealing scheduler a NUMA-aware victim
+//     order (numa.VictimOrder): a worker out of local tasks raids same-node
+//     deques before crossing the interconnect.
+//
+// None of this changes results: scheduling only moves work between workers
+// whose outputs are disjoint, and first-touch writes zeros that expand
+// overwrites (panelPlan sizes bins exactly). On a single-node machine —
+// or when numa discovery falls back to the Table VII model, whose CPU ids
+// describe the paper's machine, not this host — the engine runs exactly as
+// before: no pinning, round-robin stealing, no touch pass.
+
+// numaPlan resolves the run's NUMA machine and, when actionable, builds the
+// pooled worker→node assignment and steal-victim order.
+func (e *engine) numaPlan() {
+	m := e.opt.NUMA
+	if m == nil {
+		m = numa.Default()
+	}
+	e.numaM = nil
+	e.workerNodes = nil
+	e.st.NUMANodes = 1
+	threads := e.opt.Threads
+	if m == nil || threads <= 1 || m.NNodes() <= 1 || m.Source == "fallback" {
+		return
+	}
+	e.numaM = m
+	e.st.NUMANodes = m.NNodes()
+	ws := e.ws
+	if ws.polMachine != m || ws.polThreads != threads {
+		ws.polNodes = m.AssignWorkers(threads)
+		ws.polVictims, ws.polNearLen = numa.VictimOrder(ws.polNodes)
+		ws.polMachine, ws.polThreads = m, threads
+	}
+	e.workerNodes = ws.polNodes
+}
+
+// pinWorker pins the calling goroutine's thread to worker w's node,
+// returning the teardown (a no-op when NUMA is inactive).
+func (e *engine) pinWorker(w int) func() {
+	if e.numaM == nil {
+		return func() {}
+	}
+	return numa.PinThread(e.numaM.NodeCPUs(e.workerNodes[w]))
+}
+
+// firstTouchBins touches the current panel's global-bin tuple ranges from
+// their owning nodes (blocked bin→worker assignment, matching
+// AssignWorkers), so freshly grown pages land on the socket that sorts
+// them. Pooled pages keep their placement — first touch is first touch.
+func (e *engine) firstTouchBins() {
+	if e.numaM == nil {
+		return
+	}
+	threads := e.opt.Threads
+	nbins := e.nbins
+	bs := e.ws.binStart
+	par.ParallelRun(threads, func(w int) {
+		defer e.pinWorker(w)()
+		for bin := w * nbins / threads; bin < (w+1)*nbins/threads; bin++ {
+			e.lay.touchRange(e, bs[bin], bs[bin+1])
+		}
+	})
+}
+
+// pageBytes is the touch stride: one store per (smallest common) OS page.
+const pageBytes = 4096
+
+// touchPages writes a zero into one element per page of s — enough to fault
+// every page in from the calling thread's node. Callers only touch ranges
+// that a later phase fully overwrites.
+func touchPages[T any](s []T) {
+	if len(s) == 0 {
+		return
+	}
+	var z T
+	step := pageBytes / int(unsafe.Sizeof(z))
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(s); i += step {
+		s[i] = z
+	}
+}

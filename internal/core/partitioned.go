@@ -74,9 +74,11 @@ func MultiplyPartitioned(a *matrix.CSC, b *matrix.CSR, parts int, opt Options) (
 		agg.Assemble += st.Assemble
 		agg.Flops += st.Flops
 		agg.Fused = st.Fused // uniform: all bands share opt
-		// Per-band traffic already reflects each band's tuple layout; the
-		// summed ExpandBytes include the once-per-band read of B, the
-		// partitioning's NUMA trade-off.
+		// Per-band traffic already reflects each band's tuple layout. The
+		// summed ExpandBytes count executed loads+stores, which bands
+		// perform on disjoint FLOP subsets — the once-per-band physical
+		// re-fetch of B (the partitioning's NUMA trade-off) shows up in the
+		// summed Expand time, and thus in GB/s, not in counted bytes.
 		agg.ExpandBytes += st.ExpandBytes
 		agg.SortBytes += st.SortBytes
 		agg.CompressBytes += st.CompressBytes

@@ -41,10 +41,13 @@ import (
 	"fmt"
 	"math/bits"
 	"time"
+	"unsafe"
 
 	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/numa"
 	"pbspgemm/internal/par"
 	"pbspgemm/internal/radix"
+	"pbspgemm/internal/simd"
 )
 
 // DefaultLocalBinBytes is the paper's default local-bin width: 512 bytes =
@@ -186,6 +189,21 @@ type Options struct {
 	// ablations, equivalence tests and benchmarks. Stats.Fused reports the
 	// mode actually run.
 	DisableFusion bool
+	// DisableBatch runs the portable scalar kernels instead of the batched
+	// (unsafe, pointer-stepped) implementations of the expand/scatter/fold
+	// inner loops in internal/simd. Output is bit-identical either way — the
+	// scalar kernels are the batched ones's oracle — so the switch exists for
+	// ablations, equivalence tests and debugging. Builds with the purego tag
+	// run scalar regardless. Stats.Kernel reports the kernel set actually
+	// used.
+	DisableBatch bool
+	// NUMA injects a machine topology (tests and ablations); nil discovers
+	// the host's once per process (sysfs on Linux). NUMA-aware execution —
+	// worker pinning, first-touch bin placement, near-first stealing; see
+	// numaplan.go — activates only when the machine has more than one
+	// CPU-bearing node, the run is multi-threaded, and the topology is real
+	// (discovered or injected, not the Table VII fallback model).
+	NUMA *numa.Machine
 }
 
 func (o Options) withDefaults() Options {
@@ -233,6 +251,22 @@ type Stats struct {
 	// see Options.DisableFusion). Fused runs account the sort/compress
 	// traffic under Fuse/FusedBytes instead of Sort/Compress.
 	Fused bool
+	// Kernel names the inner-loop kernel set the run used: "scalar" when
+	// Options.DisableBatch forced the portable loops, otherwise
+	// internal/simd's dispatch level ("batched", "batched+goamd64v3", or
+	// "purego" on builds with that tag).
+	Kernel string
+	// NUMANodes is the number of memory nodes the run scheduled for: 1 when
+	// NUMA awareness was inactive (single node, single thread, or fallback
+	// topology), the machine's node count otherwise.
+	NUMANodes int
+
+	// Sort-phase work-stealing counters (multi-threaded runs; summed over
+	// panels on budgeted runs). SortOwned counts tasks a worker popped from
+	// its own deque, SortStolen tasks taken from another worker's, and
+	// SortNearStolen the stolen subset that stayed on the thief's NUMA node
+	// (always 0 when NUMA awareness is inactive).
+	SortOwned, SortStolen, SortNearStolen int64
 
 	// Traffic model (bytes), following Eq. 4 / Table III with the per-run
 	// tuple cost: expand reads both inputs (16 B per stored nonzero) and
@@ -307,6 +341,11 @@ type engine struct {
 	tupleBytes    int64     // per-tuple cost of layout (16/12/8/4)
 	localCap      int32     // tuples per thread-private local bin
 	maxRunsPerBin int       // k of the k-way merge (budgeted path)
+	batch         bool      // use internal/simd's batched kernels (vs scalar oracle)
+	ntFlush       bool      // stream bin flushes with non-temporal stores (per panel)
+	scratchStride int64     // per-worker stride into the sort scratch planes
+	numaM         *numa.Machine // non-nil only when NUMA-aware execution is active
+	workerNodes   []int         // worker→node assignment (nil when numaM is)
 
 	st *Stats
 }
@@ -377,6 +416,13 @@ func (e *engine) run() (*matrix.CSR, error) {
 
 	t0 := time.Now()
 	e.fused = !e.opt.DisableFusion
+	e.batch = simd.Enabled && !e.opt.DisableBatch
+	if e.batch {
+		e.st.Kernel = simd.Level()
+	} else {
+		e.st.Kernel = "scalar"
+	}
+	e.numaPlan()
 	e.symbolic()
 	e.planPanels()
 	if err := e.planBins(); err != nil {
@@ -413,19 +459,27 @@ func (e *engine) run() (*matrix.CSR, error) {
 	// Count nnz(C) from the row pointers, not c.NNZ(): pattern results carry
 	// no Val array, which NNZ() measures.
 	e.st.NNZC = c.RowPtr[c.NumRows]
-	// Inputs are stored nonzeros, read at the run's per-tuple cost: the
-	// float64 layouts stream index+value at the 16-byte COO cost, narrow
-	// reads 4-byte values (8 B per stored nonzero) and pattern only the
-	// indices (4 B). Sized from the index arrays because the narrow/pattern
-	// entries may pass matrices with nil Val.
+	// ExpandBytes counts the loads and stores the expand loop executes —
+	// STREAM's own methodology, so pct_of_stream compares like with like.
+	// Each stored nonzero of A is loaded once and held across its inner
+	// loop (the float64 layouts stream index+value at the 16-byte COO cost,
+	// narrow reads 4-byte values and pattern only the indices; sized from
+	// the index arrays because narrow/pattern may pass nil Val). Each FLOP
+	// then loads one B element (ColIdx plus the layout's value width) and
+	// stores one tuple. This is partition-invariant: band splitting re-runs
+	// the same loads, so any physical re-fetch of B between bands shows up
+	// in measured time (and thus GB/s), not in counted bytes.
 	inBytes := int64(matrix.BytesPerTuple)
+	bRead := int64(12) // ColIdx (4 B) + float64 value (8 B)
 	switch e.layout {
 	case LayoutNarrow:
 		inBytes = NarrowTupleBytes
+		bRead = 8 // ColIdx + float32 value
 	case LayoutPattern:
 		inBytes = PatternTupleBytes
+		bRead = 4 // ColIdx only
 	}
-	e.st.ExpandBytes = inBytes*(int64(len(e.a.RowIdx))+int64(len(e.b.ColIdx))) + e.tupleBytes*e.flops
+	e.st.ExpandBytes = inBytes*int64(len(e.a.RowIdx)) + (bRead+e.tupleBytes)*e.flops
 	if e.fused {
 		e.st.FusedBytes = e.tupleBytes * e.flops
 	} else {
@@ -827,16 +881,45 @@ func (e *engine) expandPanel(lo int) {
 	e.lay.growLocals(e, localTuples)
 	lens := matrix.GrowInt32(&e.ws.localLens, threads*nbins)
 	clear(lens)
+	// Flush with non-temporal stores only when this panel's tuple arena
+	// clearly outgrows the LLC: that is where a plain store's
+	// read-for-ownership is real DRAM traffic NT stores avoid. On
+	// cache-resident panels plain stores win (the lines stay cached for the
+	// sort's read-back), so the threshold keeps small runs on the
+	// copy()+prefetch path. Same bytes either way — bit-identity holds.
+	e.ntFlush = e.batch && simd.HasNT &&
+		e.ws.binStart[nbins]*e.tupleBytes >= ntMinArenaBytes
+	// First-touch the panel's freshly grown bin ranges from their owning
+	// nodes before any worker writes tuples (no-op when NUMA is inactive).
+	e.firstTouchBins()
 	if threads == 1 {
 		// panelPlan left ws.cursors = binStart: the lone worker's cursors.
 		e.lay.expandRange(e, 0, lo, e.ws.cursors)
+		e.fenceFlushes()
 	} else {
 		pt := e.ws.perThread
 		par.ParallelRun(threads, func(t int) {
+			defer e.pinWorker(t)()
 			e.lay.expandRange(e, t, lo, pt[t*nbins:(t+1)*nbins])
+			// NT flush stores are weakly ordered: fence before the join so
+			// the sort phase (any worker) sees every tuple.
+			e.fenceFlushes()
 		})
 	}
 }
+
+// fenceFlushes orders this worker's non-temporal flush stores before the
+// phase join. No-op when the NT flush path is off.
+func (e *engine) fenceFlushes() {
+	if e.ntFlush && simd.HasNT {
+		simd.StoreFence()
+	}
+}
+
+// ntMinArenaBytes is the smallest per-panel tuple arena that flushes with
+// non-temporal stores (expandPanel). 32 MiB sits safely above typical LLCs;
+// a variable (not const) so tests can force the NT path on small inputs.
+var ntMinArenaBytes int64 = 32 << 20
 
 // expandRangeWide is one worker's share of expandPanel over the wide layout:
 // the panel columns [lo+colBounds[t], lo+colBounds[t+1]). cursors is the
@@ -852,6 +935,8 @@ func (e *engine) expandRangeWide(t, lo int, cursors []int64) {
 	buf := e.ws.locals[int64(t)*stride : int64(t+1)*stride]
 	lens := e.ws.localLens[t*e.nbins : (t+1)*e.nbins]
 	tuples := e.ws.tuples
+	batch := e.batch
+	nt := e.ntFlush
 
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
@@ -865,38 +950,63 @@ func (e *engine) expandRangeWide(t, lo int, cursors []int64) {
 			localRow := uint64(r&mask) << colBits
 			base := int64(bin) * int64(capT)
 			ln := lens[bin]
-			for q := bLo; q < bHi; q++ {
+			// Batched expansion in chunks of min(room, remaining); chunk
+			// boundaries fall exactly where the per-element loop flushed, so
+			// the global tuple order is unchanged (see kv.expandRange).
+			for q := bLo; q < bHi; {
 				if ln == capT {
 					lens[bin] = ln
-					flushLocalBin(bin, buf, lens, tuples, cursors, capT)
+					flushLocalBin(bin, buf, lens, tuples, cursors, capT, nt)
 					ln = 0
 				}
-				buf[base+int64(ln)] = radix.Pair{Key: localRow | uint64(b.ColIdx[q]), Val: av * b.Val[q]}
-				ln++
+				take := bHi - q
+				if room := int64(capT - ln); take > room {
+					take = room
+				}
+				dst := buf[base+int64(ln) : base+int64(ln)+take]
+				radix.ExpandPairs(dst, localRow, b.ColIdx[q:q+take], b.Val[q:q+take], av, batch)
+				ln += int32(take)
+				q += take
 			}
 			lens[bin] = ln
 		}
 	}
 	// Drain partially-filled local bins (Algorithm 2 lines 15–18).
 	for bin := int32(0); bin < nbins; bin++ {
-		flushLocalBin(bin, buf, lens, tuples, cursors, capT)
+		flushLocalBin(bin, buf, lens, tuples, cursors, capT, nt)
 	}
 }
 
 // flushLocalBin bulk-copies one thread-private local bin into the worker's
 // pre-reserved range of the global bin and advances its private cursor.
+// When nt is set (batched build, panel arena beyond LLC — see expandPanel)
+// the copy streams past the cache with non-temporal stores: the flush
+// destination is cold, and a plain store would pay a read-for-ownership for
+// every line; expandPanel fences each worker after its last flush. Otherwise
+// it keeps copy() plus a prefetch of this bin's next destination.
 func flushLocalBin(bin int32, buf []radix.Pair, lens []int32,
-	tuples []radix.Pair, cursors []int64, capT int32) {
+	tuples []radix.Pair, cursors []int64, capT int32, nt bool) {
 
 	n := lens[bin]
 	if n == 0 {
 		return
 	}
 	off := cursors[bin]
-	cursors[bin] = off + int64(n)
+	next := off + int64(n)
+	cursors[bin] = next
 	base := int64(bin) * int64(capT)
-	copy(tuples[off:off+int64(n)], buf[base:base+int64(n)])
+	if nt && simd.HasNT {
+		simd.NTCopyBytes(unsafe.Pointer(&tuples[off]), unsafe.Pointer(&buf[base]), int(n)*16)
+		lens[bin] = 0
+		return
+	}
+	copy(tuples[off:next], buf[base:base+int64(n)])
 	lens[bin] = 0
+	// Warm this bin's NEXT flush destination while the local bin refills
+	// (no-op on purego/non-amd64 builds; cannot affect results).
+	if end := next + int64(n); end <= int64(len(tuples)) {
+		simd.PrefetchRangeT0(unsafe.Pointer(&tuples[next]), int(n)*16)
+	}
 }
 
 // sortSeg is one unit of sort-phase work: tuples [start, end) of the current
@@ -911,6 +1021,11 @@ func flushLocalBin(bin int32, buf []radix.Pair, lens []int32,
 type sortSeg struct {
 	start, end int64
 	arg        int
+	// worker is the executing worker's slot, selecting its private slice of
+	// the sort-phase scratch planes (engine.scratchStride apart). Set by the
+	// scheduler at execution time, not enqueue time: whoever steals the
+	// segment sorts on their own scratch.
+	worker int
 }
 
 // sortSplitCutoffTuples is the bin size (in tuples) past which the sort

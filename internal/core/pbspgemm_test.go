@@ -230,7 +230,9 @@ func TestStatsBytesModel(t *testing.T) {
 	if !st.Fused {
 		t.Fatal("default run did not report Fused")
 	}
-	wantExpand := matrix.BytesPerTuple*(a.NNZ()+b.NNZ()) + st.TupleBytes*st.Flops
+	// Executed loads+stores (STREAM's counting): A streamed once, then one
+	// B element load (ColIdx + float64 = 12 B) and one tuple store per FLOP.
+	wantExpand := matrix.BytesPerTuple*a.NNZ() + (12+st.TupleBytes)*st.Flops
 	if st.ExpandBytes != wantExpand {
 		t.Errorf("ExpandBytes = %d, want %d", st.ExpandBytes, wantExpand)
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/numa"
+	"pbspgemm/internal/par"
 	"pbspgemm/internal/radix"
 )
 
@@ -61,6 +63,23 @@ type Workspace struct {
 	locals    []radix.Pair
 	localKeys []uint32
 	localLens []int32
+
+	// Sort-phase ping-pong scratch, flattened threads × maxBinTuples of the
+	// current panel (engine.scratchStride), per layout; each worker's slice
+	// is private, so the stable scatter sorts never contend. Value planes of
+	// the kv layouts live in their kv pools (kv.scratchVals).
+	scratchPairs []radix.Pair
+	scratchKeys  []uint32
+
+	// Sort-phase scheduler state: the pooled steal policy (counters reused
+	// across calls) plus the NUMA worker→node assignment and victim orders,
+	// rebuilt only when the machine or thread count changes.
+	stealPol   par.StealPolicy
+	polNodes   []int
+	polVictims [][]int
+	polNearLen []int
+	polMachine *numa.Machine
+	polThreads int
 
 	// kvF64 pools the float64 value planes of the squeezed (12 B) layout;
 	// kvNarrow holds a *kv[V] for the narrow (8 B) layout's most recent

@@ -1,0 +1,70 @@
+//go:build linux
+
+package numa
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// affinityWords covers 1024 CPUs — the kernel's CONFIG_NR_CPUS ceiling on
+// every distro this is likely to meet.
+const affinityWords = 16
+
+type cpuMask [affinityWords]uint64
+
+func (m *cpuMask) set(cpu int) {
+	if cpu >= 0 && cpu < affinityWords*64 {
+		m[cpu/64] |= 1 << (cpu % 64)
+	}
+}
+
+func getAffinity(mask *cpuMask) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, unsafe.Sizeof(*mask), uintptr(unsafe.Pointer(mask)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func setAffinity(mask *cpuMask) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, unsafe.Sizeof(*mask), uintptr(unsafe.Pointer(mask)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// PinThread locks the calling goroutine to its OS thread and restricts that
+// thread to the given CPUs, returning a teardown that restores the previous
+// mask and unlocks. Best-effort by design: a failed syscall (CPU ids not
+// present on this host — e.g. an injected test machine — or a containerized
+// cpuset) leaves the thread unpinned and returns a teardown that only
+// undoes what succeeded. Callers never need to check for failure; an unpinned
+// worker is merely unplaced, not incorrect.
+func PinThread(cpus []int) (teardown func()) {
+	if len(cpus) == 0 {
+		return func() {}
+	}
+	runtime.LockOSThread()
+	var old cpuMask
+	if err := getAffinity(&old); err != nil {
+		runtime.UnlockOSThread()
+		return func() {}
+	}
+	var want cpuMask
+	for _, c := range cpus {
+		want.set(c)
+	}
+	if err := setAffinity(&want); err != nil {
+		runtime.UnlockOSThread()
+		return func() {}
+	}
+	return func() {
+		_ = setAffinity(&old)
+		runtime.UnlockOSThread()
+	}
+}

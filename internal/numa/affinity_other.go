@@ -1,0 +1,9 @@
+//go:build !linux
+
+package numa
+
+// PinThread is a no-op off Linux: there is no portable thread-affinity API,
+// and an unpinned worker is merely unplaced, not incorrect.
+func PinThread(cpus []int) (teardown func()) {
+	return func() {}
+}

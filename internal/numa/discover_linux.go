@@ -1,0 +1,18 @@
+//go:build linux
+
+package numa
+
+import "os"
+
+// sysNodeDir is the kernel's NUMA topology root.
+const sysNodeDir = "/sys/devices/system/node"
+
+// Discover parses the live sysfs NUMA topology; an unreadable or empty tree
+// falls back to the Table VII model machine.
+func Discover() *Machine {
+	m, err := DiscoverFS(os.DirFS(sysNodeDir))
+	if err != nil {
+		return Fallback()
+	}
+	return m
+}

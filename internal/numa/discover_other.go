@@ -1,0 +1,9 @@
+//go:build !linux
+
+package numa
+
+// Discover has no portable topology source off Linux; the Table VII model
+// machine stands in (never pinned to: Source == "fallback").
+func Discover() *Machine {
+	return Fallback()
+}

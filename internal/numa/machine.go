@@ -1,0 +1,206 @@
+package numa
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Machine is a discovered (or injected) NUMA topology: which CPUs belong to
+// which memory node, plus the bandwidth/latency model used for analytic
+// predictions. The analytic Topology (Table VII) stays useful either way;
+// Machine is what the engine needs to act — pin workers, order steal
+// victims, first-touch bins.
+type Machine struct {
+	// Nodes[i] lists the CPU ids of NUMA node i, ascending.
+	Nodes [][]int
+	// Source records where the topology came from: "sysfs" for a live
+	// /sys/devices/system/node parse, "fallback" for the Table VII model,
+	// anything else for injected test machines. Thread pinning is attempted
+	// only for sysfs and injected machines — the fallback's CPU ids are a
+	// model of the paper's dual Skylake, not this host.
+	Source string
+	// Topo is the bandwidth/latency model paired with the machine; the
+	// fallback uses the paper's Table VII numbers (PaperSkylake), which
+	// MeasureLatencyNs can recalibrate against the host.
+	Topo Topology
+}
+
+// NNodes returns the number of memory nodes (0 for a nil machine).
+func (m *Machine) NNodes() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.Nodes)
+}
+
+// NodeCPUs returns the CPU ids of one node (nil when out of range).
+func (m *Machine) NodeCPUs(node int) []int {
+	if m == nil || node < 0 || node >= len(m.Nodes) {
+		return nil
+	}
+	return m.Nodes[node]
+}
+
+// AssignWorkers maps worker ids [0, threads) onto nodes in contiguous
+// blocks — workers 0..t/2 on node 0, the rest on node 1, and so on — the
+// same blocked split the engine uses for bins, so a worker's bins and its
+// node coincide. Returns the per-worker node ids.
+func (m *Machine) AssignWorkers(threads int) []int {
+	nodes := m.NNodes()
+	if nodes == 0 {
+		nodes = 1
+	}
+	out := make([]int, threads)
+	for w := 0; w < threads; w++ {
+		out[w] = w * nodes / threads
+	}
+	return out
+}
+
+// VictimOrder builds per-worker steal orders from a worker→node assignment:
+// same-node workers first (rotating from w+1 so same-node workers don't all
+// hammer the same victim), then the remaining workers in id order. The
+// returned nearLen[w] is the same-node prefix length — the inputs
+// par.StealPolicy wants.
+func VictimOrder(workerNodes []int) (victims [][]int, nearLen []int) {
+	threads := len(workerNodes)
+	victims = make([][]int, threads)
+	nearLen = make([]int, threads)
+	for w := 0; w < threads; w++ {
+		order := make([]int, 0, threads-1)
+		for i := 1; i < threads; i++ {
+			v := (w + i) % threads
+			if workerNodes[v] == workerNodes[w] {
+				order = append(order, v)
+			}
+		}
+		nearLen[w] = len(order)
+		for i := 1; i < threads; i++ {
+			v := (w + i) % threads
+			if workerNodes[v] != workerNodes[w] {
+				order = append(order, v)
+			}
+		}
+		victims[w] = order
+	}
+	return victims, nearLen
+}
+
+// ParseCPUList parses the kernel's cpulist format ("0-23,48-71") into the
+// sorted list of CPU ids. Empty (or all-whitespace) input is an empty node.
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("numa: bad cpulist range %q: %w", part, err)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("numa: bad cpulist range %q: %w", part, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("numa: inverted cpulist range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				cpus = append(cpus, c)
+			}
+		} else {
+			c, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("numa: bad cpulist entry %q: %w", part, err)
+			}
+			cpus = append(cpus, c)
+		}
+	}
+	sort.Ints(cpus)
+	return cpus, nil
+}
+
+// DiscoverFS parses a /sys/devices/system/node-shaped tree: entries named
+// nodeN, each with a cpulist file. It returns the nodes sorted by id. Tests
+// inject fstest.MapFS fixtures; Discover passes the live sysfs on Linux.
+func DiscoverFS(fsys fs.FS) (*Machine, error) {
+	entries, err := fs.ReadDir(fsys, ".")
+	if err != nil {
+		return nil, fmt.Errorf("numa: reading node dir: %w", err)
+	}
+	type node struct {
+		id   int
+		cpus []int
+	}
+	var nodes []node
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue // node-something that isn't a node directory
+		}
+		raw, err := fs.ReadFile(fsys, name+"/cpulist")
+		if err != nil {
+			return nil, fmt.Errorf("numa: node %d: %w", id, err)
+		}
+		cpus, err := ParseCPUList(string(raw))
+		if err != nil {
+			return nil, fmt.Errorf("numa: node %d: %w", id, err)
+		}
+		if len(cpus) == 0 {
+			continue // memory-only node: no CPUs to pin or steal near
+		}
+		nodes = append(nodes, node{id: id, cpus: cpus})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("numa: no CPU-bearing nodes found")
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	m := &Machine{Source: "sysfs", Topo: PaperSkylake}
+	for _, n := range nodes {
+		m.Nodes = append(m.Nodes, n.cpus)
+	}
+	return m, nil
+}
+
+// Fallback is the Table VII machine: two sockets of 24 cores with the
+// paper's measured bandwidths and latencies. It exists so the analytic
+// dual-socket predictions (PredictDual) always have a machine to reason
+// about; its CPU ids describe the paper's Skylake 8160, not this host, so
+// the engine never pins to them (Source == "fallback").
+func Fallback() *Machine {
+	per := PaperSkylake.SocketsPer
+	n0 := make([]int, per)
+	n1 := make([]int, per)
+	for i := 0; i < per; i++ {
+		n0[i] = i
+		n1[i] = per + i
+	}
+	return &Machine{Nodes: [][]int{n0, n1}, Source: "fallback", Topo: PaperSkylake}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultM    *Machine
+)
+
+// Default returns the host machine, discovered once per process: the live
+// sysfs topology on Linux, the Table VII fallback elsewhere (or when sysfs
+// is unreadable).
+func Default() *Machine {
+	defaultOnce.Do(func() { defaultM = Discover() })
+	return defaultM
+}

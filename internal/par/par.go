@@ -10,7 +10,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // DefaultThreads returns the degree of parallelism to use when a caller
@@ -260,69 +259,7 @@ func (d *wsDeque[T]) stealHead() (t T, ok bool) {
 // unspecified; callers needing determinism must make tasks commutative
 // (disjoint output ranges, as bins are).
 func WorkSteal[T any](threads int, seeds []T, fn func(worker int, task T, spawn func(T))) {
-	threads = DefaultThreads(threads)
-	if len(seeds) == 0 {
-		return
-	}
-	if threads <= 1 {
-		// Sequential: a LIFO stack, exactly the owner's deque discipline.
-		stack := append(make([]T, 0, 2*len(seeds)), seeds...)
-		spawn := func(t T) { stack = append(stack, t) }
-		for len(stack) > 0 {
-			t := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			fn(0, t, spawn)
-		}
-		return
-	}
-	deques := make([]wsDeque[T], threads)
-	for i, s := range seeds {
-		d := &deques[i%threads]
-		d.buf = append(d.buf, s)
-	}
-	var pending atomic.Int64
-	pending.Store(int64(len(seeds)))
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(t int) {
-			defer wg.Done()
-			self := &deques[t]
-			spawn := func(nt T) {
-				pending.Add(1)
-				self.push(nt)
-			}
-			idle := 0
-			for {
-				task, ok := self.popTail()
-				for i := 1; !ok && i < threads; i++ {
-					task, ok = deques[(t+i)%threads].stealHead()
-				}
-				if ok {
-					idle = 0
-					fn(t, task, spawn)
-					if pending.Add(-1) == 0 {
-						return
-					}
-					continue
-				}
-				if pending.Load() == 0 {
-					return
-				}
-				// Tasks are in flight on other workers and may yet spawn.
-				// Yield first (a spawn usually lands within a few rounds),
-				// then back off to sleeping so an idle tail behind one long
-				// task doesn't burn the other cores' cycles hammering the
-				// deque mutexes.
-				if idle++; idle < 64 {
-					runtime.Gosched()
-				} else {
-					time.Sleep(20 * time.Microsecond)
-				}
-			}
-		}(t)
-	}
-	wg.Wait()
+	WorkStealPolicy(threads, seeds, nil, fn)
 }
 
 // ParallelRun invokes fn(worker) on exactly threads workers and waits.

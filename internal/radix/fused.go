@@ -1,41 +1,22 @@
 package radix
 
-import "math/bits"
-
 // Fused sort→compress: the sorter's recursion already visits buckets in
 // ascending key order, and a bucket that reaches its last digit (or the
 // insertion cutoff) is fully determined the moment the recursion leaves it.
 // The fused variants fold runs of equal keys right there and compact the
 // aggregated (key, Σval) tuples into the prefix of the same slice, so the
 // separate compress pass — a full re-read of the sorted buffer plus an
-// nnz-sized write — never runs. Three leaf mechanisms do the folding:
+// nnz-sized write — never runs.
 //
-//   - Final digit pass (accumulate-on-equal-key): at shift 0 every bucket is
-//     a single key, so instead of permuting flop tuples into place and
-//     folding afterwards, the pass walks the EXACT fill sequence the
-//     unfused permute would execute — read-only, the displaced tuple riding
-//     in registers — and accumulates each bucket's value sum as its slots
-//     would have been filled. The last pass's writes (the dominant permute
-//     traffic) disappear entirely; one aggregated tuple per non-empty
-//     bucket is emitted in bucket order.
-//   - Insertion leaves: slices at or under the insertion cutoff are
-//     insertion-sorted DIRECTLY into the compacted prefix, folding equal
-//     keys on insert. Insertion is stable, so fold order equals
-//     sort-then-compress order.
-//   - Uniform ranges (every key equal): one register-accumulated sum.
+// The engine's hot path is the ...FusedScratch stable implementations in
+// stable32.go / stablepairs.go / stablepattern.go. Because those sorts are
+// stable, every fold accumulates values in arrival (expand) order — the
+// same left-to-right chain sort-then-compress produces over the stable-
+// sorted array — so fused ≡ unfused ≡ split-across-workers holds bit-for-
+// bit by construction, for any digit plan and any thread count.
 //
-// All three are bit-identical to sort-then-compress: the recursion runs
-// exactly the unfused digit plan (same digitWidth, same cutoff, same
-// pass geometry), and every fold accumulates values in exactly the
-// left-to-right order of the fully sorted array — for the accumulate pass
-// because the simulated fill order IS the post-permute slot order (slots of
-// a bucket are finalized in ascending position, and a finalized slot is
-// never revisited, in both the cycle-following and the swap permute).
-//
-// In-place safety: when a leaf [s, e) is emitted, every element left of s
-// has already been consumed, so the write cursor n ≤ s, and within a leaf
-// the write index trails the read index — the classic in-place compaction
-// invariant.
+// The allocating wrappers below keep the original one-call API for tests
+// and external callers.
 
 // Numeric is the value constraint of the fused fold: the engine's semiring
 // fast paths fold with +, so the fused sorter needs addition — float64 (the
@@ -44,431 +25,26 @@ type Numeric interface {
 	~float32 | ~float64 | ~int32
 }
 
-// fuse32 is the split-layout emit state: the bin's full segment plus the
-// compaction cursor, generic over the value width.
-type fuse32[V Numeric] struct {
-	keys []uint32
-	vals []V
-	n    int64
-}
-
-// emitOne appends one aggregated tuple. Callers guarantee the key differs
-// from every previously emitted key (distinct buckets carry distinct
-// digits), so no fold check is needed.
-func (f *fuse32[V]) emitOne(k uint32, v V) {
-	f.keys[f.n] = k
-	f.vals[f.n] = v
-	f.n++
-}
-
-// foldUniform emits a range whose keys are all equal as one tuple, summing
-// left to right (the compress order).
-func (f *fuse32[V]) foldUniform(lo, hi int64) {
-	k := f.keys[lo]
-	v := f.vals[lo]
-	for i := lo + 1; i < hi; i++ {
-		v += f.vals[i]
-	}
-	f.emitOne(k, v)
-}
-
-// insertionFold sorts the leaf [lo, hi) by insertion directly into the
-// compacted prefix, folding equal keys on insert. Insertion is stable and
-// the fold accumulates in arrival order, which for equal keys is exactly
-// their order in the stably sorted array — the compress order.
-func (f *fuse32[V]) insertionFold(lo, hi int64) {
-	keys, vals := f.keys, f.vals
-	base := f.n
-	out := base
-	for i := lo; i < hi; i++ {
-		k := keys[i]
-		v := vals[i]
-		j := out
-		for j > base && keys[j-1] > k {
-			j--
-		}
-		if j > base && keys[j-1] == k {
-			vals[j-1] += v
-			continue
-		}
-		for m := out; m > j; m-- {
-			keys[m] = keys[m-1]
-			vals[m] = vals[m-1]
-		}
-		keys[j] = k
-		vals[j] = v
-		out++
-	}
-	f.n = out
-}
-
-// SortKeys32Fused sorts keys ascending (permuting vals identically) and
-// folds equal keys with +, compacting the aggregated tuples into
-// keys[:n]/vals[:n]. It returns n, the folded length. The prefix is
-// bit-identical to SortKeys32 followed by a two-pointer compress; the tail
-// beyond n is unspecified.
-func SortKeys32Fused[V Numeric](keys []uint32, vals []V) int64 {
-	if len(keys) != len(vals) {
-		panic("radix: keys and vals length mismatch")
-	}
-	if len(keys) == 0 {
-		return 0
-	}
-	var or uint32
-	for _, k := range keys {
-		or |= k
-	}
-	f := fuse32[V]{keys: keys, vals: vals}
-	if or == 0 {
-		// All keys zero: fold everything into one tuple.
-		f.foldUniform(0, int64(len(keys)))
-		return f.n
-	}
-	f.sortBits(0, int64(len(keys)), bits.Len32(or))
-	return f.n
-}
-
-// sortBits mirrors SortKeys32Bits' recursion over [lo, hi) — same digit
-// plan, same passes — emitting each leaf as it completes.
-func (f *fuse32[V]) sortBits(lo, hi int64, hiBits int) {
-	n := hi - lo
-	if n <= 0 {
-		return
-	}
-	if n == 1 {
-		f.emitOne(f.keys[lo], f.vals[lo])
-		return
-	}
-	if hiBits <= 0 {
-		// No distinguishing bits left: every key in the range is equal.
-		f.foldUniform(lo, hi)
-		return
-	}
-	if n <= insertionCutoff {
-		f.insertionFold(lo, hi)
-		return
-	}
-	keys := f.keys[lo:hi]
-	vals := f.vals[lo:hi]
-	w := digitWidth(int(n), hiBits)
-	shift := uint(hiBits - w)
-	nb := 1 << w
-	mask := uint32(nb - 1)
-
-	var st flagState32
-	for _, k := range keys {
-		st.count[(k>>shift)&mask]++
-	}
-	sum := 0
-	for b := 0; b < nb; b++ {
-		st.start[b] = sum
-		sum += st.count[b]
-		st.end[b] = sum
-		if st.count[b] > 0 {
-			st.nonEmpty++
-		}
-	}
-	if st.nonEmpty == 1 {
-		// Uniform digit: descend to the remaining bits.
-		f.sortBits(lo, hi, int(shift))
-		return
-	}
-	if shift == 0 {
-		// Last digit: every bucket is one key — accumulate, don't permute.
-		f.accumulateLastDigit(keys, vals, &st, nb, mask)
-		return
-	}
-	// Splitting pass: the unfused permute, verbatim, then the buckets. The
-	// dominant c ≤ 2 buckets emit through a register-resident cursor; only
-	// recursion syncs it back to the struct.
-	var cursor [maxBuckets]int
-	copy(cursor[:nb], st.start[:nb])
-	permuteKeys32(keys, vals, cursor[:nb], st.end[:nb], shift, mask)
-	dk, dv := f.keys, f.vals
-	out := f.n
-	for b := 0; b < nb; b++ {
-		c := st.count[b]
-		if c == 0 {
-			continue
-		}
-		s := lo + int64(st.start[b])
-		switch {
-		case c == 1:
-			dk[out] = dk[s]
-			dv[out] = dv[s]
-			out++
-		case c == 2:
-			// The dominant non-trivial bucket size; inline like the sorter.
-			k0, k1 := dk[s], dk[s+1]
-			v0, v1 := dv[s], dv[s+1]
-			if k0 > k1 {
-				k0, k1 = k1, k0
-				v0, v1 = v1, v0
-			}
-			if k0 == k1 {
-				dk[out] = k0
-				dv[out] = v0 + v1
-				out++
-			} else {
-				dk[out] = k0
-				dv[out] = v0
-				dk[out+1] = k1
-				dv[out+1] = v1
-				out += 2
-			}
-		default:
-			f.n = out
-			f.sortBits(s, lo+int64(st.end[b]), int(shift))
-			out = f.n
-		}
-	}
-	f.n = out
-}
-
-// accumulateLastDigit is the fused final pass: the read-only simulation of
-// permuteKeys32's cycle-following fill sequence at shift 0, accumulating
-// each bucket's (single-key) value sum in slot-fill order — exactly the
-// post-permute array order the unfused compress would fold in — and
-// emitting one aggregated tuple per non-empty bucket. No tuple is moved.
-func (f *fuse32[V]) accumulateLastDigit(keys []uint32, vals []V, st *flagState32, nb int, mask uint32) {
-	var acc [maxBuckets]V
-	var cursor [maxBuckets]int
-	copy(cursor[:nb], st.start[:nb])
-	for b := 0; b < nb; b++ {
-		i := cursor[b]
-		be := st.end[b]
-		for i < be {
-			k := keys[i]
-			home := int(k & mask)
-			if home == b {
-				// Slot i of bucket b finalized by its own occupant.
-				acc[b] += vals[i]
-				i++
-				continue
-			}
-			v := vals[i]
-			for {
-				j := cursor[home]
-				cursor[home] = j + 1
-				k2, v2 := keys[j], vals[j]
-				// Slot j of bucket home finalized by the riding tuple.
-				acc[home] += v
-				home = int(k2 & mask)
-				if home == b {
-					// Cycle closes: slot i finalized by (k2, v2).
-					acc[b] += v2
-					i++
-					break
-				}
-				v = v2
-			}
-		}
-		cursor[b] = i
-	}
-	// All higher bits are uniform across the slice, so bucket b's key is
-	// the shared high part plus the digit.
-	base := keys[0] &^ mask
-	n := f.n
-	dk, dv := f.keys, f.vals
-	for b := 0; b < nb; b++ {
-		if st.count[b] > 0 {
-			dk[n] = base | uint32(b)
-			dv[n] = acc[b]
-			n++
-		}
-	}
-	f.n = n
-}
-
-// fusePairs is the wide-layout emit state; see fuse32.
-type fusePairs struct {
-	ps []Pair
-	n  int64
-}
-
-func (f *fusePairs) emitOne(p Pair) {
-	f.ps[f.n] = p
-	f.n++
-}
-
-func (f *fusePairs) foldUniform(lo, hi int64) {
-	p := f.ps[lo]
-	for i := lo + 1; i < hi; i++ {
-		p.Val += f.ps[i].Val
-	}
-	f.emitOne(p)
-}
-
-func (f *fusePairs) insertionFold(lo, hi int64) {
-	ps := f.ps
-	base := f.n
-	out := base
-	for i := lo; i < hi; i++ {
-		p := ps[i]
-		j := out
-		for j > base && ps[j-1].Key > p.Key {
-			j--
-		}
-		if j > base && ps[j-1].Key == p.Key {
-			ps[j-1].Val += p.Val
-			continue
-		}
-		for m := out; m > j; m-- {
-			ps[m] = ps[m-1]
-		}
-		ps[j] = p
-		out++
-	}
-	f.n = out
-}
-
-// SortPairsFused is the wide-layout counterpart of SortKeys32Fused: sorts
-// ps by Key, folds equal keys with +, compacts into ps[:n] and returns n.
-// The prefix is bit-identical to SortPairsInPlace followed by a two-pointer
+// SortKeys32Fused sorts keys/vals and folds equal keys in one pass,
+// compacting the aggregated tuples into the slice prefix and returning
+// their count. Bit-identical to SortKeys32 followed by a two-pointer
 // compress.
-func SortPairsFused(ps []Pair) int64 {
-	if len(ps) == 0 {
+func SortKeys32Fused[V Numeric](keys []uint32, vals []V) int64 {
+	n := len(keys)
+	if n == 0 {
 		return 0
 	}
-	var or uint64
-	for i := range ps {
-		or |= ps[i].Key
-	}
-	f := fusePairs{ps: ps}
-	if or == 0 {
-		f.foldUniform(0, int64(len(ps)))
-		return f.n
-	}
-	f.sortAtByte(0, int64(len(ps)), topByte(or))
-	return f.n
+	auxK := make([]uint32, n)
+	auxV := make([]V, n)
+	return SortKeys32FusedScratch(keys, vals, auxK, auxV, false)
 }
 
-// sortAtByte mirrors sortPairsAtByte's recursion, emitting sorted leaves.
-func (f *fusePairs) sortAtByte(lo, hi int64, byteIdx int) {
-	n := hi - lo
-	if n <= 0 {
-		return
+// SortPairsFused is SortKeys32Fused for the wide 16-byte layout.
+func SortPairsFused(ps []Pair) int64 {
+	n := len(ps)
+	if n == 0 {
+		return 0
 	}
-	if n == 1 {
-		f.emitOne(f.ps[lo])
-		return
-	}
-	if n <= insertionCutoff {
-		f.insertionFold(lo, hi)
-		return
-	}
-	ps := f.ps[lo:hi]
-	shift := uint(byteIdx * 8)
-	var st flagStatePairs
-	for i := range ps {
-		st.count[(ps[i].Key>>shift)&0xff]++
-	}
-	sum := 0
-	for b := 0; b < 256; b++ {
-		st.start[b] = sum
-		sum += st.count[b]
-		st.end[b] = sum
-		if st.count[b] > 0 {
-			st.nonEmpty++
-		}
-	}
-	if st.nonEmpty == 1 {
-		if byteIdx > 0 {
-			f.sortAtByte(lo, hi, byteIdx-1)
-			return
-		}
-		// Every byte uniform: all keys equal.
-		f.foldUniform(lo, hi)
-		return
-	}
-	if byteIdx == 0 {
-		f.accumulateLastByte(ps, &st, shift)
-		return
-	}
-	// Splitting pass: the unfused swap permute, verbatim, then the buckets.
-	var cursor [256]int
-	copy(cursor[:], st.start[:])
-	for b := 0; b < 256; b++ {
-		for cursor[b] < st.end[b] {
-			p := ps[cursor[b]]
-			home := int((p.Key >> shift) & 0xff)
-			if home == b {
-				cursor[b]++
-				continue
-			}
-			j := cursor[home]
-			ps[cursor[b]], ps[j] = ps[j], p
-			cursor[home]++
-		}
-	}
-	dst := f.ps
-	out := f.n
-	for b := 0; b < 256; b++ {
-		c := st.count[b]
-		if c == 0 {
-			continue
-		}
-		s := lo + int64(st.start[b])
-		if c == 1 {
-			dst[out] = dst[s]
-			out++
-		} else {
-			f.n = out
-			f.sortAtByte(s, lo+int64(st.end[b]), byteIdx-1)
-			out = f.n
-		}
-	}
-	f.n = out
-}
-
-// accumulateLastByte is the wide layout's fused final pass: the read-only
-// simulation of flagPassPairs' swap-permute fill sequence at byte 0 (the
-// element displaced from a scan slot rides in a register instead of being
-// swapped back), accumulating per-bucket value sums in slot-fill order and
-// emitting one tuple per non-empty bucket.
-func (f *fusePairs) accumulateLastByte(ps []Pair, st *flagStatePairs, shift uint) {
-	var acc [256]float64
-	var cursor [256]int
-	copy(cursor[:], st.start[:])
-	for b := 0; b < 256; b++ {
-		i := cursor[b]
-		be := st.end[b]
-		for i < be {
-			p := ps[i]
-			home := int((p.Key >> shift) & 0xff)
-			if home == b {
-				acc[b] += p.Val
-				i++
-				continue
-			}
-			// The swap permute would keep exchanging the occupant of slot i
-			// until one belongs to b; ride the chain in registers instead.
-			for {
-				j := cursor[home]
-				cursor[home] = j + 1
-				next := ps[j]
-				acc[home] += p.Val
-				p = next
-				home = int(p.Key >> shift & 0xff)
-				if home == b {
-					acc[b] += p.Val
-					i++
-					break
-				}
-			}
-		}
-		cursor[b] = i
-	}
-	// byteIdx is 0 here, so shift is 0 and the digit is the low byte; all
-	// higher bytes are uniform across the slice.
-	high := ps[0].Key &^ 0xff
-	n := f.n
-	dst := f.ps
-	for b := 0; b < 256; b++ {
-		if st.count[b] > 0 {
-			dst[n] = Pair{Key: high | uint64(b), Val: acc[b]}
-			n++
-		}
-	}
-	f.n = n
+	aux := make([]Pair, n)
+	return SortPairsFusedScratch(ps, aux, false)
 }

@@ -79,7 +79,10 @@ func TestSortPairsFusedMatchesSortThenCompress(t *testing.T) {
 				ps[i] = Pair{Key: k, Val: r.NormFloat64()}
 			}
 			ref := append([]Pair(nil), ps...)
-			SortPairsInPlace(ref)
+			// The fused fold order is the stable sort's order (arrival
+			// order within equal keys), so the reference is the stable
+			// unfused sort, not the legacy in-place one.
+			SortPairsStable(ref, make([]Pair, len(ref)), false)
 			var want []Pair
 			for _, p := range ref {
 				if len(want) > 0 && want[len(want)-1].Key == p.Key {
@@ -134,19 +137,24 @@ func TestFusedAfterPartition(t *testing.T) {
 	}
 }
 
-// TestSortKeys32FusedAllocs: the fused sort must not touch the heap.
-func TestSortKeys32FusedAllocs(t *testing.T) {
+// TestSortKeys32FusedScratchAllocs: the engine-facing fused sort must not
+// touch the heap once scratch is provided, batched or scalar.
+func TestSortKeys32FusedScratchAllocs(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	keys, vals := fusedCase(r, 4096, 1<<20)
 	work := make([]uint32, len(keys))
 	workV := make([]float64, len(vals))
-	allocs := testing.AllocsPerRun(10, func() {
-		copy(work, keys)
-		copy(workV, vals)
-		SortKeys32Fused(work, workV)
-	})
-	if allocs != 0 {
-		t.Fatalf("SortKeys32Fused allocated %.1f times per call, want 0", allocs)
+	auxK := make([]uint32, len(keys))
+	auxV := make([]float64, len(vals))
+	for _, batch := range []bool{false, true} {
+		allocs := testing.AllocsPerRun(10, func() {
+			copy(work, keys)
+			copy(workV, vals)
+			SortKeys32FusedScratch(work, workV, auxK, auxV, batch)
+		})
+		if allocs != 0 {
+			t.Fatalf("batch=%v: SortKeys32FusedScratch allocated %.1f times per call, want 0", batch, allocs)
+		}
 	}
 }
 

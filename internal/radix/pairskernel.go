@@ -1,0 +1,42 @@
+package radix
+
+// Radix-local scalar loops for the pair kernels. The batched forms in
+// internal/simd work on []simd.Pair; converting []Pair costs one unsafe
+// type pun, so the conversion (and with it all unsafe in this package)
+// lives in pairskernel_batch.go behind !purego. These references are the
+// purego path and the batch=false oracle.
+
+func orPairsRef(ps []Pair) uint64 {
+	var or uint64
+	for i := range ps {
+		or |= ps[i].Key
+	}
+	return or
+}
+
+func histPairsRef(ps []Pair, shift uint, count *[maxBuckets]int64) {
+	for i := range ps {
+		count[(ps[i].Key>>shift)&0xff]++
+	}
+}
+
+func scatterPairsRef(src []Pair, dst []Pair, shift uint, cursor *[maxBuckets]int64) {
+	for i := range src {
+		b := (src[i].Key >> shift) & 0xff
+		c := cursor[b]
+		dst[c] = src[i]
+		cursor[b] = c + 1
+	}
+}
+
+func accumPairsRef(ps []Pair, acc *[maxBuckets]float64) {
+	for i := range ps {
+		acc[ps[i].Key&0xff] += ps[i].Val
+	}
+}
+
+func expandPairsRef(dst []Pair, localRow uint64, cols []int32, bVals []float64, av float64) {
+	for i := range dst {
+		dst[i] = Pair{Key: localRow | uint64(cols[i]), Val: av * bVals[i]}
+	}
+}

@@ -1,0 +1,26 @@
+//go:build purego
+
+package radix
+
+// purego: the pair kernels are always the scalar references and this
+// package compiles without unsafe.
+
+func orPairs(ps []Pair, _ bool) uint64 { return orPairsRef(ps) }
+
+func histPairs(ps []Pair, shift uint, count *[maxBuckets]int64, _ bool) {
+	histPairsRef(ps, shift, count)
+}
+
+func scatterPairs(src []Pair, dst []Pair, shift uint, cursor *[maxBuckets]int64, _ bool) {
+	scatterPairsRef(src, dst, shift, cursor)
+}
+
+func accumPairs(ps []Pair, acc *[maxBuckets]float64, _ bool) {
+	accumPairsRef(ps, acc)
+}
+
+// ExpandPairs writes the wide outer-product tuples
+// {localRow|cols[i], av*bVals[i]} into dst; see pairskernel_batch.go.
+func ExpandPairs(dst []Pair, localRow uint64, cols []int32, bVals []float64, av float64, _ bool) {
+	expandPairsRef(dst, localRow, cols, bVals, av)
+}

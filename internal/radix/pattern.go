@@ -1,123 +1,32 @@
 package radix
 
-import "math/bits"
-
 // Pattern (key-only) layout: the 4-byte tuple of the Boolean semiring and of
 // structural products whose values are never read. A tuple IS its packed
 // uint32 key, so the sorter moves a quarter of the squeezed layout's bytes
 // and the fused fold degenerates to deduplication — "sum the values of equal
-// keys" becomes "keep one". The digit plan (digitWidth over the slice length
-// and the key OR) is shared with the value-carrying sorters, so a bin
-// partitioned by PartitionTop32Pattern and finished per bucket lands in
-// exactly the array one SortKeys32Pattern call would produce.
+// keys" becomes "keep one". The implementations are the stable key-only
+// sorts in stablepattern.go; the wrappers here keep the original one-call
+// API (allocating their own scratch) for tests and external callers. The
+// engine passes pooled per-worker scratch through the ...Scratch variants.
 
-// SortKeys32Pattern sorts keys ascending in place.
+// SortKeys32Pattern sorts keys ascending.
 func SortKeys32Pattern(keys []uint32) {
 	if len(keys) < 2 {
 		return
 	}
-	var or uint32
-	for _, k := range keys {
-		or |= k
-	}
-	if or == 0 {
-		return // all keys zero: already sorted
-	}
-	SortKeys32BitsPattern(keys, bits.Len32(or))
-}
-
-// flagPass32Pattern is the key-only American-flag pass at the shared digit
-// plan; see flagPass32.
-func flagPass32Pattern(keys []uint32, hiBits int, st *flagState32) (shift uint, mask uint32, nb int) {
-	w := digitWidth(len(keys), hiBits)
-	shift = uint(hiBits - w)
-	nb = 1 << w
-	mask = uint32(nb - 1)
-
-	for _, k := range keys {
-		st.count[(k>>shift)&mask]++
-	}
-	sum := 0
-	for b := 0; b < nb; b++ {
-		st.start[b] = sum
-		sum += st.count[b]
-		st.end[b] = sum
-		if st.count[b] > 0 {
-			st.nonEmpty++
-		}
-	}
-	if st.nonEmpty > 1 {
-		var cursor [maxBuckets]int
-		copy(cursor[:nb], st.start[:nb])
-		permuteKeys32Pattern(keys, cursor[:nb], st.end[:nb], shift, mask)
-	}
-	return shift, mask, nb
+	aux := make([]uint32, len(keys))
+	SortKeys32PatternScratch(keys, aux, false)
 }
 
 // SortKeys32BitsPattern sorts by the key bits [0, hiBits), assuming all
-// higher bits are uniform; the per-bucket continuation of
-// PartitionTop32Pattern, bit-identical combined with it to one
-// SortKeys32Pattern call.
+// higher bits are uniform across the slice (a PartitionTop32Pattern
+// bucket).
 func SortKeys32BitsPattern(keys []uint32, hiBits int) {
-	n := len(keys)
-	if n < 2 || hiBits <= 0 {
+	if len(keys) < 2 || hiBits <= 0 {
 		return
 	}
-	if n <= insertionCutoff {
-		insertionSortKeys32Pattern(keys)
-		return
-	}
-	var st flagState32
-	shift, _, nb := flagPass32Pattern(keys, hiBits, &st)
-	if st.nonEmpty == 1 {
-		SortKeys32BitsPattern(keys, int(shift))
-		return
-	}
-	if shift == 0 {
-		return
-	}
-	for b := 0; b < nb; b++ {
-		switch c := st.count[b]; {
-		case c == 2:
-			i := st.start[b]
-			if keys[i] > keys[i+1] {
-				keys[i], keys[i+1] = keys[i+1], keys[i]
-			}
-		case c > 2:
-			SortKeys32BitsPattern(keys[st.start[b]:st.end[b]], int(shift))
-		}
-	}
-}
-
-// permuteKeys32Pattern is the cycle-following in-place permutation with no
-// value plane to carry.
-func permuteKeys32Pattern(keys []uint32, cursor, end []int, shift uint, mask uint32) {
-	for b := 0; b < len(cursor); b++ {
-		i := cursor[b]
-		be := end[b]
-		for i < be {
-			k := keys[i]
-			home := int((k >> shift) & mask)
-			if home == b {
-				i++
-				continue
-			}
-			for {
-				j := cursor[home]
-				cursor[home] = j + 1
-				k2 := keys[j]
-				keys[j] = k
-				home = int((k2 >> shift) & mask)
-				if home == b {
-					keys[i] = k2
-					i++
-					break
-				}
-				k = k2
-			}
-		}
-		cursor[b] = i
-	}
+	aux := make([]uint32, len(keys))
+	SortKeys32BitsPatternScratch(keys, aux, hiBits, false)
 }
 
 func insertionSortKeys32Pattern(keys []uint32) {
@@ -132,191 +41,25 @@ func insertionSortKeys32Pattern(keys []uint32) {
 	}
 }
 
-// PartitionTop32Pattern is PartitionTop32 without a value plane: exactly the
-// first splitting pass SortKeys32Pattern would run, bucket boundaries into
-// bounds (len ≥ MaxPartitionBuckets+1), finished per bucket with
-// SortKeys32BitsPattern(bucket, restBits).
+// PartitionTop32Pattern runs the sort's first splitting pass over the
+// key-only plane, filling bounds (len ≥ MaxPartitionBuckets+1); the caller
+// finishes per bucket with SortKeys32BitsPattern. nbuckets == 0 means no
+// further work remains.
 func PartitionTop32Pattern(keys []uint32, bounds []int64) (nbuckets, restBits int) {
 	if len(keys) < 2 {
 		return 0, 0
 	}
-	var or uint32
-	for _, k := range keys {
-		or |= k
-	}
-	if or == 0 {
-		return 0, 0
-	}
-	hiBits := bits.Len32(or)
-	for {
-		if hiBits <= 0 {
-			return 0, 0
-		}
-		var st flagState32
-		shift, _, nb := flagPass32Pattern(keys, hiBits, &st)
-		if st.nonEmpty == 1 {
-			hiBits = int(shift)
-			continue
-		}
-		for b := 0; b < nb; b++ {
-			bounds[b] = int64(st.start[b])
-		}
-		bounds[nb] = int64(len(keys))
-		if shift == 0 {
-			return 0, 0 // buckets are uniform keys: fully sorted
-		}
-		return nb, int(shift)
-	}
+	aux := make([]uint32, len(keys))
+	return PartitionTop32PatternScratch(keys, aux, bounds, false)
 }
 
-// fuseKeys is the pattern-layout emit state: sort + deduplicate-compact.
-type fuseKeys struct {
-	keys []uint32
-	n    int64
-}
-
-func (f *fuseKeys) emitOne(k uint32) {
-	f.keys[f.n] = k
-	f.n++
-}
-
-// insertionFold insertion-sorts the leaf [lo, hi) directly into the
-// compacted prefix, dropping duplicate keys on insert.
-func (f *fuseKeys) insertionFold(lo, hi int64) {
-	keys := f.keys
-	base := f.n
-	out := base
-	for i := lo; i < hi; i++ {
-		k := keys[i]
-		j := out
-		for j > base && keys[j-1] > k {
-			j--
-		}
-		if j > base && keys[j-1] == k {
-			continue
-		}
-		for m := out; m > j; m-- {
-			keys[m] = keys[m-1]
-		}
-		keys[j] = k
-		out++
-	}
-	f.n = out
-}
-
-// SortKeys32FusedPattern sorts keys ascending and deduplicates, compacting
-// the unique keys into keys[:n] and returning n — the count-only fold of the
-// pattern layout. The prefix equals SortKeys32Pattern followed by a
-// two-pointer dedup; the tail beyond n is unspecified. The last digit pass
-// never permutes at all: with one key per bucket, the unique keys are fully
-// determined by the occupancy counts.
+// SortKeys32FusedPattern sorts and deduplicates keys in one pass,
+// compacting the unique keys into the slice prefix and returning their
+// count. Bit-identical to SortKeys32Pattern followed by a dedup scan.
 func SortKeys32FusedPattern(keys []uint32) int64 {
 	if len(keys) == 0 {
 		return 0
 	}
-	var or uint32
-	for _, k := range keys {
-		or |= k
-	}
-	f := fuseKeys{keys: keys}
-	if or == 0 {
-		f.emitOne(0)
-		return f.n
-	}
-	f.sortBits(0, int64(len(keys)), bits.Len32(or))
-	return f.n
-}
-
-// sortBits mirrors SortKeys32BitsPattern's recursion over [lo, hi), emitting
-// each leaf's unique keys as it completes.
-func (f *fuseKeys) sortBits(lo, hi int64, hiBits int) {
-	n := hi - lo
-	if n <= 0 {
-		return
-	}
-	if n == 1 {
-		f.emitOne(f.keys[lo])
-		return
-	}
-	if hiBits <= 0 {
-		// No distinguishing bits left: every key in the range is equal.
-		f.emitOne(f.keys[lo])
-		return
-	}
-	if n <= insertionCutoff {
-		f.insertionFold(lo, hi)
-		return
-	}
-	keys := f.keys[lo:hi]
-	w := digitWidth(int(n), hiBits)
-	shift := uint(hiBits - w)
-	nb := 1 << w
-	mask := uint32(nb - 1)
-
-	var st flagState32
-	for _, k := range keys {
-		st.count[(k>>shift)&mask]++
-	}
-	sum := 0
-	for b := 0; b < nb; b++ {
-		st.start[b] = sum
-		sum += st.count[b]
-		st.end[b] = sum
-		if st.count[b] > 0 {
-			st.nonEmpty++
-		}
-	}
-	if st.nonEmpty == 1 {
-		f.sortBits(lo, hi, int(shift))
-		return
-	}
-	if shift == 0 {
-		// Last digit: one key per bucket — the occupancy counts ARE the
-		// answer; emit without moving a single tuple.
-		base := keys[0] &^ mask
-		out := f.n
-		dk := f.keys
-		for b := 0; b < nb; b++ {
-			if st.count[b] > 0 {
-				dk[out] = base | uint32(b)
-				out++
-			}
-		}
-		f.n = out
-		return
-	}
-	// Splitting pass: the unfused permute, verbatim, then the buckets.
-	var cursor [maxBuckets]int
-	copy(cursor[:nb], st.start[:nb])
-	permuteKeys32Pattern(keys, cursor[:nb], st.end[:nb], shift, mask)
-	dk := f.keys
-	out := f.n
-	for b := 0; b < nb; b++ {
-		c := st.count[b]
-		if c == 0 {
-			continue
-		}
-		s := lo + int64(st.start[b])
-		switch {
-		case c == 1:
-			dk[out] = dk[s]
-			out++
-		case c == 2:
-			k0, k1 := dk[s], dk[s+1]
-			if k0 > k1 {
-				k0, k1 = k1, k0
-			}
-			dk[out] = k0
-			out++
-			if k0 != k1 {
-				dk[out] = k1
-				out++
-			}
-		default:
-			f.n = out
-			f.sortBits(s, lo+int64(st.end[b]), int(shift))
-			out = f.n
-		}
-	}
-	f.n = out
+	aux := make([]uint32, len(keys))
+	return SortKeys32FusedPatternScratch(keys, aux, false)
 }

@@ -7,19 +7,22 @@ import "math/bits"
 // (localRow<<colBits | col) fits a uint32, and a tuple shrinks from Pair's
 // 16 bytes to 12 — a uint32 key and a float64 value held in parallel arrays.
 //
-// The sorter is the same in-place American-flag radix as SortPairsInPlace,
-// tuned for what the 4-byte key affords: digit widths adapt to the slice
-// (up to 8 bits, narrower when few elements or few key bits remain), the
-// permute follows displacement cycles so each element is loaded and stored
-// once, and counting passes touch only the 4-byte key array — a quarter of
-// the wide layout's counting traffic. The digit plan is a pure function of
-// the slice length and its key bits, both identical between the whole-bin
-// sort and the PartitionTop32-split path, so a bin partitioned across
-// workers sorts into exactly the same array a single worker would produce.
+// The sorter is the stable out-of-place American-flag radix of stable32.go:
+// digit widths adapt to the slice (up to 8 bits, narrower when few elements
+// or few key bits remain), each splitting pass is a stable counting scatter
+// ping-ponging between the tuple plane and a scratch plane, and counting
+// passes touch only the 4-byte key array — a quarter of the wide layout's
+// counting traffic. Because the sort is stable, a bin partitioned across
+// workers (PartitionTop32), the fused fold, and the whole-bin sort all
+// produce exactly the same array regardless of digit plan or thread count.
+//
+// The entry points here allocate their own scratch, which suits tests and
+// one-off callers; the engine passes pooled per-worker scratch through the
+// ...Scratch variants in stable32.go.
 
 // digitBits caps the American-flag digit width: 256 buckets keep each
 // pass's counter and cursor arrays inside L1 and each recursion frame's
-// state at 8 KiB of stack.
+// state at a few KiB of stack.
 const digitBits = 8
 
 // maxBuckets sizes the per-pass counter arrays.
@@ -30,10 +33,7 @@ const maxBuckets = 1 << digitBits
 const MaxPartitionBuckets = maxBuckets
 
 // digitWidth picks the digit width of one pass: ~2 expected tuples per
-// bucket, capped by digitBits and the remaining key bits. It depends only on
-// the slice length and hiBits, both identical between the whole-bin sort and
-// the partitioned per-bucket path, so the recursion tree — and the resulting
-// permutation — is the same in both.
+// bucket, capped by digitBits and the remaining key bits.
 func digitWidth(n, hiBits int) int {
 	w := bits.Len(uint(n) >> 1) // ≈ log2(n/2)
 	if w < 4 {
@@ -48,10 +48,11 @@ func digitWidth(n, hiBits int) int {
 	return w
 }
 
-// SortKeys32 sorts keys ascending, permuting vals identically, in place.
-// The value plane is layout-generic: the engine instantiates it with float64
-// (the squeezed 12-byte layout) or a 4-byte value (the narrow 8-byte layout);
-// the sorter never inspects a value, only moves it with its key.
+// SortKeys32 sorts keys ascending, permuting vals identically. The value
+// plane is layout-generic: the engine instantiates it with float64 (the
+// squeezed 12-byte layout) or a 4-byte value (the narrow 8-byte layout);
+// the sorter never inspects a value, only moves it with its key. The sort
+// is stable: equal keys keep their input order.
 func SortKeys32[V any](keys []uint32, vals []V) {
 	if len(keys) != len(vals) {
 		panic("radix: keys and vals length mismatch")
@@ -59,125 +60,24 @@ func SortKeys32[V any](keys []uint32, vals []V) {
 	if len(keys) < 2 {
 		return
 	}
-	var or uint32
-	for _, k := range keys {
-		or |= k
-	}
-	if or == 0 {
-		return // all keys zero: already sorted
-	}
-	SortKeys32Bits(keys, vals, bits.Len32(or))
-}
-
-// flagState32 is one American-flag pass's bucket bookkeeping.
-type flagState32 struct {
-	count, start, end [maxBuckets]int
-	nonEmpty          int
-}
-
-// flagPass32 runs one complete American-flag pass — digit counting, prefix,
-// and (unless the digit is uniform) the cycle-following permute — at the
-// pass geometry digitWidth picked for (n, hiBits). It is THE pass: both the
-// recursive sorter and PartitionTop32 go through it, so the two can never
-// diverge on a bin's first pass and the split-across-workers sort stays
-// bit-identical to the whole-bin sort. Returns the digit shift.
-func flagPass32[V any](keys []uint32, vals []V, hiBits int, st *flagState32) (shift uint, mask uint32, nb int) {
-	w := digitWidth(len(keys), hiBits)
-	shift = uint(hiBits - w)
-	nb = 1 << w
-	mask = uint32(nb - 1)
-
-	for _, k := range keys {
-		st.count[(k>>shift)&mask]++
-	}
-	sum := 0
-	for b := 0; b < nb; b++ {
-		st.start[b] = sum
-		sum += st.count[b]
-		st.end[b] = sum
-		if st.count[b] > 0 {
-			st.nonEmpty++
-		}
-	}
-	if st.nonEmpty > 1 {
-		var cursor [maxBuckets]int
-		copy(cursor[:nb], st.start[:nb])
-		permuteKeys32(keys, vals, cursor[:nb], st.end[:nb], shift, mask)
-	}
-	return shift, mask, nb
+	auxK := make([]uint32, len(keys))
+	auxV := make([]V, len(vals))
+	SortKeys32Scratch(keys, vals, auxK, auxV, false)
 }
 
 // SortKeys32Bits sorts by the key bits [0, hiBits), assuming all higher bits
 // are uniform across the slice. It is exported so callers that already
-// partitioned a slice (see PartitionTop32) can continue per bucket; the
-// combined result is bit-identical to SortKeys32 over the whole slice.
+// partitioned a slice (see PartitionTop32) can continue per bucket; being
+// stable, the combined result is bit-identical to SortKeys32 over the whole
+// slice.
 func SortKeys32Bits[V any](keys []uint32, vals []V, hiBits int) {
 	n := len(keys)
 	if n < 2 || hiBits <= 0 {
 		return
 	}
-	if n <= insertionCutoff {
-		insertionSortKeys32(keys, vals)
-		return
-	}
-	var st flagState32
-	shift, _, nb := flagPass32(keys, vals, hiBits, &st)
-	if st.nonEmpty == 1 {
-		// This digit is uniform; descend to the remaining bits.
-		SortKeys32Bits(keys, vals, int(shift))
-		return
-	}
-	if shift == 0 {
-		return
-	}
-	for b := 0; b < nb; b++ {
-		switch c := st.count[b]; {
-		case c == 2:
-			// The dominant non-trivial bucket size once digits track the
-			// slice length; inline instead of recursing.
-			i := st.start[b]
-			if keys[i] > keys[i+1] {
-				keys[i], keys[i+1] = keys[i+1], keys[i]
-				vals[i], vals[i+1] = vals[i+1], vals[i]
-			}
-		case c > 2:
-			SortKeys32Bits(keys[st.start[b]:st.end[b]], vals[st.start[b]:st.end[b]], int(shift))
-		}
-	}
-}
-
-// permuteKeys32 is the American-flag in-place permutation, cycle-following
-// style: the displaced tuple rides in registers and each element is loaded
-// and stored exactly once, instead of the textbook swap's double traffic.
-// cursor must be seeded with the bucket starts; end holds the bucket ends.
-func permuteKeys32[V any](keys []uint32, vals []V, cursor, end []int, shift uint, mask uint32) {
-	for b := 0; b < len(cursor); b++ {
-		i := cursor[b]
-		be := end[b]
-		for i < be {
-			k := keys[i]
-			home := int((k >> shift) & mask)
-			if home == b {
-				i++
-				continue
-			}
-			v := vals[i]
-			for {
-				j := cursor[home]
-				cursor[home] = j + 1
-				k2, v2 := keys[j], vals[j]
-				keys[j], vals[j] = k, v
-				home = int((k2 >> shift) & mask)
-				if home == b {
-					keys[i], vals[i] = k2, v2
-					i++
-					break
-				}
-				k, v = k2, v2
-			}
-		}
-		cursor[b] = i
-	}
+	auxK := make([]uint32, n)
+	auxV := make([]V, n)
+	SortKeys32BitsScratch(keys, vals, auxK, auxV, hiBits, false)
 }
 
 func insertionSortKeys32[V any](keys []uint32, vals []V) {
@@ -215,45 +115,18 @@ func GrowUint32(buf *[]uint32, n int64) []uint32 {
 	return *buf
 }
 
-// PartitionTop32 runs exactly the first splitting American-flag pass
-// SortKeys32 would run — the digit plan derives from the whole slice's key
-// OR and length, descending through uniform digits — and stops there,
+// PartitionTop32 runs the sort's first splitting pass and stops there,
 // writing the nbuckets+1 bucket boundaries into bounds (len ≥
 // MaxPartitionBuckets+1). The caller finishes with SortKeys32Bits(bucket,
-// restBits) per bucket, in parallel if it likes; the combined result is
-// bit-identical to one SortKeys32 call. nbuckets == 0 means no further work
-// remains (all keys equal, or the splitting pass consumed the last digit).
+// restBits) per bucket, in parallel if it likes; stability makes the
+// combined result bit-identical to one SortKeys32 call. nbuckets == 0 means
+// no further work remains (all keys equal, or the splitting pass consumed
+// the last digit).
 func PartitionTop32[V any](keys []uint32, vals []V, bounds []int64) (nbuckets, restBits int) {
 	if len(keys) < 2 {
 		return 0, 0
 	}
-	var or uint32
-	for _, k := range keys {
-		or |= k
-	}
-	if or == 0 {
-		return 0, 0
-	}
-	hiBits := bits.Len32(or)
-	for {
-		if hiBits <= 0 {
-			return 0, 0
-		}
-		// flagPass32 is the sorter's own pass; the uniform-digit descent
-		// below mirrors SortKeys32Bits' recursion on nonEmpty == 1.
-		var st flagState32
-		shift, _, nb := flagPass32(keys, vals, hiBits, &st)
-		if st.nonEmpty == 1 {
-			hiBits = int(shift)
-			continue
-		}
-		for b := 0; b < nb; b++ {
-			bounds[b] = int64(st.start[b])
-		}
-		bounds[nb] = int64(len(keys))
-		if shift == 0 {
-			return 0, 0 // buckets are uniform keys: fully sorted
-		}
-		return nb, int(shift)
-	}
+	auxK := make([]uint32, len(keys))
+	auxV := make([]V, len(vals))
+	return PartitionTop32Scratch(keys, vals, auxK, auxV, bounds, false)
 }

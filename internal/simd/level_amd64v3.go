@@ -1,0 +1,8 @@
+//go:build !purego && amd64.v3
+
+package simd
+
+// GOAMD64=v3 (or higher) build: same Go source, but the compiler may use
+// BMI/AVX forms for the shift/mask arithmetic. Reported so bench output
+// distinguishes the microarchitecture level.
+const level = "batched+goamd64v3"

@@ -1,0 +1,5 @@
+//go:build !purego && !amd64.v3
+
+package simd
+
+const level = "batched"

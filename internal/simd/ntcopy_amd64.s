@@ -1,0 +1,70 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// func ntCopyBytes(dst, src unsafe.Pointer, n int64)
+// Non-overlapping copy: plain byte stores until dst is 16-byte aligned,
+// then 64- and 16-byte non-temporal blocks (unaligned loads, MOVNTO
+// stores), plain byte stores for the tail. Callers fence with storeFence
+// before the data is read by another core.
+TEXT ·ntCopyBytes(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+head:
+	TESTQ CX, CX
+	JLE   done
+	MOVQ  DI, AX
+	ANDQ  $15, AX
+	JZ    body
+	MOVB  (SI), AL
+	MOVB  AL, (DI)
+	INCQ  SI
+	INCQ  DI
+	DECQ  CX
+	JMP   head
+
+body:
+	CMPQ   CX, $64
+	JL     chunk16
+	MOVOU  (SI), X0
+	MOVOU  16(SI), X1
+	MOVOU  32(SI), X2
+	MOVOU  48(SI), X3
+	MOVNTO X0, (DI)
+	MOVNTO X1, 16(DI)
+	MOVNTO X2, 32(DI)
+	MOVNTO X3, 48(DI)
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	SUBQ   $64, CX
+	JMP    body
+
+chunk16:
+	CMPQ   CX, $16
+	JL     tail
+	MOVOU  (SI), X0
+	MOVNTO X0, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JMP    chunk16
+
+tail:
+	TESTQ CX, CX
+	JLE   done
+	MOVB  (SI), AL
+	MOVB  AL, (DI)
+	INCQ  SI
+	INCQ  DI
+	DECQ  CX
+	JMP   tail
+
+done:
+	RET
+
+// func storeFence()
+TEXT ·storeFence(SB), NOSPLIT, $0-0
+	SFENCE
+	RET

@@ -1,0 +1,21 @@
+//go:build !amd64 || purego
+
+package simd
+
+import "unsafe"
+
+// HasNT is false on this build: flush copies use plain stores (and the
+// engine keeps its copy()+prefetch path, so NTCopyBytes is never on the hot
+// path here).
+const HasNT = false
+
+// NTCopyBytes is a plain byte copy on this build.
+func NTCopyBytes(dst, src unsafe.Pointer, bytes int) {
+	if bytes > 0 {
+		copy(unsafe.Slice((*byte)(dst), bytes), unsafe.Slice((*byte)(src), bytes))
+	}
+}
+
+// StoreFence is a no-op on this build (plain stores are ordered by Go's
+// usual synchronization).
+func StoreFence() {}

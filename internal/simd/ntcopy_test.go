@@ -1,0 +1,37 @@
+package simd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// TestNTCopyBytes checks the non-temporal copy against copy() across sizes
+// that exercise the unaligned head, the 64B body, the 16B chunk loop, and
+// the byte tail — at every destination misalignment within a 16B window.
+func TestNTCopyBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sizes := []int{0, 1, 3, 15, 16, 17, 31, 63, 64, 65, 100, 255, 256, 1000, 4096, 4097}
+	const pad = 32
+	for _, n := range sizes {
+		for misalign := 0; misalign < 16; misalign++ {
+			src := make([]byte, n+pad)
+			rng.Read(src)
+			dst := make([]byte, n+pad+16)
+			want := make([]byte, len(dst))
+			d := dst[misalign : misalign+n+pad]
+			w := want[misalign : misalign+n+pad]
+			copy(w[:n], src[:n])
+			if n > 0 {
+				NTCopyBytes(unsafe.Pointer(&d[0]), unsafe.Pointer(&src[0]), n)
+			} else {
+				NTCopyBytes(nil, nil, 0)
+			}
+			StoreFence()
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("n=%d misalign=%d: NT copy differs from copy()", n, misalign)
+			}
+		}
+	}
+}

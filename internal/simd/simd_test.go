@@ -1,0 +1,183 @@
+package simd
+
+import (
+	"math/rand/v2"
+	"testing"
+	"unsafe"
+)
+
+func genKV(n int, keyBits uint, seed uint64) ([]uint32, []float64) {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+	keys := make([]uint32, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.Uint32() & (1<<keyBits - 1)
+		vals[i] = r.Float64()*200 - 100
+	}
+	return keys, vals
+}
+
+func genPairs(n int, seed uint64) []Pair {
+	r := rand.New(rand.NewPCG(seed, seed^0x51ed2701))
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{Key: uint64(r.Uint32()), Val: r.Float64()*200 - 100}
+	}
+	return ps
+}
+
+// TestBatchedMatchesScalarKernels pins bit-identity of every batched kernel
+// against its scalar twin, across sizes that exercise both the unrolled body
+// and the remainder loop.
+func TestBatchedMatchesScalarKernels(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 63, 64, 65, 1000} {
+		keys, vals := genKV(n, 23, uint64(n)+1)
+		ps := genPairs(n, uint64(n)+2)
+		const shift, mask = 7, uint32(0xff)
+
+		if got, want := OrU32(keys), OrU32Scalar(keys); got != want {
+			t.Fatalf("n=%d OrU32: %x vs %x", n, got, want)
+		}
+		if got, want := OrPairs(ps), OrPairsScalar(ps); got != want {
+			t.Fatalf("n=%d OrPairs: %x vs %x", n, got, want)
+		}
+
+		var h1, h2 [256]int64
+		HistU32(keys, shift, mask, &h1)
+		HistU32Scalar(keys, shift, mask, &h2)
+		if h1 != h2 {
+			t.Fatalf("n=%d HistU32 mismatch", n)
+		}
+		var hp1, hp2 [256]int64
+		HistPairs(ps, shift, &hp1)
+		HistPairsScalar(ps, shift, &hp2)
+		if hp1 != hp2 {
+			t.Fatalf("n=%d HistPairs mismatch", n)
+		}
+
+		// Scatter: build cursors from the histogram, run both, compare.
+		mkCursor := func(h *[256]int64) [256]int64 {
+			var c [256]int64
+			sum := int64(0)
+			for b := range h {
+				c[b] = sum
+				sum += h[b]
+			}
+			return c
+		}
+		c1, c2 := mkCursor(&h1), mkCursor(&h1)
+		dk1, dv1 := make([]uint32, n), make([]float64, n)
+		dk2, dv2 := make([]uint32, n), make([]float64, n)
+		ScatterKV(keys, vals, dk1, dv1, shift, mask, &c1)
+		ScatterKVScalar(keys, vals, dk2, dv2, shift, mask, &c2)
+		if c1 != c2 {
+			t.Fatalf("n=%d ScatterKV cursors mismatch", n)
+		}
+		for i := range dk1 {
+			if dk1[i] != dk2[i] || dv1[i] != dv2[i] {
+				t.Fatalf("n=%d ScatterKV[%d]: (%d,%v) vs (%d,%v)", n, i, dk1[i], dv1[i], dk2[i], dv2[i])
+			}
+		}
+		c1, c2 = mkCursor(&h1), mkCursor(&h1)
+		ScatterK(keys, dk1, shift, mask, &c1)
+		ScatterKScalar(keys, dk2, shift, mask, &c2)
+		for i := range dk1 {
+			if dk1[i] != dk2[i] {
+				t.Fatalf("n=%d ScatterK[%d]: %d vs %d", n, i, dk1[i], dk2[i])
+			}
+		}
+		cp1, cp2 := mkCursor(&hp1), mkCursor(&hp1)
+		dp1, dp2 := make([]Pair, n), make([]Pair, n)
+		ScatterPairs(ps, dp1, shift, &cp1)
+		ScatterPairsScalar(ps, dp2, shift, &cp2)
+		for i := range dp1 {
+			if dp1[i] != dp2[i] {
+				t.Fatalf("n=%d ScatterPairs[%d]: %+v vs %+v", n, i, dp1[i], dp2[i])
+			}
+		}
+
+		var a1, a2 [256]float64
+		AccumKV(keys, vals, mask, &a1)
+		AccumKVScalar(keys, vals, mask, &a2)
+		if a1 != a2 {
+			t.Fatalf("n=%d AccumKV mismatch", n)
+		}
+		var ap1, ap2 [256]float64
+		AccumPairs(ps, &ap1)
+		AccumPairsScalar(ps, &ap2)
+		if ap1 != ap2 {
+			t.Fatalf("n=%d AccumPairs mismatch", n)
+		}
+
+		cols := make([]int32, n)
+		for i := range cols {
+			cols[i] = int32(keys[i] & 0x3ff)
+		}
+		const localRow = uint32(0x1234) << 10
+		ek1, ev1 := make([]uint32, n), make([]float64, n)
+		ek2, ev2 := make([]uint32, n), make([]float64, n)
+		ExpandKV(ek1, ev1, localRow, cols, vals, 3.25)
+		ExpandKVScalar(ek2, ev2, localRow, cols, vals, 3.25)
+		for i := range ek1 {
+			if ek1[i] != ek2[i] || ev1[i] != ev2[i] {
+				t.Fatalf("n=%d ExpandKV[%d] mismatch", n, i)
+			}
+		}
+		ExpandK(ek1, localRow, cols)
+		ExpandKScalar(ek2, localRow, cols)
+		for i := range ek1 {
+			if ek1[i] != ek2[i] {
+				t.Fatalf("n=%d ExpandK[%d] mismatch", n, i)
+			}
+		}
+		ep1, ep2 := make([]Pair, n), make([]Pair, n)
+		ExpandPairs(ep1, uint64(localRow)<<10, cols, vals, 3.25)
+		ExpandPairsScalar(ep2, uint64(localRow)<<10, cols, vals, 3.25)
+		for i := range ep1 {
+			if ep1[i] != ep2[i] {
+				t.Fatalf("n=%d ExpandPairs[%d] mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestBatchedMatchesScalarNarrow(t *testing.T) {
+	const n = 777
+	keys, f64s := genKV(n, 16, 9)
+	vals := make([]float32, n)
+	ints := make([]int32, n)
+	for i := range vals {
+		vals[i] = float32(f64s[i])
+		ints[i] = int32(i * 3)
+	}
+	var a1, a2 [256]float32
+	AccumKV(keys, vals, 0xff, &a1)
+	AccumKVScalar(keys, vals, 0xff, &a2)
+	if a1 != a2 {
+		t.Fatal("AccumKV float32 mismatch")
+	}
+	var i1, i2 [256]int32
+	AccumKV(keys, ints, 0xff, &i1)
+	AccumKVScalar(keys, ints, 0xff, &i2)
+	if i1 != i2 {
+		t.Fatal("AccumKV int32 mismatch")
+	}
+}
+
+func TestPrefetchSafe(t *testing.T) {
+	buf := make([]byte, 4096)
+	PrefetchT0(unsafe.Pointer(&buf[0]))
+	PrefetchNTA(unsafe.Pointer(&buf[0]))
+	PrefetchRangeT0(unsafe.Pointer(&buf[0]), len(buf))
+	PrefetchRangeT0(unsafe.Pointer(&buf[0]), 0)
+}
+
+func TestLevel(t *testing.T) {
+	lv := Level()
+	if Enabled && lv == "purego" {
+		t.Fatalf("Enabled but level=%q", lv)
+	}
+	if !Enabled && lv != "purego" {
+		t.Fatalf("disabled but level=%q", lv)
+	}
+}
