@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pbspgemm/internal/core"
+	"pbspgemm/internal/faultinject"
 	"pbspgemm/internal/gen"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/stream"
@@ -32,8 +33,10 @@ import (
 // pct_of_stream (phase GB/s as a percentage of the matching-thread-count
 // Triad figure — how close each phase runs to the bandwidth roof), the
 // kernel field, scalar-oracle comparator regimes, and multi-threaded
-// variants of the acceptance pair.
-const benchSchema = "pbspgemm-bench/v4"
+// variants of the acceptance pair; v5 adds the cancel_hook field and the
+// -cancelpoll twins of the acceptance regimes behind the sub-phase
+// cancellation-poll overhead gate.
+const benchSchema = "pbspgemm-bench/v5"
 
 type benchPhase struct {
 	Millis    float64 `json:"ms"`
@@ -52,6 +55,7 @@ type benchRegime struct {
 	Mode        string     `json:"mode,omitempty"` // "" (float64) | pattern | f32
 	Kernel      string     `json:"kernel"`         // Stats.Kernel: dispatched kernel set
 	Scalar      bool       `json:"scalar,omitempty"`
+	CancelHook  bool       `json:"cancel_hook,omitempty"`
 	Fused       bool       `json:"fused"`
 	BudgetBytes int64      `json:"budget_bytes,omitempty"`
 	Threads     int        `json:"threads"`
@@ -99,6 +103,7 @@ type benchCase struct {
 	budget     int64  // MemoryBudgetBytes; >0 exercises the panel/merge path
 	mode       string // "" core.Multiply | "pattern" 4 B key-only | "f32" 8 B narrow
 	scalar     bool   // DisableBatch: run the scalar oracle kernels
+	cancelHook bool   // install a no-op Cancel hook: every sub-phase poll calls it
 }
 
 // scalarVariant is c with the batched kernels disabled — the oracle
@@ -106,6 +111,15 @@ type benchCase struct {
 func (c benchCase) scalarVariant() benchCase {
 	c.name += "-scalar"
 	c.scalar = true
+	return c
+}
+
+// cancelPollVariant is c with a no-op cancellation hook installed, so every
+// sub-phase poll window pays the full hook call instead of the production
+// nil check — the upper bound the poll-overhead gate compares against.
+func (c benchCase) cancelPollVariant() benchCase {
+	c.name += "-cancelpoll"
+	c.cancelHook = true
 	return c
 }
 
@@ -128,45 +142,45 @@ func benchCases() []benchCase {
 		// Low-cf ER, both layouts: the PR 4 acceptance pair
 		// (BenchmarkMultiply's regime). Single-threaded so allocs/op asserts
 		// the pooled 0.
-		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0, "", false},
-		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0, "", false},
+		{"er-lowcf-squeezed", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 1, false, 0, "", false, false},
+		{"er-lowcf-wide", "ER", 13, 8, 1, 2, core.LayoutWide, 1, false, 0, "", false, false},
 		// High-cf R-MAT (cf ≈ 4.6, past the crossover — the regime where the
 		// compress pass the fusion removes carries the most bytes relative
 		// to output): the PR 5 fused-vs-unfused acceptance pair, plus the
 		// same pair on the wide layout so the allocs/op gate covers both
 		// layouts under fusion. Single-threaded, pooled.
-		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0, "", false},
-		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0, "", false},
-		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0, "", false},
-		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0, "", false},
+		{gateFusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 0, "", false, false},
+		{gateUnfusedRegime, "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 0, "", false, false},
+		{"rmat-highcf-wide-fused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, false, 0, "", false, false},
+		{"rmat-highcf-wide-unfused", "RMAT", 10, 32, 1, 2, core.LayoutWide, 1, true, 0, "", false, false},
 		// The Boolean/structural regime: the 4-byte pattern layout on the same
 		// high-cf input as the squeezed acceptance pair (its 12-byte
 		// comparator), and on the low-cf ER input. The 8-byte float32 narrow
 		// layout on both workloads. All single-threaded pooled, so the 0
 		// allocs/op gate covers every layout.
-		{gatePatternRegime, "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "pattern", false},
-		{"er-lowcf-pattern", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "pattern", false},
-		{"rmat-highcf-f32", "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "f32", false},
-		{"er-lowcf-f32", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "f32", false},
+		{gatePatternRegime, "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "pattern", false, false},
+		{"er-lowcf-pattern", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "pattern", false, false},
+		{"rmat-highcf-f32", "RMAT", 10, 32, 1, 2, core.LayoutAuto, 1, false, 0, "f32", false, false},
+		{"er-lowcf-f32", "ER", 13, 8, 1, 2, core.LayoutAuto, 1, false, 0, "f32", false, false},
 		// The same high-cf input through the memory-budgeted panel path, so
 		// both fused merge strategies stay visible in the trajectory: a
 		// shallow budget (~3 panels, run counts within fusedEmitMergeMaxRuns)
 		// exercises the merge that emits straight into the final CSR, a deep
 		// one (~8 panels) the intermediate-buffer fallback.
-		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20, "", false},
-		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20, "", false},
-		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20, "", false},
-		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20, "", false},
+		{"rmat-highcf-budgeted-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 16 << 20, "", false, false},
+		{"rmat-highcf-budgeted-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 16 << 20, "", false, false},
+		{"rmat-highcf-budgeted-deep-fused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, false, 4 << 20, "", false, false},
+		{"rmat-highcf-budgeted-deep-unfused", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 1, true, 4 << 20, "", false, false},
 		// Sparser ER (cf ≈ 1) and a denser one, auto layout, default threads.
-		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
-		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
+		{"er-sparse", "ER", 14, 4, 1, 2, core.LayoutAuto, 0, false, 0, "", false, false},
+		{"er-dense", "ER", 12, 16, 1, 2, core.LayoutAuto, 0, false, 0, "", false, false},
 		// Skewed R-MAT regimes (Graph500 parameters).
-		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
-		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0, "", false},
+		{"rmat-ef8", "RMAT", 12, 8, 1, 2, core.LayoutAuto, 0, false, 0, "", false, false},
+		{"rmat-ef16", "RMAT", 11, 16, 1, 2, core.LayoutAuto, 0, false, 0, "", false, false},
 		// The acceptance pair at full thread count: the multi-threaded
 		// trajectory (and, on multi-node hosts, the NUMA-aware schedule).
-		{"er-lowcf-squeezed-mt", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 0, false, 0, "", false},
-		{"rmat-highcf-fused-mt", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 0, false, 0, "", false},
+		{"er-lowcf-squeezed-mt", "ER", 13, 8, 1, 2, core.LayoutSqueezed, 0, false, 0, "", false, false},
+		{"rmat-highcf-fused-mt", "RMAT", 10, 32, 1, 2, core.LayoutSqueezed, 0, false, 0, "", false, false},
 	}
 }
 
@@ -178,6 +192,23 @@ func withScalarComparators(cases []benchCase) []benchCase {
 		for _, c := range cases {
 			if c.name == name {
 				cases = append(cases, c.scalarVariant())
+				break
+			}
+		}
+	}
+	return cases
+}
+
+// withCancelPollComparators appends the no-op-hook twin of the acceptance
+// regimes. The production configuration (Cancel nil, fault hooks compiled
+// out) only pays the polls' tuple-count arithmetic and an untaken nil check;
+// the twin calls a real hook at every poll window, so twin-vs-base bounds the
+// production overhead from above — that bound is what the -gate holds ≤ 1%.
+func withCancelPollComparators(cases []benchCase) []benchCase {
+	for _, name := range batchedGateRegimes {
+		for _, c := range cases {
+			if c.name == name {
+				cases = append(cases, c.cancelPollVariant())
 				break
 			}
 		}
@@ -214,7 +245,7 @@ func runBench(cfg *config) {
 		report.StreamTriad1GBs, report.StreamTriadNGBs, nthreads)
 	fmt.Printf("%-25s %8s %6s %10s %8s %8s %9s %9s %7s\n",
 		"regime", "layout", "fused", "ns/op", "GFLOPS", "cf", "expand", "fuse|sort", "allocs")
-	for _, c := range withScalarComparators(benchCases()) {
+	for _, c := range withCancelPollComparators(withScalarComparators(benchCases())) {
 		r, err := runBenchCase(cfg, c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench %s: %v\n", c.name, err)
@@ -233,8 +264,41 @@ func runBench(cfg *config) {
 	if cfg.jsonOut != "" {
 		writeBenchReport(cfg.jsonOut, &report)
 	}
+	if cfg.baseline != "" {
+		diffBaseline(cfg.baseline, &report)
+	}
 	if cfg.gate {
 		gateBench(&report)
+	}
+}
+
+// diffBaseline prints the acceptance regimes' ns/op against a prior -json
+// report (e.g. the committed BENCH_PR8.json). Informational only: absolute
+// ns/op is machine- and load-specific, so cross-run deltas are not gated —
+// the poll-overhead question is answered by the within-run cancelpoll pair
+// in gateBench, which shares one process, one arena and one thermal state.
+func diffBaseline(path string, report *benchReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench baseline: %v\n", err)
+		return
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench baseline: decode %s: %v\n", path, err)
+		return
+	}
+	byName := make(map[string]*benchRegime, len(base.Regimes))
+	for i := range base.Regimes {
+		byName[base.Regimes[i].Name] = &base.Regimes[i]
+	}
+	for _, r := range report.Regimes {
+		b := byName[r.Name]
+		if b == nil || b.NsPerOp <= 0 {
+			continue
+		}
+		fmt.Printf("bench baseline: %-33s %12d ns/op vs %12d (%+.1f%%)\n",
+			r.Name, r.NsPerOp, b.NsPerOp, 100*(float64(r.NsPerOp)/float64(b.NsPerOp)-1))
 	}
 }
 
@@ -265,6 +329,12 @@ func fillPctStream(r *benchRegime, report *benchReport) {
 // layouts, fused and unfused, batched and scalar) must run allocation-free
 // in steady state.
 func gateBench(report *benchReport) {
+	// The overhead gate certifies the production binary; a tagged build
+	// carries live injection hooks and measures the wrong thing.
+	if faultinject.Enabled {
+		fmt.Fprintln(os.Stderr, "bench gate: refusing to gate a faultinject-tagged binary (hooks compiled in)")
+		os.Exit(1)
+	}
 	byName := make(map[string]*benchRegime, len(report.Regimes))
 	for i := range report.Regimes {
 		byName[report.Regimes[i].Name] = &report.Regimes[i]
@@ -319,6 +389,28 @@ func gateBench(report *benchReport) {
 				100*(1-float64(batched.NsPerOp)/float64(scalar.NsPerOp)))
 		}
 	}
+	// The fault-containment overhead gate: with the fault hooks compiled out
+	// (enforced above via faultinject.Enabled) and a no-op Cancel hook
+	// installed, the acceptance regimes must run within 1% of their hook-free
+	// twins. The hooked twin pays a real function call at every sub-phase poll
+	// window, so this bounds the production cost — poll arithmetic plus an
+	// untaken nil check — from above.
+	for _, name := range batchedGateRegimes {
+		base, hooked := byName[name], byName[name+"-cancelpoll"]
+		if base == nil || hooked == nil {
+			fmt.Fprintf(os.Stderr, "bench gate: cancel-poll pair %s missing from the run\n", name)
+			os.Exit(1)
+		}
+		overhead := 100 * (float64(hooked.NsPerOp)/float64(base.NsPerOp) - 1)
+		if float64(hooked.NsPerOp) > 1.01*float64(base.NsPerOp) {
+			fmt.Fprintf(os.Stderr, "bench gate: CANCEL-POLL OVERHEAD on %s: hooked %d ns/op > 1.01 × %d ns/op (%+.2f%%)\n",
+				name, hooked.NsPerOp, base.NsPerOp, overhead)
+			failed = true
+		} else {
+			fmt.Printf("bench gate: %s cancel polls %+.2f%% ns/op (≤ 1%% with a live hook; hooks compiled out)\n",
+				name, overhead)
+		}
+	}
 	// The paper's near-STREAM claim, tracked as a gate: on the acceptance
 	// regimes the expand phase must move at least half of Triad bandwidth
 	// (executed loads+stores vs the matching-thread-count Triad roof).
@@ -352,6 +444,9 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 	ws := core.NewWorkspace()
 	opt := core.Options{Threads: threads, Workspace: ws, ForceLayout: c.layout,
 		DisableFusion: c.unfused, MemoryBudgetBytes: c.budget, DisableBatch: c.scalar}
+	if c.cancelHook {
+		opt.Cancel = func() error { return nil }
+	}
 
 	// The f32 regimes carry value planes out of band; convert once, outside
 	// the measured loop.
@@ -420,6 +515,7 @@ func runBenchCase(cfg *config, c benchCase) (benchRegime, error) {
 		Mode:        c.mode,
 		Kernel:      warm.Kernel,
 		Scalar:      c.scalar,
+		CancelHook:  c.cancelHook,
 		Fused:       !c.unfused,
 		BudgetBytes: c.budget,
 		Threads:     threads,

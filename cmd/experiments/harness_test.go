@@ -105,7 +105,7 @@ func TestPlannerWorkloadsCoverBothRegimes(t *testing.T) {
 
 func TestBenchCaseProducesValidRegime(t *testing.T) {
 	cfg := &config{reps: 1}
-	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0, "", false}
+	c := benchCase{"er-test", "ER", 8, 4, 1, 2, 0, 1, false, 0, "", false, false}
 	r, err := runBenchCase(cfg, c)
 	if err != nil {
 		t.Fatal(err)
@@ -230,6 +230,31 @@ func TestBenchScalarComparatorsAndMT(t *testing.T) {
 		c, ok := byName[name]
 		if !ok || c.threadsCap != 0 {
 			t.Fatalf("multi-threaded regime %s missing or thread-capped", name)
+		}
+	}
+}
+
+// TestBenchCancelPollComparators: withCancelPollComparators must append one
+// no-op-hook twin per acceptance regime, differing only in name and hook, so
+// the ≤1% poll-overhead gate always finds its pairs.
+func TestBenchCancelPollComparators(t *testing.T) {
+	cases := withCancelPollComparators(benchCases())
+	byName := map[string]benchCase{}
+	for _, c := range cases {
+		byName[c.name] = c
+	}
+	for _, name := range batchedGateRegimes {
+		b, okB := byName[name]
+		h, okH := byName[name+"-cancelpoll"]
+		if !okB || !okH {
+			t.Fatalf("cancel-poll gate pair %s incomplete", name)
+		}
+		if b.cancelHook || !h.cancelHook {
+			t.Fatalf("%s: cancelHook flags wrong", name)
+		}
+		h.name, h.cancelHook = b.name, b.cancelHook
+		if h != b {
+			t.Fatalf("%s: cancel-poll twin must differ only in name and hook", name)
 		}
 	}
 }

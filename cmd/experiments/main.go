@@ -38,8 +38,9 @@ type config struct {
 	seed    uint64
 	beta    float64 // 0 = measure with STREAM
 	mtxdir  string
-	jsonOut string // planner: write the machine-readable report here
-	gate    bool   // bench: fail on fused-vs-unfused or allocs regression
+	jsonOut  string // planner: write the machine-readable report here
+	gate     bool   // bench: fail on fused-vs-unfused or allocs regression
+	baseline string // bench: prior -json report to diff ns/op against
 }
 
 type experiment struct {
@@ -88,6 +89,7 @@ func main() {
 	fs.StringVar(&cfg.mtxdir, "mtxdir", "", "directory with real SuiteSparse .mtx files")
 	fs.StringVar(&cfg.jsonOut, "json", "", "write a machine-readable report to this path (planner, bench)")
 	fs.BoolVar(&cfg.gate, "gate", false, "bench: exit nonzero if the fused pipeline is slower than unfused on the high-cf regime or a pooled regime allocates")
+	fs.StringVar(&cfg.baseline, "baseline", "", "bench: prior -json report to diff acceptance-regime ns/op against (informational)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}

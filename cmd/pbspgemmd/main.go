@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		queue     = fs.Int("queue", serve.DefaultMaxQueue, "max requests waiting for admission")
 		queueWait = fs.Duration("queue-wait", serve.DefaultMaxQueueWait, "max time one request waits for admission")
 		timeout   = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline, propagated to kernel cancellation polls")
+		degraded  = fs.String("degraded-budget", "0", "memory budget for the tiled degraded retry when a full run is shed on footprint (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +76,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		return fatal(stderr, err)
 	}
 	if cfg.MemoryCeilingBytes, err = parseBytes(*ceiling); err != nil {
+		return fatal(stderr, err)
+	}
+	if cfg.DegradedBudgetBytes, err = parseBytes(*degraded); err != nil {
 		return fatal(stderr, err)
 	}
 	cfg.RequestTimeout = *timeout

@@ -2,6 +2,7 @@ package pbspgemm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"pbspgemm/internal/kernel"
 	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/par"
 	"pbspgemm/internal/semiring"
 )
 
@@ -37,6 +39,7 @@ type Engine struct {
 
 	calls      atomic.Int64
 	failures   atomic.Int64
+	panics     atomic.Int64
 	flops      atomic.Int64
 	bytesMoved atomic.Int64
 	nnzOut     atomic.Int64
@@ -81,6 +84,10 @@ type EngineMetrics struct {
 	// Failures counts dispatched calls that returned an error (including
 	// cancellations).
 	Failures int64
+	// Panics counts dispatched calls whose kernel panicked and was contained
+	// into a *par.PanicError (a subset of Failures). Each such call's
+	// workspace was discarded rather than returned to the pool.
+	Panics int64
 	// Flops is the total scalar multiplications performed by successful calls.
 	Flops int64
 	// BytesMoved is the total modeled memory traffic (the paper's 16-byte
@@ -115,6 +122,7 @@ func (e *Engine) Metrics() EngineMetrics {
 	m := EngineMetrics{
 		Calls:       e.calls.Load(),
 		Failures:    e.failures.Load(),
+		Panics:      e.panics.Load(),
 		Flops:       e.flops.Load(),
 		BytesMoved:  e.bytesMoved.Load(),
 		NNZProduced: e.nnzOut.Load(),
@@ -243,6 +251,24 @@ func (e *Engine) MultiplyMasked(ctx context.Context, a, b, mask *CSR, opts ...Op
 	return c, err
 }
 
+// release returns ws to the pool — unless err carries a contained worker
+// panic, in which case the workspace is discarded outright: its pooled
+// planes may hold partially written phase state, and while core fully resets
+// a poisoned workspace before reuse, the pool should only ever hold
+// workspaces with a clean history. Discarding is cheap (the next pool.Get
+// allocates fresh and grows on first use); the panic is also tallied so
+// operators can watch for a misbehaving workload.
+func (e *Engine) release(ws *kernel.Workspace, err error) {
+	if err != nil {
+		var pe *par.PanicError
+		if errors.As(err, &pe) {
+			e.panics.Add(1)
+			return
+		}
+	}
+	e.pool.Put(ws)
+}
+
 // multiply dispatches one resolved call through the kernel registry: Auto
 // first runs the roofline planner, then the chosen kernel multiplies on a
 // pooled workspace and the result is cloned out before the workspace
@@ -290,7 +316,7 @@ func (e *Engine) multiply(cfg *config, a, b *CSR) (*Result, Algorithm, bool, err
 		MemoryBudgetBytes: cfg.budget,
 	})
 	if err != nil {
-		e.pool.Put(ws)
+		e.release(ws, err)
 		return nil, alg, plan != nil, err
 	}
 	// Detach the result from the pooled workspace before another call can
@@ -321,7 +347,7 @@ func (e *Engine) maskedFloat64(cfg *config, a, b *CSR) (*CSR, error) {
 	cw := ws.Core
 	gc, err := semiring.MultiplyOpts(Arithmetic(), colView(cw.CSCOf(a)), Float64Matrix(b), cfg.semiringOptions(cw))
 	if err != nil {
-		e.pool.Put(ws)
+		e.release(ws, err)
 		return nil, err
 	}
 	c := Float64CSR(gc.Clone())
@@ -362,7 +388,7 @@ func EngineMultiplyOver[T any](e *Engine, ctx context.Context, sr Semiring[T], a
 		out = gc.Clone()
 		nnzc = out.NNZ()
 	}
-	e.pool.Put(ws)
+	e.release(ws, err)
 	e.record(start, PB, false, semiringFlops(a, b), a.NNZ(), b.NNZ(), nnzc, err)
 	return out, err
 }

@@ -173,6 +173,37 @@ func TestWithSemiringPlanReporting(t *testing.T) {
 	}
 }
 
+// TestEngineDeadlineExceededEndToEnd pins the wrapped-cancellation contract
+// at the public surface: a deadline that lands mid-run must surface from
+// Engine.Multiply as an error for which errors.Is(err, context.DeadlineExceeded)
+// holds, through the phase-annotating wrap the core layer applies.
+func TestEngineDeadlineExceededEndToEnd(t *testing.T) {
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewER(8192, 24, 11)
+	b := NewER(8192, 24, 12)
+	for _, budget := range []int64{0, 1 << 20} {
+		// 5ms is far under this product's runtime, so the deadline lands
+		// inside a phase; if a slow machine burns it before the run starts,
+		// the fail-fast path returns the same sentinel and the assertion
+		// still holds.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		_, err = eng.Multiply(ctx, a, b, WithMemoryBudget(budget))
+		cancel()
+		if err == nil {
+			t.Fatalf("budget=%d: multiply outran a 5ms deadline on a ~5M-flop product", budget)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("budget=%d: errors.Is(err, DeadlineExceeded) = false; err = %v", budget, err)
+		}
+	}
+	if m := eng.Metrics(); m.Panics != 0 {
+		t.Fatalf("cancellation counted as a panic: %+v", m)
+	}
+}
+
 func TestEngineCancellationNoGoroutineLeak(t *testing.T) {
 	eng, err := NewEngine()
 	if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"pbspgemm/internal/faultinject"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/numa"
 	"pbspgemm/internal/par"
@@ -79,6 +80,12 @@ func (e *engine) runSortPhase(fused bool, binOut, rowCounts []int64) {
 	e.lay.growScratch(e, int64(threads)*maxSeg)
 	if threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteSortTask, 0)
+			}
 			if fused {
 				e.fuseWholeBin(0, bin, binOut, rowCounts)
 			} else {
@@ -113,6 +120,16 @@ func (e *engine) runSortPhase(fused bool, binOut, rowCounts []int64) {
 	}
 	pol.Place = nil
 	par.WorkStealPolicy(threads, seeds, pol, func(worker int, t sortTask, spawn func(sortTask)) {
+		// Contain per task, not per worker: an absorbed panic still reaches
+		// the scheduler's pending decrement, so the pool drains instead of
+		// deadlocking on a count that can no longer hit zero.
+		defer e.containWorker(worker)
+		if e.pollCancel() {
+			return
+		}
+		if faultinject.Enabled {
+			faultinject.Fire(faultinject.SiteSortTask, worker)
+		}
 		e.runSortTask(worker, t, spawn, fused, cutoff, pending, partBounds, binOut, rowCounts)
 	})
 	o, s, ns := pol.Totals()
@@ -196,10 +213,23 @@ func (e *engine) countMergeBins() {
 	matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteMergeBin, 0)
+			}
 			e.countMergeBin(0, bin)
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			defer e.containWorker(worker)
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteMergeBin, worker)
+			}
 			e.countMergeBin(worker, bin)
 		})
 	}
@@ -293,10 +323,23 @@ func (e *engine) countMergeBin(worker, bin int) {
 func (e *engine) emitMergeBins(c *matrix.CSR, binOutStart []int64) {
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteMergeBin, 0)
+			}
 			e.lay.emitMergeBin(e, c, binOutStart, 0, bin)
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			defer e.containWorker(worker)
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteMergeBin, worker)
+			}
 			e.lay.emitMergeBin(e, c, binOutStart, worker, bin)
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"unsafe"
 
+	"pbspgemm/internal/faultinject"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/radix"
 	"pbspgemm/internal/simd"
@@ -163,8 +164,7 @@ func MultiplyPattern(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *S
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := e.run()
-	return e.finish(c, err)
+	return e.runContained()
 }
 
 // MultiplyNarrow computes C = A*B over 4-byte values (float32 or int32) with
@@ -187,10 +187,9 @@ func MultiplyNarrow[V Value32](a *matrix.CSC, aVal []V, b *matrix.CSR, bVal []V,
 	l := kvOf[V](e.ws)
 	l.aVal, l.bVal = aVal, bVal
 	e.lay = l
-	c, err := e.run()
+	c, st, err := e.runContained()
 	vals := l.out
 	l.aVal, l.bVal, l.out = nil, nil, nil
-	c, st, err := e.finish(c, err)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -346,11 +345,24 @@ func (l *kv[V]) expandRange(e *engine, t, lo int, cursors []int64) {
 	batch := e.batch
 	nt := e.ntFlush
 
+	var sincePoll int64
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
 		if bLo == bHi {
 			continue
 		}
+		// Per-column cancellation poll, matching expandRangeWide: check every
+		// ~cancelPollTuples expanded tuples, never inside the batched kernels.
+		if faultinject.Enabled {
+			faultinject.Fire(faultinject.SiteExpandColumn, t)
+		}
+		if sincePoll >= cancelPollTuples {
+			sincePoll = 0
+			if e.pollCancel() {
+				return
+			}
+		}
+		sincePoll += int64(bHi-bLo) * (a.ColPtr[i+1] - a.ColPtr[i])
 		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
 			r := uint32(a.RowIdx[p])
 			av := aVal[p]
@@ -650,11 +662,23 @@ func (patternOps) expandRange(e *engine, t, lo int, cursors []int64) {
 	batch := e.batch
 	nt := e.ntFlush
 
+	var sincePoll int64
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
 		if bLo == bHi {
 			continue
 		}
+		// Per-column cancellation poll, matching expandRangeWide.
+		if faultinject.Enabled {
+			faultinject.Fire(faultinject.SiteExpandColumn, t)
+		}
+		if sincePoll >= cancelPollTuples {
+			sincePoll = 0
+			if e.pollCancel() {
+				return
+			}
+		}
+		sincePoll += int64(bHi-bLo) * (a.ColPtr[i+1] - a.ColPtr[i])
 		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
 			r := uint32(a.RowIdx[p])
 			bin := int32(r >> shift)

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"pbspgemm/internal/faultinject"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/par"
 )
@@ -24,6 +25,9 @@ import (
 // npanels >= 2 and flops > 0.
 func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	ws := e.ws
+	if faultinject.Enabled {
+		faultinject.Fire(faultinject.SiteGrow, -1)
+	}
 	e.lay.growTuples(e, e.maxPanelFlops)
 	ws.runs = ws.runs[:0]
 	ws.runKeys = ws.runKeys[:0]
@@ -38,10 +42,12 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 		}
 		lo, hi := ws.panelStart[p], ws.panelStart[p+1]
 
+		e.phase = "plan"
 		t0 := time.Now()
 		e.panelPlan(lo, hi)
 		e.st.Symbolic += time.Since(t0)
 
+		e.phase = "expand"
 		t0 = time.Now()
 		e.expandPanel(lo)
 		e.st.Expand += time.Since(t0)
@@ -50,17 +56,29 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 			// Fused sort+fold; row tallies wait for the merge, when final
 			// per-row counts are known. appendRuns reads the folded
 			// prefixes exactly where compressPanel would leave them.
+			e.phase = "sort"
 			t0 = time.Now()
 			e.runSortPhase(true, ws.binOut, nil)
+			if err := e.canceled(); err != nil {
+				return nil, err
+			}
 			e.appendRuns()
 			e.st.Fuse += time.Since(t0)
 		} else {
+			e.phase = "sort"
 			t0 = time.Now()
 			e.runSortPhase(false, nil, nil)
 			e.st.Sort += time.Since(t0)
+			if err := e.canceled(); err != nil {
+				return nil, err
+			}
 
+			e.phase = "compress"
 			t0 = time.Now()
 			e.compressPanel()
+			if err := e.canceled(); err != nil {
+				return nil, err
+			}
 			e.appendRuns()
 			e.st.Compress += time.Since(t0)
 		}
@@ -70,6 +88,7 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 		return nil, err
 	}
 
+	e.phase = "merge"
 	t0 := time.Now()
 	e.groupRuns()
 	e.st.Merge = time.Since(t0)
@@ -83,10 +102,17 @@ func (e *engine) runBudgeted() (*matrix.CSR, error) {
 	t0 = time.Now()
 	e.mergeBins()
 	e.st.Merge += time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 
+	e.phase = "assemble"
 	t0 = time.Now()
 	c := e.assemble(ws.mergedStart, true)
 	e.st.Assemble = time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -126,6 +152,11 @@ func (e *engine) mergeIntoCSR() (*matrix.CSR, error) {
 	t0 = time.Now()
 	e.emitMergeBins(c, binOutStart)
 	e.st.Merge += time.Since(t0)
+	// The emitting merge writes straight into c; an aborted emit leaves a
+	// partial result that must be discarded here.
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -220,10 +251,23 @@ func (e *engine) mergeBins() {
 	matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteMergeBin, 0)
+			}
 			e.lay.mergeBin(e, 0, bin)
 		}
 	} else {
 		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			defer e.containWorker(worker)
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteMergeBin, worker)
+			}
 			e.lay.mergeBin(e, worker, bin)
 		})
 	}

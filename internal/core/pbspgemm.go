@@ -43,6 +43,7 @@ import (
 	"time"
 	"unsafe"
 
+	"pbspgemm/internal/faultinject"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/numa"
 	"pbspgemm/internal/par"
@@ -169,11 +170,13 @@ type Options struct {
 	// CSR and Stats then alias workspace memory and are invalidated by the
 	// next call using the same workspace.
 	Workspace *Workspace
-	// Cancel, if non-nil, is polled at phase boundaries (after planning and
-	// between expand/sort/compress/merge, per panel on budgeted runs). A
-	// non-nil return aborts the multiplication with that error; in-flight
-	// phases always run to completion first, so no goroutines leak. The
-	// public API wires context.Context.Err here.
+	// Cancel, if non-nil, is polled at phase boundaries and inside the long
+	// phase loops: per column chunk in expand (every ~cancelPollTuples
+	// expanded tuples), per task in sort, per bin in fold/merge/assemble,
+	// and per run in the budgeted panel merge. A non-nil return aborts the
+	// multiplication with that error; workers drain to the next poll before
+	// the join, so no goroutines leak. The public API wires
+	// context.Context.Err here.
 	Cancel func() error
 	// ForceLayout pins the expanded-tuple layout, for tests, ablations and
 	// benchmarks. LayoutAuto (the zero value) squeezes whenever
@@ -347,6 +350,16 @@ type engine struct {
 	numaM         *numa.Machine // non-nil only when NUMA-aware execution is active
 	workerNodes   []int         // worker→node assignment (nil when numaM is)
 
+	// Fault containment and sub-phase cancellation (fault.go). phase names
+	// the running phase for error annotation (written between phases on the
+	// calling goroutine, read by workers it spawns). The abort latch is
+	// plain uint32s driven with sync/atomic functions — the engine is reset
+	// by struct assignment, so it can hold no sync/atomic struct types.
+	phase      string
+	abortLatch uint32 // writer election for abortErr
+	abortSeen  uint32 // stop flag the sub-phase polls read
+	abortErr   error  // first abort reason; read after a phase join
+
 	st *Stats
 }
 
@@ -361,8 +374,7 @@ func Multiply(a *matrix.CSC, b *matrix.CSR, opt Options) (*matrix.CSR, *Stats, e
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := e.run()
-	return e.finish(c, err)
+	return e.runContained()
 }
 
 // newEngine validates the shapes and binds the workspace-resident engine for
@@ -378,6 +390,12 @@ func newEngine(a *matrix.CSC, b *matrix.CSR, opt Options, want Layout) (*engine,
 	shared := ws != nil
 	if !shared {
 		ws = &Workspace{}
+	} else if ws.poisoned {
+		// The previous run on this workspace panicked mid-phase; rather than
+		// validate every pooled plane against partial state, discard them all
+		// and regrow. Correct runs never set the flag, so the steady-state
+		// zero-allocation property is untouched.
+		*ws = Workspace{}
 	}
 	e := &ws.eng
 	*e = engine{a: a, b: b, opt: opt, ws: ws, shared: shared, want: want}
@@ -402,19 +420,29 @@ func (e *engine) finish(c *matrix.CSR, err error) (*matrix.CSR, *Stats, error) {
 	return c, st, nil
 }
 
-// canceled polls the caller's cancellation hook; the phases call it only at
-// their boundaries, so the per-call overhead is a handful of atomic loads.
+// canceled is the phase-boundary check: the abort latch first (a sub-phase
+// poll or a contained worker panic may have fired mid-phase), then the
+// caller's cancellation hook. Cancellation errors come back wrapped with the
+// interrupted phase (and %w, so sentinel matching survives); a latched
+// *par.PanicError passes through untouched.
 func (e *engine) canceled() error {
+	if err := e.abortedErr(); err != nil {
+		return e.wrapCancel(err)
+	}
 	if e.opt.Cancel == nil {
 		return nil
 	}
-	return e.opt.Cancel()
+	if err := e.opt.Cancel(); err != nil {
+		return e.wrapCancel(err)
+	}
+	return nil
 }
 
 func (e *engine) run() (*matrix.CSR, error) {
 	totalStart := time.Now()
 
 	t0 := time.Now()
+	e.phase = "plan"
 	e.fused = !e.opt.DisableFusion
 	e.batch = simd.Enabled && !e.opt.DisableBatch
 	if e.batch {
@@ -500,10 +528,14 @@ func (e *engine) run() (*matrix.CSR, error) {
 func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	t0 := time.Now()
 	e.panelPlan(0, int(e.a.NumCols))
+	if faultinject.Enabled {
+		faultinject.Fire(faultinject.SiteGrow, 0)
+	}
 	e.lay.growTuples(e, e.flops)
 	e.st.Symbolic += time.Since(t0)
 
 	t0 = time.Now()
+	e.phase = "expand"
 	e.expandPanel(0)
 	e.st.Expand = time.Since(t0)
 	if err := e.canceled(); err != nil {
@@ -512,6 +544,7 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 
 	if e.fused {
 		t0 = time.Now()
+		e.phase = "sort"
 		binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
 		rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
 		e.runSortPhase(true, binOut, rowCounts)
@@ -521,6 +554,7 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 		}
 	} else {
 		t0 = time.Now()
+		e.phase = "sort"
 		e.runSortPhase(false, nil, nil)
 		e.st.Sort = time.Since(t0)
 		if err := e.canceled(); err != nil {
@@ -528,6 +562,7 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 		}
 
 		t0 = time.Now()
+		e.phase = "compress"
 		binOut := matrix.GrowInt64(&e.ws.binOut, e.nbins)
 		rowCounts := matrix.GrowInt64Zero(&e.ws.rowCounts, int(e.a.NumRows)+1)
 		e.compressBins(binOut, rowCounts)
@@ -538,8 +573,12 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 	}
 
 	t0 = time.Now()
+	e.phase = "assemble"
 	c := e.assemble(e.ws.binStart, false)
 	e.st.Assemble = time.Since(t0)
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -549,10 +588,23 @@ func (e *engine) runSingleShot() (*matrix.CSR, error) {
 func (e *engine) compressBins(binOut, rowCounts []int64) {
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteFoldBin, 0)
+			}
 			e.compressOneBin(bin, binOut, rowCounts)
 		}
 	} else {
-		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			defer e.containWorker(worker)
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteFoldBin, worker)
+			}
 			e.compressOneBin(bin, binOut, rowCounts)
 		})
 	}
@@ -899,6 +951,10 @@ func (e *engine) expandPanel(lo int) {
 	} else {
 		pt := e.ws.perThread
 		par.ParallelRun(threads, func(t int) {
+			// containWorker (not the par-level recover) so a panicking
+			// expand worker latches the abort and its siblings bail at
+			// their next sub-phase poll instead of finishing their ranges.
+			defer e.containWorker(t)
 			defer e.pinWorker(t)()
 			e.lay.expandRange(e, t, lo, pt[t*nbins:(t+1)*nbins])
 			// NT flush stores are weakly ordered: fence before the join so
@@ -938,11 +994,25 @@ func (e *engine) expandRangeWide(t, lo int, cursors []int64) {
 	batch := e.batch
 	nt := e.ntFlush
 
+	// Sub-phase cancellation: poll every ~cancelPollTuples expanded tuples.
+	// The counter costs two scalar ops per column — off the batched inner
+	// loops, invisible to the bench gate.
+	var sincePoll int64
 	for i := lo + e.ws.colBounds[t]; i < lo+e.ws.colBounds[t+1]; i++ {
 		bLo, bHi := b.RowPtr[i], b.RowPtr[i+1]
 		if bLo == bHi {
 			continue
 		}
+		if faultinject.Enabled {
+			faultinject.Fire(faultinject.SiteExpandColumn, t)
+		}
+		if sincePoll >= cancelPollTuples {
+			sincePoll = 0
+			if e.pollCancel() {
+				return
+			}
+		}
+		sincePoll += int64(bHi-bLo) * (a.ColPtr[i+1] - a.ColPtr[i])
 		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
 			r := uint32(a.RowIdx[p])
 			av := a.Val[p]
@@ -1090,13 +1160,28 @@ func (e *engine) assemble(srcStart []int64, merged bool) *matrix.CSR {
 	par.PrefixSumParallel(e.ws.rowCounts[1:int(e.a.NumRows)+1], c.RowPtr, e.opt.Threads)
 	if e.opt.Threads == 1 {
 		for bin := 0; bin < e.nbins; bin++ {
+			if e.pollCancel() {
+				return c
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteAssembleBin, 0)
+			}
 			e.lay.unpackBin(e, c, merged, srcStart[bin], binOutStart[bin], binOut[bin])
 		}
 	} else {
-		par.ForEachDynamic(e.nbins, e.opt.Threads, func(_, bin int) {
+		par.ForEachDynamic(e.nbins, e.opt.Threads, func(worker, bin int) {
+			defer e.containWorker(worker)
+			if e.pollCancel() {
+				return
+			}
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteAssembleBin, worker)
+			}
 			e.lay.unpackBin(e, c, merged, srcStart[bin], binOutStart[bin], binOut[bin])
 		})
 	}
+	// An aborted assemble returns a partial c; the caller's post-phase
+	// canceled() check discards it.
 	return c
 }
 

@@ -104,6 +104,13 @@ type Workspace struct {
 	// off the per-call heap (closures in the parallel paths capture &eng).
 	eng engine
 
+	// poisoned marks a workspace whose last run panicked mid-phase: its
+	// pooled planes may hold partially-written state. newEngine fully resets
+	// a poisoned workspace before the next run, so reuse is safe; pool owners
+	// may also just discard it. Cancelled (non-panic) runs never poison —
+	// every run re-plans and rewrites the planes it uses from scratch.
+	poisoned bool
+
 	// generic pools the type-erased buffers of the semiring engine.
 	generic GenericSpace
 }

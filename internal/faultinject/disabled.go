@@ -1,0 +1,22 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether the binary was built with the faultinject tag.
+// As a false constant, every `if faultinject.Enabled { ... }` call-site
+// guard in the hot paths is deleted by the compiler — the production build
+// carries no branch, no call, no counter.
+const Enabled = false
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(Plan) {}
+
+// Disarm is a no-op without the faultinject build tag.
+func Disarm() {}
+
+// Fire is a no-op without the faultinject build tag; call sites must guard
+// it with `if faultinject.Enabled` so it never even compiles in.
+func Fire(Site, int) {}
+
+// Hits always reports zero without the faultinject build tag.
+func Hits(Site) int64 { return 0 }

@@ -1,0 +1,76 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether the binary was built with the faultinject tag.
+const Enabled = true
+
+// registry is the process-wide armed plan. Reads on the Fire fast path are
+// a single atomic load of armed; the plan itself is immutable once armed
+// (Arm copies it), so Fire reads it without the mutex.
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	plan  Plan
+	hits  [NumSites]atomic.Int64
+)
+
+// Arm installs p as the active plan and resets all hit counters. Plans do
+// not stack: arming replaces any previous plan. Tests must Disarm when done
+// (typically via t.Cleanup) — the registry is process-global.
+func Arm(p Plan) {
+	mu.Lock()
+	defer mu.Unlock()
+	if p.Hit <= 0 {
+		p.Hit = 1
+	}
+	plan = p
+	for i := range hits {
+		hits[i].Store(0)
+	}
+	armed.Store(true)
+}
+
+// Disarm deactivates the registry; subsequent Fire calls only count hits.
+func Disarm() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(false)
+}
+
+// Hits reports how many times site has fired since the last Arm — chaos
+// tests use it to prove a site was actually reached.
+func Hits(s Site) int64 { return hits[s].Load() }
+
+// Fire marks one occurrence of site on worker and triggers the armed plan
+// when this occurrence is the plan's (site, hit, worker) target.
+func Fire(site Site, worker int) {
+	n := hits[site].Add(1)
+	if !armed.Load() {
+		return
+	}
+	// plan is immutable while armed (Arm replaces it wholesale under the
+	// mutex before setting armed), so these reads are race-free.
+	if plan.Site != site || n != plan.Hit {
+		return
+	}
+	if plan.Worker >= 0 && plan.Worker != worker {
+		return
+	}
+	switch plan.Mode {
+	case ModePanic:
+		panic(Fault{Site: site, Worker: worker})
+	case ModeSleep:
+		time.Sleep(time.Duration(plan.SleepNanos))
+	case ModeCall:
+		if plan.Fn != nil {
+			plan.Fn(site, worker)
+		}
+	}
+}

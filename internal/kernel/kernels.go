@@ -6,7 +6,20 @@ import (
 	"pbspgemm/internal/baseline"
 	"pbspgemm/internal/core"
 	"pbspgemm/internal/matrix"
+	"pbspgemm/internal/par"
 )
+
+// contain converts a panic unwinding out of a kernel call — the kernel's own
+// sequential code, or a *par.PanicError rethrown by the par primitives after
+// a contained worker panic — into a typed error return, so one poisoned
+// request cannot take down a process embedding the engine. The PB kernel
+// contains panics inside core already; this is the uniform last line for the
+// column baselines and any conversion code at the wrapper layer.
+func contain(name string, r **Result, err *error) {
+	if pe := par.AsPanicError(recover(), -1, name); pe != nil {
+		*r, *err = nil, pe
+	}
+}
 
 // Canonical kernel names, matching the paper's nomenclature (and
 // pbspgemm.Algorithm.String, which the public dispatch keys on).
@@ -42,7 +55,8 @@ func (pbKernel) Capabilities() Capabilities {
 		NarrowTuples: true, PatternTuples: true}
 }
 
-func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {
+func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (r *Result, err error) {
+	defer contain(NamePB, &r, &err)
 	cw := ws.coreWS()
 	var acsc *matrix.CSC
 	if cw != nil {
@@ -50,7 +64,7 @@ func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, o
 	} else {
 		acsc = a.ToCSC()
 	}
-	c, st, err := core.Multiply(acsc, b, core.Options{
+	c, st, merr := core.Multiply(acsc, b, core.Options{
 		NBins:             opt.NBins,
 		LocalBinBytes:     opt.LocalBinBytes,
 		Threads:           opt.Threads,
@@ -59,10 +73,10 @@ func (pbKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, o
 		Workspace:         cw,
 		Cancel:            cancelOf(ctx),
 	})
-	if err != nil {
-		return nil, err
+	if merr != nil {
+		return nil, merr
 	}
-	r := ws.result()
+	r = ws.result()
 	r.C, r.PB = c, st
 	r.Flops, r.NNZC, r.CF, r.Elapsed = st.Flops, st.NNZC, st.CF, st.Total
 	return r, nil
@@ -82,16 +96,17 @@ func (columnKernel) Capabilities() Capabilities {
 	return Capabilities{Cancellable: true, WorkspaceReusing: true}
 }
 
-func (k columnKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {
-	c, st, err := k.fn(a, b, baseline.Options{
+func (k columnKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (r *Result, err error) {
+	defer contain(k.name, &r, &err)
+	c, st, merr := k.fn(a, b, baseline.Options{
 		Threads:   opt.Threads,
 		Workspace: ws.colWS(),
 		Cancel:    cancelOf(ctx),
 	})
-	if err != nil {
-		return nil, err
+	if merr != nil {
+		return nil, merr
 	}
-	r := ws.result()
+	r = ws.result()
 	r.C, r.Baseline = c, st
 	r.Flops, r.NNZC, r.CF, r.Elapsed = st.Flops, st.NNZC, st.CF, st.Total
 	return r, nil
@@ -107,10 +122,11 @@ func (outerHeapKernel) Name() string { return NameOuterHeap }
 
 func (outerHeapKernel) Capabilities() Capabilities { return Capabilities{} }
 
-func (outerHeapKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (*Result, error) {
+func (outerHeapKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix.CSR, opt Opts) (r *Result, err error) {
+	defer contain(NameOuterHeap, &r, &err)
 	if cancel := cancelOf(ctx); cancel != nil {
-		if err := cancel(); err != nil {
-			return nil, err
+		if cerr := cancel(); cerr != nil {
+			return nil, cerr
 		}
 	}
 	cw := ws.coreWS()
@@ -120,11 +136,11 @@ func (outerHeapKernel) Multiply(ctx context.Context, ws *Workspace, a, b *matrix
 	} else {
 		acsc = a.ToCSC()
 	}
-	c, st, err := baseline.OuterHeap(acsc, b)
-	if err != nil {
-		return nil, err
+	c, st, merr := baseline.OuterHeap(acsc, b)
+	if merr != nil {
+		return nil, merr
 	}
-	r := ws.result()
+	r = ws.result()
 	r.C, r.Baseline = c, st
 	r.Flops, r.NNZC, r.CF, r.Elapsed = st.Flops, st.NNZC, st.CF, st.Total
 	return r, nil

@@ -26,6 +26,12 @@ func DefaultThreads(threads int) int {
 // produced by splitting [0, n) into near-equal contiguous chunks, one chunk
 // per worker. fn receives the worker id t in [0, threads). It blocks until
 // all workers finish. This is the analogue of OpenMP "schedule(static)".
+//
+// A panic inside fn does not kill the process: it is recovered in the worker
+// and re-raised on the calling goroutine as a *PanicError after the join.
+// Static ranges have no scheduling points, so the sibling workers finish
+// their chunks first; callers needing prompt sibling abort poll their own
+// flag inside fn (internal/core does).
 func ForRanges(n, threads int, fn func(worker, lo, hi int)) {
 	threads = DefaultThreads(threads)
 	if threads > n {
@@ -35,9 +41,10 @@ func ForRanges(n, threads int, fn func(worker, lo, hi int)) {
 		return
 	}
 	if threads <= 1 {
-		fn(0, 0, n)
+		protect(0, func() { fn(0, 0, n) })
 		return
 	}
+	var g guard
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
@@ -45,10 +52,11 @@ func ForRanges(n, threads int, fn func(worker, lo, hi int)) {
 		hi := (t + 1) * n / threads
 		go func(t, lo, hi int) {
 			defer wg.Done()
-			fn(t, lo, hi)
+			g.run(t, func() { fn(t, lo, hi) })
 		}(t, lo, hi)
 	}
 	wg.Wait()
+	g.rethrow()
 }
 
 // ForEachDynamic runs fn(worker, i) for every i in [0, n), handing indices to
@@ -65,27 +73,38 @@ func ForEachDynamic(n, threads int, fn func(worker, i int)) {
 		return
 	}
 	if threads <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
+		protect(0, func() {
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+		})
 		return
 	}
+	var g guard
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func(t int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			g.run(t, func() {
+				for {
+					// A sibling panicked: stop taking indices so the call
+					// drains at scheduling granularity, not at n.
+					if g.stop() {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(t, i)
 				}
-				fn(t, i)
-			}
+			})
 		}(t)
 	}
 	wg.Wait()
+	g.rethrow()
 }
 
 // ForChunksDynamic is ForEachDynamic with a chunk size: fn(worker, lo, hi)
@@ -178,7 +197,8 @@ const prefixSumParallelCutoff = 1 << 15
 // offset. Integer addition is associative, so the result is identical to the
 // sequential PrefixSum at any thread count; small inputs (or one thread) fall
 // back to it outright. The fused assemble uses this to fix the output row
-// pointers once the per-bin counts are exact.
+// pointers once the per-bin counts are exact. Both passes run on ForRanges,
+// so worker panics surface as *PanicError like every other primitive here.
 func PrefixSumParallel(counts, out []int64, threads int) int64 {
 	n := len(counts)
 	threads = DefaultThreads(threads)
@@ -263,20 +283,23 @@ func WorkSteal[T any](threads int, seeds []T, fn func(worker int, task T, spawn 
 }
 
 // ParallelRun invokes fn(worker) on exactly threads workers and waits.
-// Workers coordinate through whatever state fn closes over.
+// Workers coordinate through whatever state fn closes over. Worker panics
+// are captured and re-raised typed on the caller, like ForRanges.
 func ParallelRun(threads int, fn func(worker int)) {
 	threads = DefaultThreads(threads)
 	if threads <= 1 {
-		fn(0)
+		protect(0, func() { fn(0) })
 		return
 	}
+	var g guard
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func(t int) {
 			defer wg.Done()
-			fn(t)
+			g.run(t, func() { fn(t) })
 		}(t)
 	}
 	wg.Wait()
+	g.rethrow()
 }

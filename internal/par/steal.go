@@ -79,21 +79,23 @@ func WorkStealPolicy[T any](threads int, seeds []T, pol *StealPolicy, fn func(wo
 		return
 	}
 	if threads <= 1 {
-		if pol != nil && pol.Setup != nil {
-			if td := pol.Setup(0); td != nil {
-				defer td()
+		protect(0, func() {
+			if pol != nil && pol.Setup != nil {
+				if td := pol.Setup(0); td != nil {
+					defer td()
+				}
 			}
-		}
-		stack := append(make([]T, 0, 2*len(seeds)), seeds...)
-		spawn := func(t T) { stack = append(stack, t) }
-		for len(stack) > 0 {
-			t := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if pol != nil && pol.Owned != nil {
-				pol.Owned[0]++
+			stack := append(make([]T, 0, 2*len(seeds)), seeds...)
+			spawn := func(t T) { stack = append(stack, t) }
+			for len(stack) > 0 {
+				t := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if pol != nil && pol.Owned != nil {
+					pol.Owned[0]++
+				}
+				fn(0, t, spawn)
 			}
-			fn(0, t, spawn)
-		}
+		})
 		return
 	}
 	deques := make([]wsDeque[T], threads)
@@ -104,6 +106,7 @@ func WorkStealPolicy[T any](threads int, seeds []T, pol *StealPolicy, fn func(wo
 		}
 		deques[w].buf = append(deques[w].buf, s)
 	}
+	var g guard
 	var pending atomic.Int64
 	pending.Store(int64(len(seeds)))
 	var wg sync.WaitGroup
@@ -111,76 +114,85 @@ func WorkStealPolicy[T any](threads int, seeds []T, pol *StealPolicy, fn func(wo
 	for t := 0; t < threads; t++ {
 		go func(t int) {
 			defer wg.Done()
-			if pol != nil && pol.Setup != nil {
-				if td := pol.Setup(t); td != nil {
-					defer td()
-				}
-			}
-			var victims []int
-			nearLen := 0
-			if pol != nil && t < len(pol.Victims) && pol.Victims[t] != nil {
-				victims = pol.Victims[t]
-				if t < len(pol.NearLen) {
-					nearLen = pol.NearLen[t]
-				}
-			}
-			self := &deques[t]
-			spawn := func(nt T) {
-				pending.Add(1)
-				self.push(nt)
-			}
-			idle := 0
-			for {
-				task, ok := self.popTail()
-				stoleFrom := -1
-				if !ok {
-					if victims != nil {
-						for i := 0; !ok && i < len(victims); i++ {
-							if task, ok = deques[victims[i]].stealHead(); ok {
-								stoleFrom = i
-							}
-						}
-					} else {
-						for i := 1; !ok && i < threads; i++ {
-							if task, ok = deques[(t+i)%threads].stealHead(); ok {
-								stoleFrom = i
-							}
-						}
+			g.run(t, func() {
+				if pol != nil && pol.Setup != nil {
+					if td := pol.Setup(t); td != nil {
+						defer td()
 					}
 				}
-				if ok {
-					idle = 0
-					if pol != nil && pol.Owned != nil {
-						if stoleFrom < 0 {
-							pol.Owned[t]++
-						} else {
-							pol.Stolen[t]++
-							if victims != nil && stoleFrom < nearLen {
-								pol.NearStolen[t]++
-							}
-						}
+				var victims []int
+				nearLen := 0
+				if pol != nil && t < len(pol.Victims) && pol.Victims[t] != nil {
+					victims = pol.Victims[t]
+					if t < len(pol.NearLen) {
+						nearLen = pol.NearLen[t]
 					}
-					fn(t, task, spawn)
-					if pending.Add(-1) == 0 {
+				}
+				self := &deques[t]
+				spawn := func(nt T) {
+					pending.Add(1)
+					self.push(nt)
+				}
+				idle := 0
+				for {
+					// A panicking task never decrements pending, so without
+					// this check the siblings would spin in the idle loop
+					// forever waiting for a count that cannot reach zero.
+					if g.stop() {
 						return
 					}
-					continue
+					task, ok := self.popTail()
+					stoleFrom := -1
+					if !ok {
+						if victims != nil {
+							for i := 0; !ok && i < len(victims); i++ {
+								if task, ok = deques[victims[i]].stealHead(); ok {
+									stoleFrom = i
+								}
+							}
+						} else {
+							for i := 1; !ok && i < threads; i++ {
+								if task, ok = deques[(t+i)%threads].stealHead(); ok {
+									stoleFrom = i
+								}
+							}
+						}
+					}
+					if ok {
+						idle = 0
+						if pol != nil && pol.Owned != nil {
+							if stoleFrom < 0 {
+								pol.Owned[t]++
+							} else {
+								pol.Stolen[t]++
+								if victims != nil && stoleFrom < nearLen {
+									pol.NearStolen[t]++
+								}
+							}
+						}
+						fn(t, task, spawn)
+						if pending.Add(-1) == 0 {
+							return
+						}
+						continue
+					}
+					if pending.Load() == 0 {
+						return
+					}
+					// Tasks are in flight on other workers and may yet spawn.
+					// Yield first (a spawn usually lands within a few rounds),
+					// then back off to sleeping so an idle tail behind one long
+					// task doesn't burn the other cores' cycles hammering the
+					// deque mutexes.
+					if idle++; idle < 64 {
+						runtime.Gosched()
+					} else {
+						time.Sleep(20 * time.Microsecond)
+					}
 				}
-				if pending.Load() == 0 {
-					return
-				}
-				// Tasks are in flight on other workers and may yet spawn.
-				// Yield first (a spawn usually lands within a few rounds),
-				// then back off to sleeping so an idle tail behind one long
-				// task doesn't burn the other cores' cycles hammering the
-				// deque mutexes.
-				if idle++; idle < 64 {
-					runtime.Gosched()
-				} else {
-					time.Sleep(20 * time.Microsecond)
-				}
-			}
+			})
 		}(t)
 	}
 	wg.Wait()
+	g.rethrow()
 }

@@ -63,8 +63,19 @@ func Multiply[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], threads int) (*CSRg
 
 // MultiplyOpts is Multiply with the full execution-engine options: shared
 // workspace and memory budget (column-panel tiling with per-bin run
-// merging), mirroring the float64 engine.
-func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*CSRg[T], error) {
+// merging), mirroring the float64 engine. Panics — the semiring's Add/Mul
+// callbacks run arbitrary user code — are contained into a *par.PanicError
+// return rather than unwinding into the caller's process.
+func MultiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (c *CSRg[T], err error) {
+	defer func() {
+		if pe := par.AsPanicError(recover(), -1, "semiring"); pe != nil {
+			c, err = nil, pe
+		}
+	}()
+	return multiplyOpts(sr, a, b, opt)
+}
+
+func multiplyOpts[T any](sr Semiring[T], a *CSCg[T], b *CSRg[T], opt Options) (*CSRg[T], error) {
 	if a.NumCols != b.NumRows {
 		return nil, fmt.Errorf("semiring: inner dimensions disagree: A is %dx%d, B is %dx%d: %w",
 			a.NumRows, a.NumCols, b.NumRows, b.NumCols, matrix.ErrShape)

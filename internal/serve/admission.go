@@ -13,6 +13,20 @@ import (
 // it to 429 + Retry-After).
 var ErrShed = errors.New("serve: load shed")
 
+// ErrQueueTimeout is the errors.Is sentinel matched — in addition to
+// ErrShed — by sheds whose Reason is ReasonQueueTimeout: the request waited
+// the full MaxQueueWait without being admitted. It is deliberately distinct
+// from the client's own cancellation, which Acquire surfaces as ctx.Err()
+// (context.Canceled or context.DeadlineExceeded), never as a ShedError.
+var ErrQueueTimeout = errors.New("serve: admission queue wait exceeded")
+
+// The Reason values a ShedError carries.
+const (
+	ReasonFootprint    = "footprint exceeds ceiling"
+	ReasonQueueFull    = "queue full"
+	ReasonQueueTimeout = "queue wait exceeded"
+)
+
 // ShedError reports why admission refused a request.
 type ShedError struct {
 	// PredictedBytes is the planner's footprint estimate for the request.
@@ -21,8 +35,7 @@ type ShedError struct {
 	CeilingBytes int64
 	// RetryAfter is the suggested client backoff.
 	RetryAfter time.Duration
-	// Reason is one of "footprint exceeds ceiling", "queue full",
-	// "queue wait exceeded".
+	// Reason is one of the Reason* constants.
 	Reason string
 }
 
@@ -31,8 +44,11 @@ func (e *ShedError) Error() string {
 		e.Reason, e.PredictedBytes, e.CeilingBytes, e.RetryAfter)
 }
 
-// Is reports ErrShed as a match for errors.Is.
-func (e *ShedError) Is(target error) bool { return target == ErrShed }
+// Is reports ErrShed as a match for errors.Is — and ErrQueueTimeout for
+// queue-wait sheds specifically.
+func (e *ShedError) Is(target error) bool {
+	return target == ErrShed || (target == ErrQueueTimeout && e.Reason == ReasonQueueTimeout)
+}
 
 // Admission gates multiplications on predicted memory: the sum of admitted
 // requests' planner-predicted footprints never exceeds the ceiling, so the
@@ -49,6 +65,8 @@ type Admission struct {
 	// wake is closed and replaced on every Release; queued waiters re-check
 	// the ceiling on each broadcast (herd size is bounded by maxQueue).
 	wake chan struct{}
+	// jitter is the xorshift state behind retryAfter's backoff spreading.
+	jitter uint64
 
 	admitted, queued, shed int64
 }
@@ -63,10 +81,28 @@ func NewAdmission(ceiling int64, maxQueue int, maxWait time.Duration) *Admission
 	}
 }
 
-// retryAfter estimates a client backoff from the current queue depth: one
-// second per queued request ahead, clamped to [1s, maxWait].
+// retryAfter estimates a client backoff from the current queue depth — one
+// second per queued request ahead — plus up to +50% jitter so a burst of
+// simultaneous sheds does not tell every client to come back at the same
+// instant (the synchronized retry would just shed again). The jitter walk is
+// a self-seeding xorshift under the mutex: deterministic per controller, no
+// global rand contention. Clamped to [1s, maxWait].
 func (a *Admission) retryAfter() time.Duration {
 	d := time.Duration(1+a.waiters) * time.Second
+	x := a.jitter
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	a.jitter = x
+	if span := int64(d) / 2; span > 0 {
+		d += time.Duration(int64(x % uint64(span)))
+	}
+	if d < time.Second {
+		d = time.Second
+	}
 	if a.maxWait > 0 && d > a.maxWait {
 		d = a.maxWait
 	}
@@ -91,7 +127,7 @@ func (a *Admission) Acquire(ctx context.Context, predicted int64) error {
 		a.shed++
 		err := &ShedError{
 			PredictedBytes: predicted, CeilingBytes: a.ceiling,
-			RetryAfter: a.retryAfter(), Reason: "footprint exceeds ceiling",
+			RetryAfter: a.retryAfter(), Reason: ReasonFootprint,
 		}
 		a.mu.Unlock()
 		return err
@@ -104,7 +140,7 @@ func (a *Admission) Acquire(ctx context.Context, predicted int64) error {
 			a.shed++
 			err := &ShedError{
 				PredictedBytes: predicted, CeilingBytes: a.ceiling,
-				RetryAfter: a.retryAfter(), Reason: "queue full",
+				RetryAfter: a.retryAfter(), Reason: ReasonQueueFull,
 			}
 			a.mu.Unlock()
 			return err
@@ -136,7 +172,7 @@ func (a *Admission) Acquire(ctx context.Context, predicted int64) error {
 			a.shed++
 			err := &ShedError{
 				PredictedBytes: predicted, CeilingBytes: a.ceiling,
-				RetryAfter: a.retryAfter(), Reason: "queue wait exceeded",
+				RetryAfter: a.retryAfter(), Reason: ReasonQueueTimeout,
 			}
 			a.mu.Unlock()
 			return err

@@ -19,6 +19,9 @@ type Product struct {
 	Elapsed   time.Duration
 	// Bytes is the resident cost (csrBytes of C) the cache accounts.
 	Bytes int64
+	// Degraded reports the product ran under the server's degraded memory
+	// budget (tiled) after its full-speed footprint was inadmissible.
+	Degraded bool
 }
 
 // Cache is the result cache: LRU over Products keyed by the full request

@@ -43,6 +43,14 @@ type Config struct {
 	// queue overflow (or a prediction that alone exceeds the ceiling) sheds
 	// with 429 + Retry-After. Default 4 GiB.
 	MemoryCeilingBytes int64
+	// DegradedBudgetBytes, when > 0, enables graceful degradation for
+	// requests whose full-speed predicted footprint alone exceeds the memory
+	// ceiling: instead of shedding immediately, the server re-plans the
+	// product with this per-call memory budget (column-panel tiling bounds
+	// the working set) and runs the slower tiled multiply if the degraded
+	// footprint fits. Requests that pin an explicit memory_budget_bytes are
+	// never overridden — they shed as before. Default 0 (disabled).
+	DegradedBudgetBytes int64
 	// MaxQueue bounds how many requests may wait for admission at once.
 	// Default 64.
 	MaxQueue int

@@ -9,11 +9,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pbspgemm"
+	"pbspgemm/internal/faultinject"
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/mmio"
+	"pbspgemm/internal/par"
 )
 
 // Server is the HTTP serving layer: an http.Handler wiring the registry,
@@ -39,6 +42,13 @@ type Server struct {
 	tenants *tenantSet
 	lat     *latencySet
 	mux     *http.ServeMux
+
+	// panics counts handler panics contained by the route middleware (500
+	// for the hit request only; the server keeps serving). degraded counts
+	// products that ran the budgeted tiled retry after their full-speed
+	// footprint was inadmissible.
+	panics   atomic.Int64
+	degraded atomic.Int64
 
 	// execute runs one admitted product; tests swap it to gate in-flight
 	// multiplications deterministically. Admission and caching stay in the
@@ -90,14 +100,26 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Admission exposes the admission controller.
 func (s *Server) Admission() *Admission { return s.adm }
 
-// route mounts h under pattern with the latency/tenant middleware; the
-// pattern doubles as the endpoint label in /metrics.
+// route mounts h under pattern with the latency/tenant/recovery middleware;
+// the pattern doubles as the endpoint label in /metrics.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.tenants.update(r.Header.Get("X-Tenant"), func(t *TenantStats) { t.Requests++ })
+		defer func() {
+			// Contain a handler panic to its own request: 500 for the hit
+			// caller (best-effort — the body may be partially written), every
+			// other in-flight and future request keeps serving. Kernel panics
+			// never reach here (the engine converts them to *par.PanicError
+			// returns); this is the last line for serving-layer bugs.
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				httpError(w, http.StatusInternalServerError,
+					fmt.Errorf("serve: internal panic in %s: %v", pattern, v))
+			}
+			s.lat.observe(pattern, time.Since(start))
+		}()
 		h(w, r)
-		s.lat.observe(pattern, time.Since(start))
 	})
 }
 
@@ -338,6 +360,10 @@ type multiplyResponse struct {
 	// Coalesced reports singleflight batching: this request waited on an
 	// identical in-flight multiply instead of starting its own.
 	Coalesced bool `json:"coalesced"`
+	// Degraded reports graceful degradation: the full-speed footprint was
+	// inadmissible, so the product ran under Config.DegradedBudgetBytes
+	// (tiled, slower, same result) instead of shedding with 429.
+	Degraded bool `json:"degraded"`
 }
 
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +378,9 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		s.tenants.update(tenant, func(t *TenantStats) { t.Errors++ })
 		httpError(w, status, err)
 		return
+	}
+	if faultinject.Enabled {
+		faultinject.Fire(faultinject.SiteServeHandler, -1)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -377,7 +406,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		A: sp.req.A, B: sp.req.B, Semiring: sp.semiring, Algorithm: p.Algorithm,
 		Rows: p.C.NumRows, Cols: p.C.NumCols, NNZ: p.C.NNZ(),
 		Flops: p.Flops, CF: p.CF, ElapsedNs: int64(p.Elapsed),
-		Cached: how == viaCache, Coalesced: how == viaFlight,
+		Cached: how == viaCache, Coalesced: how == viaFlight, Degraded: p.Degraded,
 	}
 	switch sp.req.Output {
 	case "", "metadata":
@@ -402,12 +431,19 @@ func (s *Server) writeResultHeaders(w http.ResponseWriter, resp *multiplyRespons
 	h.Set("X-Pbspgemm-Flops", strconv.FormatInt(resp.Flops, 10))
 	h.Set("X-Pbspgemm-Cached", strconv.FormatBool(resp.Cached))
 	h.Set("X-Pbspgemm-Coalesced", strconv.FormatBool(resp.Coalesced))
+	h.Set("X-Pbspgemm-Degraded", strconv.FormatBool(resp.Degraded))
 }
 
 // failMultiply maps a product error to its HTTP shape and tenant counters.
 func (s *Server) failMultiply(w http.ResponseWriter, tenant string, err error) {
 	var shed *ShedError
+	var pe *par.PanicError
 	switch {
+	case errors.As(err, &pe):
+		// A contained kernel panic: this request's multiply died, the engine
+		// and every other tenant keep serving.
+		s.tenants.update(tenant, func(t *TenantStats) { t.Errors++ })
+		httpError(w, http.StatusInternalServerError, err)
 	case errors.As(err, &shed):
 		s.tenants.update(tenant, func(t *TenantStats) { t.Shed++ })
 		secs := int64(shed.RetryAfter.Round(time.Second) / time.Second)
@@ -440,25 +476,43 @@ const (
 
 // product serves one resolved request: result cache, then singleflight
 // (whose leader passes admission and runs the Engine), caching the product
-// for the next identical request.
+// for the next identical request. A footprint-inadmissible request walks the
+// degradation ladder before shedding: full-speed run → budgeted tiled retry
+// (when Config.DegradedBudgetBytes allows) → 429.
 func (s *Server) product(ctx context.Context, sp *productSpec) (*Product, servedVia, error) {
 	key := sp.key()
 	if p, ok := s.cache.Get(key); ok {
 		return p, viaCache, nil
 	}
 	p, shared, err := s.flights.do(ctx, key, func() (*Product, error) {
-		plan, err := s.eng.Plan(ctx, sp.a, sp.b, sp.engineOptions()...)
+		run := sp
+		degraded := false
+		plan, err := s.eng.Plan(ctx, run.a, run.b, run.engineOptions()...)
 		if err != nil {
 			return nil, err
 		}
-		if err := s.adm.Acquire(ctx, plan.PredictedFootprintBytes); err != nil {
-			return nil, err
+		predicted := plan.PredictedFootprintBytes
+		if err := s.adm.Acquire(ctx, predicted); err != nil {
+			deg, degPredicted, ok := s.degradedSpec(ctx, sp, err)
+			if !ok {
+				return nil, err
+			}
+			if aerr := s.adm.Acquire(ctx, degPredicted); aerr != nil {
+				// Even the tiled footprint could not be admitted; report the
+				// original full-run shed (still a 429 + Retry-After).
+				return nil, err
+			}
+			run, predicted, degraded = deg, degPredicted, true
+			s.degraded.Add(1)
 		}
-		defer s.adm.Release(plan.PredictedFootprintBytes)
-		p, err := s.execute(ctx, sp)
+		defer s.adm.Release(predicted)
+		p, err := s.execute(ctx, run)
 		if err != nil {
 			return nil, err
 		}
+		p.Degraded = degraded
+		// Cached under the original key: the tiled run folds the same
+		// tuples in the same order, so the bytes of C are identical.
 		s.cache.Add(key, p)
 		return p, nil
 	})
@@ -470,6 +524,29 @@ func (s *Server) product(ctx context.Context, sp *productSpec) (*Product, served
 		via = viaFlight
 	}
 	return p, via, nil
+}
+
+// degradedSpec is the degradation ladder's middle rung: when the full-speed
+// request was shed because its predicted footprint alone exceeds the
+// ceiling, re-plan it under the configured degraded memory budget — the
+// budgeted engine tiles A's columns into panels, bounding the working set —
+// and offer that for admission instead. Returns ok=false when degradation is
+// disabled, the request pinned its own budget, the shed had a different
+// reason (queue pressure is not helped by shrinking one request), or even
+// the tiled footprint exceeds the ceiling.
+func (s *Server) degradedSpec(ctx context.Context, sp *productSpec, shedErr error) (*productSpec, int64, bool) {
+	var shed *ShedError
+	if s.cfg.DegradedBudgetBytes <= 0 || sp.req.MemoryBudgetBytes > 0 ||
+		!errors.As(shedErr, &shed) || shed.Reason != ReasonFootprint {
+		return nil, 0, false
+	}
+	deg := *sp
+	deg.req.MemoryBudgetBytes = s.cfg.DegradedBudgetBytes
+	plan, err := s.eng.Plan(ctx, deg.a, deg.b, deg.engineOptions()...)
+	if err != nil || plan.PredictedFootprintBytes > shed.CeilingBytes {
+		return nil, 0, false
+	}
+	return &deg, plan.PredictedFootprintBytes, true
 }
 
 // runProduct executes one admitted product on the Engine. This is the only
@@ -607,14 +684,21 @@ type MetricsSnapshot struct {
 	Admission AdmissionStats          `json:"admission"`
 	Registry  RegistryStats           `json:"registry"`
 	Coalesced int64                   `json:"coalesced_requests"`
-	Tenants   map[string]TenantStats  `json:"tenants"`
-	Latency   map[string]LatencyStats `json:"latency"`
+	// HandlerPanics counts panics contained by the route middleware (each
+	// cost its own request a 500 and nothing else).
+	HandlerPanics int64 `json:"handler_panics"`
+	// Degraded counts products served through the budgeted tiled retry after
+	// their full-speed footprint was inadmissible.
+	Degraded int64                   `json:"degraded_requests"`
+	Tenants  map[string]TenantStats  `json:"tenants"`
+	Latency  map[string]LatencyStats `json:"latency"`
 }
 
 // EngineSnapshot is EngineMetrics with JSON-friendly algorithm names.
 type EngineSnapshot struct {
 	Calls       int64                       `json:"calls"`
 	Failures    int64                       `json:"failures"`
+	Panics      int64                       `json:"panics"`
 	Flops       int64                       `json:"flops"`
 	BytesMoved  int64                       `json:"bytes_moved"`
 	NNZProduced int64                       `json:"nnz_produced"`
@@ -637,7 +721,7 @@ type AlgorithmMetrics struct {
 func (s *Server) Metrics() MetricsSnapshot {
 	em := s.eng.Metrics()
 	es := EngineSnapshot{
-		Calls: em.Calls, Failures: em.Failures, Flops: em.Flops,
+		Calls: em.Calls, Failures: em.Failures, Panics: em.Panics, Flops: em.Flops,
 		BytesMoved: em.BytesMoved, NNZProduced: em.NNZProduced, BusyNs: int64(em.Busy),
 	}
 	if len(em.ByAlgorithm) > 0 {
@@ -650,13 +734,15 @@ func (s *Server) Metrics() MetricsSnapshot {
 		}
 	}
 	return MetricsSnapshot{
-		Engine:    es,
-		Cache:     s.cache.Stats(),
-		Admission: s.adm.Stats(),
-		Registry:  s.reg.Stats(),
-		Coalesced: s.flights.coalescedTotal(),
-		Tenants:   s.tenants.snapshot(),
-		Latency:   s.lat.snapshot(),
+		Engine:        es,
+		Cache:         s.cache.Stats(),
+		Admission:     s.adm.Stats(),
+		Registry:      s.reg.Stats(),
+		Coalesced:     s.flights.coalescedTotal(),
+		HandlerPanics: s.panics.Load(),
+		Degraded:      s.degraded.Load(),
+		Tenants:       s.tenants.snapshot(),
+		Latency:       s.lat.snapshot(),
 	}
 }
 
