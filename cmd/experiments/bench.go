@@ -35,8 +35,10 @@ import (
 // kernel field, scalar-oracle comparator regimes, and multi-threaded
 // variants of the acceptance pair; v5 adds the cancel_hook field and the
 // -cancelpoll twins of the acceptance regimes behind the sub-phase
-// cancellation-poll overhead gate.
-const benchSchema = "pbspgemm-bench/v5"
+// cancellation-poll overhead gate; v6 adds the shard section — the 2D
+// block-sharded coordinator against a direct Engine call, with the 1×1×1
+// grid held within 5% of direct behind the -gate.
+const benchSchema = "pbspgemm-bench/v6"
 
 type benchPhase struct {
 	Millis    float64 `json:"ms"`
@@ -86,6 +88,8 @@ type benchReport struct {
 	StreamTriadNGBs float64       `json:"stream_triad_nt_gbs"`
 	StreamThreads   int           `json:"stream_threads"`
 	Regimes         []benchRegime `json:"regimes"`
+	// Shard carries the block-sharded coordinator regimes (see bench_shard.go).
+	Shard []benchShardRegime `json:"shard,omitempty"`
 }
 
 // benchCase is one regime's generator recipe; layouts and fusion are forced
@@ -261,6 +265,7 @@ func runBench(cfg *config) {
 			r.Name, r.Layout, r.Fused, r.NsPerOp, r.GFLOPS, r.CF,
 			r.Expand.Millis, phase, r.AllocsPerOp)
 	}
+	runShardBench(cfg, &report)
 	if cfg.jsonOut != "" {
 		writeBenchReport(cfg.jsonOut, &report)
 	}
@@ -424,6 +429,11 @@ func gateBench(report *benchReport) {
 			fmt.Printf("bench gate: %s expand at %.1f%% of stream Triad (≥ 50%%)\n",
 				name, r.Expand.PctStream)
 		}
+	}
+	// The sharded route must be free when the grid is degenerate: the 1×1×1
+	// coordinator within 5% of the direct Engine call measured alongside it.
+	if gateShardBench(report) {
+		failed = true
 	}
 	for _, r := range report.Regimes {
 		if r.Threads == 1 && r.AllocsPerOp != 0 {

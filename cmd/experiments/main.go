@@ -32,12 +32,12 @@ import (
 
 // config carries the common harness flags.
 type config struct {
-	full    bool
-	reps    int
-	threads int
-	seed    uint64
-	beta    float64 // 0 = measure with STREAM
-	mtxdir  string
+	full     bool
+	reps     int
+	threads  int
+	seed     uint64
+	beta     float64 // 0 = measure with STREAM
+	mtxdir   string
 	jsonOut  string // planner: write the machine-readable report here
 	gate     bool   // bench: fail on fused-vs-unfused or allocs regression
 	baseline string // bench: prior -json report to diff ns/op against

@@ -57,6 +57,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		queueWait = fs.Duration("queue-wait", serve.DefaultMaxQueueWait, "max time one request waits for admission")
 		timeout   = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline, propagated to kernel cancellation polls")
 		degraded  = fs.String("degraded-budget", "0", "memory budget for the tiled degraded retry when a full run is shed on footprint (0 disables)")
+		peers     = fs.String("peers", "", "comma-separated base URLs of peer pbspgemmd nodes; non-empty enables 2D block-sharded fan-out for shardable products")
+		shardBlk  = fs.String("shard-block", "0", "per-block predicted-footprint target of the sharded path (0 = one block per product)")
+		shardWkrs = fs.Int("shard-workers", 1, "max sharded blocks running on the local engine at once")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +85,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		return fatal(stderr, err)
 	}
 	cfg.RequestTimeout = *timeout
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	if cfg.ShardBlockBytes, err = parseBytes(*shardBlk); err != nil {
+		return fatal(stderr, err)
+	}
+	cfg.ShardLocalWorkers = *shardWkrs
 
 	defaults := []pbspgemm.Option{pbspgemm.WithThreads(*threads)}
 	if *beta > 0 {

@@ -335,18 +335,18 @@ type engine struct {
 	rowShift      uint   // bin = row>>rowShift (shift/mask replaces division; rows per bin = 1<<rowShift)
 	rowMask       uint32 // localRow = row&rowMask
 	colBits       uint
-	want          Layout    // layout the entry point requested (Auto for Multiply)
-	layout        Layout    // concrete layout planBins resolved for this run
-	key32         bool      // layout packs keys into uint32 (everything but wide)
-	lay           layoutOps // per-layout element accesses (layout.go)
-	fused         bool      // fused sort→compress→assemble pipeline (see fused.go)
-	emitMerge     bool      // budgeted fused merge emits into the final CSR (shallow k)
-	tupleBytes    int64     // per-tuple cost of layout (16/12/8/4)
-	localCap      int32     // tuples per thread-private local bin
-	maxRunsPerBin int       // k of the k-way merge (budgeted path)
-	batch         bool      // use internal/simd's batched kernels (vs scalar oracle)
-	ntFlush       bool      // stream bin flushes with non-temporal stores (per panel)
-	scratchStride int64     // per-worker stride into the sort scratch planes
+	want          Layout        // layout the entry point requested (Auto for Multiply)
+	layout        Layout        // concrete layout planBins resolved for this run
+	key32         bool          // layout packs keys into uint32 (everything but wide)
+	lay           layoutOps     // per-layout element accesses (layout.go)
+	fused         bool          // fused sort→compress→assemble pipeline (see fused.go)
+	emitMerge     bool          // budgeted fused merge emits into the final CSR (shallow k)
+	tupleBytes    int64         // per-tuple cost of layout (16/12/8/4)
+	localCap      int32         // tuples per thread-private local bin
+	maxRunsPerBin int           // k of the k-way merge (budgeted path)
+	batch         bool          // use internal/simd's batched kernels (vs scalar oracle)
+	ntFlush       bool          // stream bin flushes with non-temporal stores (per panel)
+	scratchStride int64         // per-worker stride into the sort scratch planes
 	numaM         *numa.Machine // non-nil only when NUMA-aware execution is active
 	workerNodes   []int         // worker→node assignment (nil when numaM is)
 

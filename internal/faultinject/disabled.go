@@ -18,5 +18,8 @@ func Disarm() {}
 // it with `if faultinject.Enabled` so it never even compiles in.
 func Fire(Site, int) {}
 
+// FireErr never injects without the faultinject build tag.
+func FireErr(Site, int) error { return nil }
+
 // Hits always reports zero without the faultinject build tag.
 func Hits(Site) int64 { return 0 }

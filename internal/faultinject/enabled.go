@@ -48,8 +48,19 @@ func Disarm() {
 // tests use it to prove a site was actually reached.
 func Hits(s Site) int64 { return hits[s].Load() }
 
+// triggered reports whether occurrence n of the plan's site fires it: at
+// exactly Hit, and — with Every > 0 — on every Every-th occurrence after it
+// (the flaky/slow recurring modes).
+func triggered(n int64) bool {
+	if n == plan.Hit {
+		return true
+	}
+	return plan.Every > 0 && n > plan.Hit && (n-plan.Hit)%plan.Every == 0
+}
+
 // Fire marks one occurrence of site on worker and triggers the armed plan
-// when this occurrence is the plan's (site, hit, worker) target.
+// when this occurrence is the plan's (site, hit, worker) target. ModeError
+// is a no-op here — error-returning sites use FireErr.
 func Fire(site Site, worker int) {
 	n := hits[site].Add(1)
 	if !armed.Load() {
@@ -57,7 +68,7 @@ func Fire(site Site, worker int) {
 	}
 	// plan is immutable while armed (Arm replaces it wholesale under the
 	// mutex before setting armed), so these reads are race-free.
-	if plan.Site != site || n != plan.Hit {
+	if plan.Site != site || !triggered(n) {
 		return
 	}
 	if plan.Worker >= 0 && plan.Worker != worker {
@@ -73,4 +84,34 @@ func Fire(site Site, worker int) {
 			plan.Fn(site, worker)
 		}
 	}
+}
+
+// FireErr is Fire for sites whose natural failure shape is an error return
+// rather than a panic (remote RPC boundaries): ModeError returns the Fault
+// as the error, every other mode behaves exactly like Fire (a panic here
+// still exercises the containment path around the RPC).
+func FireErr(site Site, worker int) error {
+	n := hits[site].Add(1)
+	if !armed.Load() {
+		return nil
+	}
+	if plan.Site != site || !triggered(n) {
+		return nil
+	}
+	if plan.Worker >= 0 && plan.Worker != worker {
+		return nil
+	}
+	switch plan.Mode {
+	case ModePanic:
+		panic(Fault{Site: site, Worker: worker})
+	case ModeSleep:
+		time.Sleep(time.Duration(plan.SleepNanos))
+	case ModeCall:
+		if plan.Fn != nil {
+			plan.Fn(site, worker)
+		}
+	case ModeError:
+		return Fault{Site: site, Worker: worker}
+	}
+	return nil
 }

@@ -36,6 +36,19 @@ const (
 	// SiteServeHandler fires at the top of the serve layer's multiply
 	// handler, inside the recovery middleware's scope.
 	SiteServeHandler
+	// SitePeerDial fires before every HTTP exchange the peer client opens
+	// to a remote pbspgemmd (upload, multiply, health probe) — the place a
+	// refused connection or dead peer surfaces. FireErr sites: ModeError
+	// returns the fault as a connect-style error instead of panicking.
+	SitePeerDial
+	// SiteBlockRPC fires before the shard coordinator dispatches one block
+	// multiply attempt to a backend (local pool or remote peer). ModeError
+	// injects a retryable dispatch failure, ModeSleep a straggling backend.
+	SiteBlockRPC
+	// SiteReduce fires once per C(i,j) block as the coordinator reduces its
+	// partial products over k — a local failure after all remote work
+	// succeeded, probing the never-partial guarantee.
+	SiteReduce
 	// NumSites bounds the Site space for fuzzers that map bytes to sites.
 	NumSites
 )
@@ -57,6 +70,12 @@ func (s Site) String() string {
 		return "grow"
 	case SiteServeHandler:
 		return "serve-handler"
+	case SitePeerDial:
+		return "peer-dial"
+	case SiteBlockRPC:
+		return "block-rpc"
+	case SiteReduce:
+		return "reduce"
 	default:
 		return "unknown-site"
 	}
@@ -76,6 +95,10 @@ const (
 	// force a cancellation (cancel a context from inside a phase) or to
 	// observe exactly when a site is reached.
 	ModeCall
+	// ModeError makes FireErr return the Fault as an error instead of
+	// panicking — the shape of a failed RPC or refused connection. Sites
+	// instrumented with Fire (not FireErr) treat it as a no-op.
+	ModeError
 )
 
 // Fault is the value ModePanic panics with; carrying the site makes chaos
@@ -97,6 +120,11 @@ type Plan struct {
 	// Hit is which occurrence triggers (1 = first; 0 means first too).
 	// Occurrences are counted per site across all workers.
 	Hit int64
+	// Every, when > 0, re-triggers the plan on occurrence Hit and every
+	// Every-th occurrence after it, instead of exactly once — a flaky peer
+	// (ModeError, Every=2 fails every other RPC) or a persistently slow one
+	// (ModeSleep, Every=1 delays every block).
+	Every int64
 	// Worker restricts the trigger to one worker id; -1 matches any.
 	Worker int
 	// Mode selects panic / sleep / call.

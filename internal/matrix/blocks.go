@@ -1,0 +1,65 @@
+package matrix
+
+import "sort"
+
+// Block extracts the index window rows [r0,r1) × cols [c0,c1) of m as a
+// standalone CSR with block-local indices (entry (r,c) of m becomes
+// (r-r0, c-c0)). Rows of a canonical CSR are sorted, so each row's column
+// span is found by binary search; the output is canonical too. The 2D
+// block-sharded coordinator cuts A(i,k) and B(k,j) blocks with it.
+//
+// When the window covers all of m, m itself is returned (no copy): callers
+// treat blocks as read-only, exactly like registry matrices.
+func Block(m *CSR, r0, r1, c0, c1 int32) *CSR {
+	if r0 == 0 && r1 == m.NumRows && c0 == 0 && c1 == m.NumCols {
+		return m
+	}
+	rows, cols := r1-r0, c1-c0
+	out := &CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int64, rows+1)}
+	// First pass: per-row entry counts, so the index/value arrays are
+	// allocated exactly once.
+	for r := r0; r < r1; r++ {
+		s, e := rowSpan(m, r, c0, c1)
+		out.RowPtr[r-r0+1] = out.RowPtr[r-r0] + (e - s)
+	}
+	nnz := out.RowPtr[rows]
+	out.ColIdx = make([]int32, nnz)
+	out.Val = make([]float64, nnz)
+	for r := r0; r < r1; r++ {
+		s, e := rowSpan(m, r, c0, c1)
+		p := out.RowPtr[r-r0]
+		for q := s; q < e; q++ {
+			out.ColIdx[p] = m.ColIdx[q] - c0
+			out.Val[p] = m.Val[q]
+			p++
+		}
+	}
+	return out
+}
+
+// rowSpan returns the half-open position range of row r's entries with
+// column indices in [c0,c1).
+func rowSpan(m *CSR, r, c0, c1 int32) (int64, int64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	row := m.ColIdx[lo:hi]
+	s := int64(sort.Search(len(row), func(i int) bool { return row[i] >= c0 }))
+	e := int64(sort.Search(len(row), func(i int) bool { return row[i] >= c1 }))
+	return lo + s, lo + e
+}
+
+// SplitPoints partitions [0,n) into parts near-equal contiguous ranges and
+// returns the parts+1 boundary offsets. parts is clamped to [1, max(1,n)],
+// so no range is ever empty while n > 0.
+func SplitPoints(n int32, parts int) []int32 {
+	if parts < 1 {
+		parts = 1
+	}
+	if n > 0 && int32(parts) > n {
+		parts = int(n)
+	}
+	off := make([]int32, parts+1)
+	for t := 0; t <= parts; t++ {
+		off[t] = int32(int64(n) * int64(t) / int64(parts))
+	}
+	return off
+}

@@ -1,0 +1,100 @@
+package matrix
+
+import "testing"
+
+// testCSR builds a small canonical CSR from a dense row-major table.
+func testCSR(t *testing.T, rows, cols int32, dense [][]float64) *CSR {
+	t.Helper()
+	m := &CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int64, rows+1)}
+	for i := int32(0); i < rows; i++ {
+		for j := int32(0); j < cols; j++ {
+			if dense[i][j] != 0 {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, dense[i][j])
+			}
+		}
+		m.RowPtr[i+1] = int64(len(m.ColIdx))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("test matrix invalid: %v", err)
+	}
+	return m
+}
+
+func TestBlockExtraction(t *testing.T) {
+	dense := [][]float64{
+		{1, 0, 2, 0},
+		{0, 3, 0, 4},
+		{5, 0, 0, 6},
+		{0, 7, 8, 0},
+	}
+	m := testCSR(t, 4, 4, dense)
+	for r0 := int32(0); r0 <= 4; r0++ {
+		for r1 := r0; r1 <= 4; r1++ {
+			for c0 := int32(0); c0 <= 4; c0++ {
+				for c1 := c0; c1 <= 4; c1++ {
+					blk := Block(m, r0, r1, c0, c1)
+					if blk.NumRows != r1-r0 || blk.NumCols != c1-c0 {
+						t.Fatalf("block [%d,%d)x[%d,%d): shape %dx%d", r0, r1, c0, c1, blk.NumRows, blk.NumCols)
+					}
+					if err := blk.Validate(); err != nil {
+						t.Fatalf("block [%d,%d)x[%d,%d) invalid: %v", r0, r1, c0, c1, err)
+					}
+					for i := int32(0); i < blk.NumRows; i++ {
+						got := map[int32]float64{}
+						for p := blk.RowPtr[i]; p < blk.RowPtr[i+1]; p++ {
+							got[blk.ColIdx[p]] = blk.Val[p]
+						}
+						for j := int32(0); j < blk.NumCols; j++ {
+							want := dense[r0+i][c0+j]
+							if want == 0 {
+								if _, ok := got[j]; ok {
+									t.Fatalf("block [%d,%d)x[%d,%d) row %d has spurious col %d", r0, r1, c0, c1, i, j)
+								}
+							} else if got[j] != want {
+								t.Fatalf("block [%d,%d)x[%d,%d) entry (%d,%d) = %v, want %v", r0, r1, c0, c1, i, j, got[j], want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockFullWindowAliases(t *testing.T) {
+	m := testCSR(t, 2, 2, [][]float64{{1, 0}, {0, 2}})
+	if Block(m, 0, 2, 0, 2) != m {
+		t.Fatal("full-window block should return the matrix itself")
+	}
+}
+
+func TestSplitPoints(t *testing.T) {
+	for _, tc := range []struct {
+		n     int32
+		parts int
+		want  []int32
+	}{
+		{10, 1, []int32{0, 10}},
+		{10, 2, []int32{0, 5, 10}},
+		{10, 3, []int32{0, 3, 6, 10}},
+		{3, 8, []int32{0, 1, 2, 3}}, // parts clamped to n
+		{7, 0, []int32{0, 7}},       // parts clamped to 1
+	} {
+		got := SplitPoints(tc.n, tc.parts)
+		if len(got) != len(tc.want) {
+			t.Fatalf("SplitPoints(%d,%d) = %v, want %v", tc.n, tc.parts, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("SplitPoints(%d,%d) = %v, want %v", tc.n, tc.parts, got, tc.want)
+			}
+		}
+		// Every range non-empty when n > 0.
+		for i := 1; i < len(got); i++ {
+			if tc.n > 0 && got[i] <= got[i-1] {
+				t.Fatalf("SplitPoints(%d,%d) empty range at %d: %v", tc.n, tc.parts, i, got)
+			}
+		}
+	}
+}

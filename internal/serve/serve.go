@@ -63,6 +63,22 @@ type Config struct {
 	// LatencyWindow is how many recent samples each endpoint's latency
 	// percentiles are computed over. Default 1024.
 	LatencyWindow int
+
+	// Peers lists base URLs of other pbspgemmd nodes (e.g.
+	// "http://host:8080"). Non-empty enables the sharded execution path:
+	// unmasked arithmetic products with the auto or pb algorithm and no
+	// per-request overrides are 2D block-partitioned and fanned out over
+	// the peers (plus a local worker pool), with the shard coordinator's
+	// full failure ladder behind them. Empty (the default) serves every
+	// product on the local Engine.
+	Peers []string
+	// ShardBlockBytes is the per-block predicted-footprint target of the
+	// sharded path (shard.Config.MaxBlockBytes). <= 0 runs sharded products
+	// as one block. Default 0.
+	ShardBlockBytes int64
+	// ShardLocalWorkers bounds how many sharded blocks may run on the local
+	// engine concurrently. Default 1.
+	ShardLocalWorkers int
 }
 
 // Defaults for the Config fields; exported so cmd/pbspgemmd's flag help and

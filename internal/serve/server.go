@@ -17,6 +17,7 @@ import (
 	"pbspgemm/internal/matrix"
 	"pbspgemm/internal/mmio"
 	"pbspgemm/internal/par"
+	"pbspgemm/internal/shard"
 )
 
 // Server is the HTTP serving layer: an http.Handler wiring the registry,
@@ -31,7 +32,8 @@ import (
 //	POST   /multiply        compute (or fetch) a product
 //	POST   /plan            dry-run the planner + admission for a product
 //	GET    /metrics         engine, cache, admission, tenant and latency stats
-//	GET    /healthz         liveness
+//	GET    /healthz         liveness (the process serves HTTP at all)
+//	GET    /readyz          readiness (queue headroom, degradation, peer breakers)
 type Server struct {
 	cfg     Config
 	eng     *pbspgemm.Engine
@@ -42,6 +44,9 @@ type Server struct {
 	tenants *tenantSet
 	lat     *latencySet
 	mux     *http.ServeMux
+
+	// coord is the sharded execution path, nil unless Config.Peers is set.
+	coord *shard.Coordinator
 
 	// panics counts handler panics contained by the route middleware (500
 	// for the hit request only; the server keeps serving). degraded counts
@@ -72,6 +77,21 @@ func NewServer(cfg Config) (*Server, error) {
 		tenants: newTenantSet(),
 		lat:     newLatencySet(cfg.LatencyWindow),
 	}
+	if len(cfg.Peers) > 0 {
+		backends := []shard.Backend{shard.NewEnginePool("local", cfg.Engine, cfg.ShardLocalWorkers)}
+		for _, peer := range cfg.Peers {
+			backends = append(backends, NewPeerClient(peer, nil))
+		}
+		coord, err := shard.New(shard.Config{
+			Local:         cfg.Engine,
+			Backends:      backends,
+			MaxBlockBytes: cfg.ShardBlockBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+	}
 	s.execute = s.runProduct
 	s.mux = http.NewServeMux()
 	s.route("POST /matrices", s.handleUpload)
@@ -81,11 +101,52 @@ func NewServer(cfg Config) (*Server, error) {
 	s.route("POST /multiply", s.handleMultiply)
 	s.route("POST /plan", s.handlePlan)
 	s.route("GET /metrics", s.handleMetrics)
+	// Liveness and readiness are mounted raw — no latency tracking, no
+	// tenant accounting — so health probes stay answerable even when the
+	// serving middleware is the thing that is broken.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s, nil
+}
+
+// readyResponse is the GET /readyz document. Liveness (/healthz) answers
+// "is the process up"; readiness answers "should a load balancer send the
+// next product here": 503 once the admission queue is full (every further
+// multiply would shed anyway), 200 otherwise, with queue depth, degraded
+// mode and the per-peer breaker states for operators either way.
+type readyResponse struct {
+	Ready bool `json:"ready"`
+	// QueueDepth and MaxQueue are the admission queue's occupancy.
+	QueueDepth int `json:"queue_depth"`
+	MaxQueue   int `json:"max_queue"`
+	// DegradedMode reports whether the budgeted tiled retry is enabled
+	// (Config.DegradedBudgetBytes > 0) — a node in degraded mode keeps
+	// absorbing oversized products slower instead of shedding them.
+	DegradedMode bool `json:"degraded_mode"`
+	// Peers maps each shard backend to its circuit-breaker state; empty on
+	// single-node deployments.
+	Peers map[string]shard.BreakerStatus `json:"peers,omitempty"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	adm := s.adm.Stats()
+	resp := readyResponse{
+		QueueDepth:   adm.Waiting,
+		MaxQueue:     s.cfg.MaxQueue,
+		DegradedMode: s.cfg.DegradedBudgetBytes > 0,
+	}
+	resp.Ready = adm.Waiting < s.cfg.MaxQueue
+	if s.coord != nil {
+		resp.Peers = s.coord.Status().Peers
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // ServeHTTP implements http.Handler.
@@ -484,20 +545,26 @@ func (s *Server) product(ctx context.Context, sp *productSpec) (*Product, served
 	if p, ok := s.cache.Get(key); ok {
 		return p, viaCache, nil
 	}
-	p, shared, err := s.flights.do(ctx, key, func() (*Product, error) {
+	p, shared, err := s.flights.do(ctx, key, func(fctx context.Context) (*Product, error) {
+		// The flight context is detached from the leader's request (a short
+		// leader deadline must not poison the followers' result) but still
+		// bounded: a fresh RequestTimeout, plus cancellation when the last
+		// waiter leaves.
+		fctx, fcancel := context.WithTimeout(fctx, s.cfg.RequestTimeout)
+		defer fcancel()
 		run := sp
 		degraded := false
-		plan, err := s.eng.Plan(ctx, run.a, run.b, run.engineOptions()...)
+		plan, err := s.eng.Plan(fctx, run.a, run.b, run.engineOptions()...)
 		if err != nil {
 			return nil, err
 		}
 		predicted := plan.PredictedFootprintBytes
-		if err := s.adm.Acquire(ctx, predicted); err != nil {
-			deg, degPredicted, ok := s.degradedSpec(ctx, sp, err)
+		if err := s.adm.Acquire(fctx, predicted); err != nil {
+			deg, degPredicted, ok := s.degradedSpec(fctx, sp, err)
 			if !ok {
 				return nil, err
 			}
-			if aerr := s.adm.Acquire(ctx, degPredicted); aerr != nil {
+			if aerr := s.adm.Acquire(fctx, degPredicted); aerr != nil {
 				// Even the tiled footprint could not be admitted; report the
 				// original full-run shed (still a 429 + Retry-After).
 				return nil, err
@@ -506,7 +573,7 @@ func (s *Server) product(ctx context.Context, sp *productSpec) (*Product, served
 			s.degraded.Add(1)
 		}
 		defer s.adm.Release(predicted)
-		p, err := s.execute(ctx, run)
+		p, err := s.execute(fctx, run)
 		if err != nil {
 			return nil, err
 		}
@@ -549,11 +616,26 @@ func (s *Server) degradedSpec(ctx context.Context, sp *productSpec, shedErr erro
 	return &deg, plan.PredictedFootprintBytes, true
 }
 
-// runProduct executes one admitted product on the Engine. This is the only
-// place the serving layer multiplies.
+// runProduct executes one admitted product on the Engine (or, when peers
+// are configured and the request is shardable, fans it out through the
+// coordinator). This is the only place the serving layer multiplies.
 func (s *Server) runProduct(ctx context.Context, sp *productSpec) (*Product, error) {
 	opts := sp.engineOptions()
 	switch {
+	case s.shardable(sp):
+		res, err := s.coord.Multiply(ctx, sp.a, sp.b)
+		if err != nil {
+			return nil, err
+		}
+		p := &Product{
+			C:         res.C,
+			Algorithm: "PB-SpGEMM(sharded " + res.Grid.String() + ")",
+			Flops:     res.Flops, Elapsed: res.Elapsed, Bytes: csrBytes(res.C),
+		}
+		if nnz := res.C.NNZ(); nnz > 0 {
+			p.CF = float64(res.Flops) / float64(nnz)
+		}
+		return p, nil
 	case sp.semiring == "arithmetic" && sp.mask == nil:
 		res, err := s.eng.Multiply(ctx, sp.a, sp.b, append(opts, pbspgemm.WithAlgorithm(sp.algorithm))...)
 		if err != nil {
@@ -601,6 +683,19 @@ func (s *Server) runProduct(ctx context.Context, sp *productSpec) (*Product, err
 		return productOf(pbspgemm.Float64CSR(g), "PB-SpGEMM("+sp.semiring+")",
 			pbspgemm.Flops(sp.a, sp.b), time.Since(start)), nil
 	}
+}
+
+// shardable reports whether sp may run on the shard coordinator: peers are
+// configured, the product is unmasked arithmetic under the auto or pb
+// algorithm (the coordinator pins PB — other kernels fold duplicates in a
+// different order and would break cross-backend bit-identity), and the
+// request carries no per-call overrides (threads and memory budget are
+// engine-local knobs the remote peers would not see).
+func (s *Server) shardable(sp *productSpec) bool {
+	return s.coord != nil &&
+		sp.semiring == "arithmetic" && sp.mask == nil &&
+		(sp.algorithm == pbspgemm.Auto || sp.algorithm == pbspgemm.PB) &&
+		sp.req.Threads == 0 && sp.req.MemoryBudgetBytes == 0
 }
 
 // productOf assembles a Product from a finished CSR result. Flops here is
@@ -679,11 +774,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 // MetricsSnapshot is the GET /metrics document.
 type MetricsSnapshot struct {
-	Engine    EngineSnapshot          `json:"engine"`
-	Cache     CacheStats              `json:"cache"`
-	Admission AdmissionStats          `json:"admission"`
-	Registry  RegistryStats           `json:"registry"`
-	Coalesced int64                   `json:"coalesced_requests"`
+	Engine    EngineSnapshot `json:"engine"`
+	Cache     CacheStats     `json:"cache"`
+	Admission AdmissionStats `json:"admission"`
+	Registry  RegistryStats  `json:"registry"`
+	Coalesced int64          `json:"coalesced_requests"`
 	// HandlerPanics counts panics contained by the route middleware (each
 	// cost its own request a 500 and nothing else).
 	HandlerPanics int64 `json:"handler_panics"`
@@ -692,6 +787,9 @@ type MetricsSnapshot struct {
 	Degraded int64                   `json:"degraded_requests"`
 	Tenants  map[string]TenantStats  `json:"tenants"`
 	Latency  map[string]LatencyStats `json:"latency"`
+	// Shard is the coordinator's counters and per-peer breaker states;
+	// absent on single-node deployments.
+	Shard *shard.Status `json:"shard,omitempty"`
 }
 
 // EngineSnapshot is EngineMetrics with JSON-friendly algorithm names.
@@ -733,7 +831,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			}
 		}
 	}
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Engine:        es,
 		Cache:         s.cache.Stats(),
 		Admission:     s.adm.Stats(),
@@ -744,6 +842,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Tenants:       s.tenants.snapshot(),
 		Latency:       s.lat.snapshot(),
 	}
+	if s.coord != nil {
+		st := s.coord.Status()
+		snap.Shard = &st
+	}
+	return snap
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -6,11 +6,14 @@ import (
 )
 
 // flightGroup coalesces concurrent identical products onto one in-flight
-// multiply: the first request for a key becomes the leader and runs the
+// multiply: the first request for a key becomes the leader and starts the
 // work; requests arriving while it runs wait for its result instead of
-// multiplying again. Followers still honor their own context — a follower
-// whose deadline expires unblocks with ctx.Err() while the leader runs on
-// for the others. (A from-scratch singleflight: x/sync is not vendored.)
+// multiplying again. Every waiter honors its own context — and the work
+// itself runs on a flight context detached from the leader's request, so a
+// leader whose client disconnects (or whose deadline is shorter than its
+// followers') cannot poison the flight: followers with healthy deadlines
+// still get the product. The flight is cancelled only when the last waiter
+// leaves. (A from-scratch singleflight: x/sync is not vendored.)
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
@@ -19,9 +22,14 @@ type flightGroup struct {
 }
 
 type flight struct {
-	done      chan struct{}
-	val       *Product
-	err       error
+	done   chan struct{}
+	cancel context.CancelFunc
+	val    *Product
+	err    error
+	// parties is how many callers are still waiting on this flight (the
+	// leader counts too); when it reaches zero mid-run, nobody wants the
+	// result and the flight context is cancelled.
+	parties   int
 	followers int
 }
 
@@ -29,34 +37,52 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{m: make(map[string]*flight)}
 }
 
-// do runs fn once per key among concurrent callers. shared reports whether
-// this caller got a coalesced result rather than running fn itself. The
-// leader ignores ctx here (its own fn observes it); followers return early
-// on their ctx.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Product, error)) (p *Product, shared bool, err error) {
+// do runs fn once per key among concurrent callers. fn receives the flight
+// context: derived from the leader's ctx values but not its cancellation,
+// cancelled only when every waiter has left. shared reports whether this
+// caller got a coalesced result rather than starting fn itself.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (*Product, error)) (p *Product, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
 		f.followers++
+		f.parties++
 		g.coalesced++
 		g.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.val, true, f.err
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
-		}
+		return g.wait(ctx, f, true)
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), cancel: cancel, parties: 1}
 	g.m[key] = f
 	g.mu.Unlock()
 
-	f.val, f.err = fn()
+	go func() {
+		f.val, f.err = fn(fctx)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, f, false)
+}
 
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.val, false, f.err
+// wait blocks until the flight finishes or ctx expires; a departing waiter
+// that was the last one left cancels the flight (nobody wants the result,
+// stop paying for it at the next phase edge).
+func (g *flightGroup) wait(ctx context.Context, f *flight, shared bool) (*Product, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.parties--
+		last := f.parties == 0
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
 }
 
 // waiting reports how many followers are currently attached to key's flight

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// stateNames for BreakerStatus and logs.
+var stateNames = [...]string{"closed", "open", "half-open"}
+
+// breaker is a per-backend circuit breaker: BreakerThreshold consecutive
+// failures open it (no traffic), after BreakerCooldown it half-opens and
+// admits exactly one trial at a time; the trial's outcome closes or
+// re-opens it. Safe for concurrent use.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    int
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open trial is in flight
+
+	opens, probes int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether the backend may take traffic right now; probe is
+// true when the caller holds the single half-open trial slot and must
+// resolve it with success, failure or cancelTrial.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true, true
+	default: // half-open: one trial at a time
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		b.probes++
+		return true, true
+	}
+}
+
+// success records a completed attempt: from any state the breaker closes
+// and the consecutive-failure count resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed attempt: a half-open trial re-opens immediately,
+// a closed breaker opens at the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+		}
+	case breakerOpen:
+		// Late failure from an attempt that started before the open (e.g. a
+		// straggler timing out); refresh the cooldown clock.
+		b.openedAt = b.now()
+	}
+}
+
+// open transitions to open under the lock.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// cancelTrial releases a half-open trial slot without a verdict (the
+// attempt was cancelled by a hedge winner, not by the backend failing), so
+// the breaker neither closes on no evidence nor deadlocks waiting for one.
+func (b *breaker) cancelTrial() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// BreakerStatus is one backend's breaker state as /metrics and /readyz
+// report it.
+type BreakerStatus struct {
+	// State is closed, open or half-open.
+	State string `json:"state"`
+	// ConsecutiveFailures is the current run of failures while closed.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Opens counts closed/half-open → open transitions; Probes counts
+	// half-open trial admissions.
+	Opens  int64 `json:"opens"`
+	Probes int64 `json:"probes"`
+}
+
+// status snapshots the breaker.
+func (b *breaker) status() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{
+		State:               stateNames[b.state],
+		ConsecutiveFailures: b.fails,
+		Opens:               b.opens,
+		Probes:              b.probes,
+	}
+}

@@ -2,6 +2,7 @@ package pbspgemm
 
 import (
 	"context"
+	"fmt"
 
 	"pbspgemm/internal/core"
 	"pbspgemm/internal/kernel"
@@ -164,6 +165,124 @@ func (p *Plan) footprint(rows, budget int64) int64 {
 		work = p.EstNNZC * matrix.BytesPerTuple
 	}
 	return work + 2*out
+}
+
+// Grid is a 2D block partition geometry for sharded products: A's rows are
+// split into Rows bands, B's columns into Cols bands, and the shared inner
+// dimension into Inner bands, so C(i,j) = Σ_k A(i,k)·B(k,j) decomposes into
+// Rows×Cols×Inner independent block multiplies plus a per-(i,j) EWiseAdd
+// reduce over k.
+type Grid struct {
+	Rows, Cols, Inner int
+}
+
+// Blocks is the number of block multiplies the grid induces.
+func (g Grid) Blocks() int { return g.Rows * g.Cols * g.Inner }
+
+func (g Grid) String() string {
+	return fmt.Sprintf("%dx%dx%d", g.Rows, g.Cols, g.Inner)
+}
+
+// BlockPlan is one block multiply A(i,k)·B(k,j) of a GridPlan, with the
+// planner's full pre-execution analysis for that block. Its
+// Plan.PredictedFootprintBytes is exactly what a target node's admission
+// control will see for this block, so a partitioner can grow the grid until
+// every block is admissible everywhere.
+type BlockPlan struct {
+	I, J, K int
+	// A, B alias GridPlan.A[I][K] and GridPlan.B[K][J].
+	A, B *CSR
+	Plan *Plan
+}
+
+// GridPlan is the result of Engine.PlanBlocks: the extracted input blocks,
+// the boundary offsets that place each block back into the full product, and
+// a per-block Plan. Blocks are read-only (a 1×1×1 grid aliases the inputs
+// themselves).
+type GridPlan struct {
+	Grid Grid
+	// RowOffsets (len Rows+1), ColOffsets (len Cols+1) and InnerOffsets
+	// (len Inner+1) are the split boundaries over A's rows, B's columns and
+	// the inner dimension.
+	RowOffsets, ColOffsets, InnerOffsets []int32
+	// A[i][k] is rows [RowOffsets[i],RowOffsets[i+1]) × inner band k of A;
+	// B[k][j] is inner band k × cols [ColOffsets[j],ColOffsets[j+1]) of B.
+	A [][]*CSR
+	B [][]*CSR
+	// Blocks holds one entry per (i,j,k), k fastest then j then i — so a
+	// sequential scan meets each C(i,j)'s partial products in ascending k,
+	// the reduce order that matches the single-node fold.
+	Blocks []BlockPlan
+	// MaxFootprintBytes is the largest per-block PredictedFootprintBytes —
+	// the number a partitioner compares against the target admission ceiling.
+	MaxFootprintBytes int64
+}
+
+// PlanBlocks partitions C = A·B on grid g and plans every block multiply
+// without running any of them: inputs are cut with block-local indices, and
+// each (i,j,k) block gets the same pre-execution analysis Engine.Plan gives
+// a full product (symbolic flops, nnz estimate, predicted footprint). Grid
+// dimensions are clamped to the matrix extents, so degenerate grids never
+// produce empty bands. Serving-layer coordinators use the per-block
+// PredictedFootprintBytes to choose a grid whose blocks all pass admission
+// control on whatever node executes them.
+func (e *Engine) PlanBlocks(ctx context.Context, a, b *CSR, g Grid, opts ...Option) (*GridPlan, error) {
+	if _, err := resolve(e.defaults, opts); err != nil {
+		return nil, err
+	}
+	if a.NumCols != b.NumRows {
+		return nil, shapeError(a, b)
+	}
+	if g.Rows < 1 || g.Cols < 1 || g.Inner < 1 {
+		return nil, &OptionError{Option: "PlanBlocks(Grid)", Value: int64(g.Rows * g.Cols * g.Inner)}
+	}
+	gp := &GridPlan{
+		RowOffsets:   matrix.SplitPoints(a.NumRows, g.Rows),
+		ColOffsets:   matrix.SplitPoints(b.NumCols, g.Cols),
+		InnerOffsets: matrix.SplitPoints(a.NumCols, g.Inner),
+	}
+	// SplitPoints clamps oversized part counts; record the effective grid.
+	gp.Grid = Grid{
+		Rows:  len(gp.RowOffsets) - 1,
+		Cols:  len(gp.ColOffsets) - 1,
+		Inner: len(gp.InnerOffsets) - 1,
+	}
+	gp.A = make([][]*CSR, gp.Grid.Rows)
+	for i := range gp.A {
+		gp.A[i] = make([]*CSR, gp.Grid.Inner)
+		for k := range gp.A[i] {
+			gp.A[i][k] = matrix.Block(a,
+				gp.RowOffsets[i], gp.RowOffsets[i+1],
+				gp.InnerOffsets[k], gp.InnerOffsets[k+1])
+		}
+	}
+	gp.B = make([][]*CSR, gp.Grid.Inner)
+	for k := range gp.B {
+		gp.B[k] = make([]*CSR, gp.Grid.Cols)
+		for j := range gp.B[k] {
+			gp.B[k][j] = matrix.Block(b,
+				gp.InnerOffsets[k], gp.InnerOffsets[k+1],
+				gp.ColOffsets[j], gp.ColOffsets[j+1])
+		}
+	}
+	gp.Blocks = make([]BlockPlan, 0, gp.Grid.Blocks())
+	for i := 0; i < gp.Grid.Rows; i++ {
+		for j := 0; j < gp.Grid.Cols; j++ {
+			for k := 0; k < gp.Grid.Inner; k++ {
+				plan, err := e.Plan(ctx, gp.A[i][k], gp.B[k][j], opts...)
+				if err != nil {
+					return nil, err
+				}
+				if plan.PredictedFootprintBytes > gp.MaxFootprintBytes {
+					gp.MaxFootprintBytes = plan.PredictedFootprintBytes
+				}
+				gp.Blocks = append(gp.Blocks, BlockPlan{
+					I: i, J: j, K: k, A: gp.A[i][k], B: gp.B[k][j], Plan: plan,
+				})
+			}
+		}
+	}
+	return gp, nil
 }
 
 // Plan runs the Auto planner's pre-execution analysis — symbolic flop pass,
